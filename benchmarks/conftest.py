@@ -1,0 +1,35 @@
+"""pytest-benchmark configuration for the reproduction benches.
+
+Each bench runs a whole simulation; wall-time of the simulation is what
+pytest-benchmark measures, while the scientific quantities (virtual-time
+bandwidth/latency) land in ``benchmark.extra_info`` and in the printed
+paper-vs-measured tables."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-tolerance", action="store", type=float, default=0.25,
+        help="relative tolerance when asserting measured-vs-paper values")
+
+
+@pytest.fixture()
+def paper_tolerance(request):
+    return request.config.getoption("--paper-tolerance")
+
+
+def record_rows(benchmark, title: str, header: tuple, rows: list) -> None:
+    """Store a result table in extra_info and print it (-s to see it)."""
+    benchmark.extra_info["table"] = {
+        "title": title,
+        "header": list(header),
+        "rows": [list(r) for r in rows],
+    }
+    width = max(len(str(h)) for h in header) + 2
+    print(f"\n=== {title} ===")
+    print("".join(f"{str(h):>{width}}" for h in header))
+    for row in rows:
+        print("".join(
+            f"{(f'{v:.1f}' if isinstance(v, float) else str(v)):>{width}}"
+            for v in row))

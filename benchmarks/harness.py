@@ -1,0 +1,365 @@
+"""Shared measurement harness for the paper-reproduction benchmarks.
+
+Every function builds a fresh simulated grid, drives the relevant
+middleware, and returns quantities read off the **virtual clock**
+(bandwidth in MB/s with MB = 1e6 bytes, latency in µs — the paper's
+units).  pytest-benchmark wraps these functions to additionally record
+the real wall-time cost of running each simulation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ccm import ComponentImpl
+from repro.core import (
+    GridCcmCompiler,
+    ParallelClient,
+    ParallelComponent,
+    ParallelismDescriptor,
+)
+from repro.corba import MICO, OMNIORB4, Orb, compile_idl
+from repro.corba.profiles import OrbProfile
+from repro.mpi import World, create_world, spmd
+from repro.net import MYRINET_2000, Topology, build_cluster
+from repro.padicotm import PadicoRuntime
+
+BENCH_IDL = """
+module Bench {
+    typedef sequence<octet> Blob;
+    typedef sequence<long> IntVector;
+    interface Sink {
+        void push(in Blob data);
+        void absorb(in IntVector values);
+    };
+    component Endpoint {
+        provides Sink input;
+    };
+    home EndpointHome manages Endpoint {};
+};
+"""
+
+PARALLELISM_XML = """
+<parallelism component="Bench::Endpoint">
+  <port name="input">
+    <operation name="absorb">
+      <argument name="values" distribution="block"/>
+      <result policy="none"/>
+    </operation>
+  </port>
+</parallelism>
+"""
+
+#: Figure 7's x axis: 32 B .. 8 MB
+FIG7_SIZES = (32, 1024, 32 * 1024, 1024 * 1024, 8 * 1024 * 1024)
+
+
+class _SinkImpl(ComponentImpl):
+    """Bench endpoint: absorbs a distributed vector then barriers —
+    exactly the paper's Figure-8 workload ('the invoked operation only
+    contains a MPI_Barrier')."""
+
+    def absorb(self, values):
+        self.mpi.Barrier()
+
+    def push(self, data):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: CORBA / MPI bandwidth and latency over PadicoTM
+# ---------------------------------------------------------------------------
+
+def corba_transfer_times(profile: OrbProfile, sizes=FIG7_SIZES,
+                         lan_only: bool = False) -> dict[int, float]:
+    """One-way transfer time (s) of ``sizes``-byte payloads via CORBA.
+
+    Measured as the round-trip of a void ``push(Blob)`` minus the
+    round-trip of an empty push, halved — i.e. the marginal one-way data
+    time, matching how ORB bandwidth benchmarks report numbers."""
+    topo = Topology()
+    build_cluster(topo, "n", 2, san=None if lan_only else MYRINET_2000)
+    rt = PadicoRuntime(topo)
+    server = rt.create_process("n0", "server")
+    client = rt.create_process("n1", "client")
+    s_orb = Orb(server, profile, compile_idl(BENCH_IDL))
+    s_orb.start()
+    c_orb = Orb(client, profile, compile_idl(BENCH_IDL))
+
+    class Sink(s_orb.servant_base("Bench::Sink")):
+        def push(self, data):
+            pass
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(Sink()))
+    times: dict[int, float] = {}
+
+    def main(proc):
+        stub = c_orb.string_to_object(url)
+        stub.push(b"")  # connection warm-up
+        t0 = rt.kernel.now
+        stub.push(b"")
+        empty_rtt = rt.kernel.now - t0
+        for size in sizes:
+            payload = bytes(size)
+            t0 = rt.kernel.now
+            stub.push(payload)
+            rtt = rt.kernel.now - t0
+            times[size] = rtt - empty_rtt / 2
+
+    client.spawn(main)
+    rt.run()
+    rt.shutdown()
+    return times
+
+
+def corba_bandwidth_curve(profile: OrbProfile, sizes=FIG7_SIZES,
+                          lan_only: bool = False) -> dict[int, float]:
+    """Figure-7 series: message size → MB/s."""
+    return {size: size / t / 1e6
+            for size, t in corba_transfer_times(profile, sizes,
+                                                lan_only).items()}
+
+
+def corba_one_way_latency_us(profile: OrbProfile) -> float:
+    """§4.4 latency: half the round-trip of an empty invocation."""
+    topo = Topology()
+    build_cluster(topo, "n", 2)
+    rt = PadicoRuntime(topo)
+    server = rt.create_process("n0", "server")
+    client = rt.create_process("n1", "client")
+    s_orb = Orb(server, profile, compile_idl(BENCH_IDL))
+    s_orb.start()
+    c_orb = Orb(client, profile, compile_idl(BENCH_IDL))
+
+    class Sink(s_orb.servant_base("Bench::Sink")):
+        def push(self, data):
+            pass
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(Sink()))
+    out = {}
+
+    def main(proc):
+        stub = c_orb.string_to_object(url)
+        stub.push(b"")
+        t0 = rt.kernel.now
+        stub.push(b"")
+        out["rtt"] = rt.kernel.now - t0
+
+    client.spawn(main)
+    rt.run()
+    rt.shutdown()
+    return out["rtt"] / 2 * 1e6
+
+
+def mpi_bandwidth_curve(sizes=FIG7_SIZES) -> dict[int, float]:
+    """Figure-7 MPI series over PadicoTM/Myrinet."""
+    topo = Topology()
+    build_cluster(topo, "n", 2)
+    rt = PadicoRuntime(topo)
+    procs = [rt.create_process(f"n{i}", f"rank{i}") for i in range(2)]
+    world = create_world(rt, "bench", procs)
+    curve: dict[int, float] = {}
+
+    def main(proc, comm):
+        if comm.rank == 0:
+            for size in sizes:
+                data = np.zeros(size, dtype="u1")
+                comm.Send(data[:1], dest=1, tag=0)  # warm-up
+                t0 = comm.Wtime()
+                comm.Send(data, dest=1, tag=1)
+                curve[size] = size / (comm.Wtime() - t0) / 1e6
+        else:
+            for size in sizes:
+                buf = np.empty(size, dtype="u1")
+                comm.Recv(buf[:1], source=0, tag=0)
+                comm.Recv(buf, source=0, tag=1)
+
+    spmd(world, main)
+    rt.run()
+    rt.shutdown()
+    return curve
+
+
+def mpi_one_way_latency_us() -> float:
+    topo = Topology()
+    build_cluster(topo, "n", 2)
+    rt = PadicoRuntime(topo)
+    procs = [rt.create_process(f"n{i}", f"rank{i}") for i in range(2)]
+    world = create_world(rt, "bench", procs)
+    out = {}
+
+    def main(proc, comm):
+        buf = np.zeros(1, dtype="u1")
+        if comm.rank == 0:
+            comm.Send(buf, dest=1)
+            comm.Recv(buf, source=1)
+            t0 = comm.Wtime()
+            comm.Send(buf, dest=1)
+            comm.Recv(buf, source=1)
+            out["rtt"] = comm.Wtime() - t0
+        else:
+            comm.Recv(buf, source=0)
+            comm.Send(buf, dest=0)
+            comm.Recv(buf, source=0)
+            comm.Send(buf, dest=0)
+
+    spmd(world, main)
+    rt.run()
+    rt.shutdown()
+    # subtract the 1-byte payload's fluid time (negligible) — report RTT/2
+    return out["rtt"] / 2 * 1e6
+
+
+def concurrent_sharing_mbps(size: int = 24_000_000) -> dict[str, float]:
+    """§4.4 concurrency: CORBA and MPI bulk streams at the same time."""
+    topo = Topology()
+    build_cluster(topo, "n", 2)
+    rt = PadicoRuntime(topo)
+    p0 = rt.create_process("n0", "p0")
+    p1 = rt.create_process("n1", "p1")
+    s_orb = Orb(p1, OMNIORB4, compile_idl(BENCH_IDL))
+    s_orb.start()
+    c_orb = Orb(p0, OMNIORB4, compile_idl(BENCH_IDL))
+
+    class Sink(s_orb.servant_base("Bench::Sink")):
+        def push(self, data):
+            pass
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(Sink()))
+    world = create_world(rt, "bench", [p0, p1])
+    results: dict[str, float] = {}
+    gate = 0.001
+
+    def corba_main(proc):
+        stub = c_orb.string_to_object(url)
+        stub.push(b"")
+        proc.sleep(gate - rt.kernel.now)
+        t0 = rt.kernel.now
+        stub.push(bytes(size))
+        results["corba"] = size / (rt.kernel.now - t0) / 1e6
+
+    def mpi_main(proc, comm):
+        comm.bind(proc)
+        if comm.rank == 0:
+            proc.sleep(gate - rt.kernel.now)
+            t0 = rt.kernel.now
+            comm.Send(np.zeros(size, dtype="u1"), dest=1)
+            results["mpi"] = size / (rt.kernel.now - t0) / 1e6
+        else:
+            buf = np.empty(size, dtype="u1")
+            comm.Recv(buf, source=0)
+
+    p0.spawn(corba_main)
+    spmd(world, mpi_main)
+    rt.run()
+    rt.shutdown()
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: GridCCM n→n over Myrinet (and the Fast-Ethernet variant)
+# ---------------------------------------------------------------------------
+
+def gridccm_n_to_n(n: int, profile: OrbProfile = MICO,
+                   ints_per_rank: int = 2_000_000,
+                   procs_per_host: int = 2,
+                   lan_only: bool = False) -> dict[str, float]:
+    """One Figure-8 row: two n-node parallel components exchange a
+    vector of integers; the server op runs MPI_Barrier.
+
+    Returns ``latency_us`` (half RTT of a 1-int-per-rank invocation)
+    and ``aggregate_mbps``.  ``procs_per_host=2`` models the paper's
+    dual-Pentium III nodes sharing one Myrinet NIC."""
+    hosts_each = math.ceil(n / procs_per_host)
+    topo = Topology()
+    build_cluster(topo, "h", 2 * hosts_each,
+                  san=None if lan_only else MYRINET_2000)
+    rt = PadicoRuntime(topo)
+    server_procs = [rt.create_process(f"h{i // procs_per_host}", f"s{i}")
+                    for i in range(n)]
+    comp = ParallelComponent.create(rt, "bench", server_procs, BENCH_IDL,
+                                    PARALLELISM_XML, _SinkImpl,
+                                    profile=profile)
+    url = comp.proxy_url("input")
+    client_procs = [
+        rt.create_process(f"h{hosts_each + i // procs_per_host}", f"c{i}")
+        for i in range(n)]
+    world = create_world(rt, "clients", client_procs)
+    out: dict[str, float] = {}
+
+    def main(proc, comm):
+        idl = compile_idl(BENCH_IDL)
+        plan = GridCcmCompiler(
+            idl, ParallelismDescriptor.parse(PARALLELISM_XML)).compile()
+        orb = Orb(client_procs[comm.rank], profile, idl)
+        pc = ParallelClient.attach(orb, plan, "input", url, comm=comm)
+
+        small = np.zeros(1, dtype="i4")
+        pc.absorb(small)  # warm-up: connections + plans
+        comm.barrier()
+        t0 = comm.Wtime()
+        pc.absorb(small)
+        comm.barrier()
+        if comm.rank == 0:
+            # RTT of the collective call incl. the client-side barrier
+            out["latency_us"] = (comm.Wtime() - t0) / 2 * 1e6
+
+        data = np.zeros(ints_per_rank, dtype="i4")
+        comm.barrier()
+        t0 = comm.Wtime()
+        pc.absorb(data)
+        comm.barrier()
+        if comm.rank == 0:
+            elapsed = comm.Wtime() - t0
+            out["aggregate_mbps"] = \
+                n * ints_per_rank * 4 / elapsed / 1e6
+
+    spmd(world, main)
+    rt.run()
+    rt.shutdown()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# ablations
+# ---------------------------------------------------------------------------
+
+def proxy_vs_direct(n: int = 4,
+                    ints_total: int = 4_000_000) -> dict[str, float]:
+    """Master-bottleneck ablation: the same total payload shipped to an
+    n-node component once through n direct parallel clients and once
+    through the sequential proxy (the master-slave shape the paper
+    rejects in §4.1)."""
+    direct = gridccm_n_to_n(n, profile=OMNIORB4,
+                            ints_per_rank=ints_total // n,
+                            procs_per_host=1)["aggregate_mbps"]
+
+    topo = Topology()
+    build_cluster(topo, "h", n + 1)
+    rt = PadicoRuntime(topo)
+    server_procs = [rt.create_process(f"h{i}", f"s{i}") for i in range(n)]
+    comp = ParallelComponent.create(rt, "bench", server_procs, BENCH_IDL,
+                                    PARALLELISM_XML, _SinkImpl,
+                                    profile=OMNIORB4)
+    url = comp.proxy_url("input")
+    cli = rt.create_process(f"h{n}", "seq-client")
+    idl = compile_idl(BENCH_IDL)
+    # register the generated proxy interface so the stub is typed
+    GridCcmCompiler(idl,
+                    ParallelismDescriptor.parse(PARALLELISM_XML)).compile()
+    orb = Orb(cli, OMNIORB4, idl)
+    out = {}
+
+    def main(proc):
+        stub = orb.string_to_object(url)  # sequential: via the proxy
+        data = np.zeros(ints_total, dtype="i4")
+        stub.absorb(data[:1])
+        t0 = rt.kernel.now
+        stub.absorb(data)
+        out["proxy"] = ints_total * 4 / (rt.kernel.now - t0) / 1e6
+
+    cli.spawn(main)
+    rt.run()
+    rt.shutdown()
+    return {"direct_mbps": direct, "proxy_mbps": out["proxy"]}

@@ -1,0 +1,199 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+A1 — marshalling strategy: the Figure-7 gap is *caused* by copying
+     marshallers; give omniORB a copying CDR and it collapses to the
+     Mico régime.
+A2 — proxies vs node-to-node: routing a parallel invocation through a
+     single master (the §4.1 anti-pattern) forfeits the aggregate
+     bandwidth that all-nodes-participate delivers.
+A3 — cross-paradigm mapping: letting the distributed-oriented VLink
+     ride the parallel-oriented Myrinet driver is worth ~20× over
+     confining it to its 'native' socket/Ethernet stack.
+A4 — per-link security: encrypting everywhere (coarse CORBA security)
+     cripples the SAN; the §6 wan-only policy costs nothing there and
+     protects the WAN.
+A5 — wire protocol: the §4.4 ESIOP suggestion, quantified — the
+     environment-specific protocol pulls omniORB's one-way latency from
+     20 µs towards MPI's 11 µs with full CORBA semantics intact.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from benchmarks.harness import (
+    BENCH_IDL,
+    corba_bandwidth_curve,
+    proxy_vs_direct,
+)
+from repro.corba import OMNIORB4, Orb, compile_idl
+from repro.corba.profiles import OrbProfile
+from repro.deploy import GridSecurityPolicy, secure_process
+from repro.net import Topology, build_cluster, build_two_site_grid
+from repro.padicotm import PadicoRuntime, VLink
+
+
+# ---------------------------------------------------------------------------
+# A1 — marshalling strategy
+# ---------------------------------------------------------------------------
+
+def test_ablation_marshalling_strategy(benchmark):
+    """Same ORB overheads, only the CDR discipline flips."""
+    zero_copy = OMNIORB4
+    copying = OrbProfile("omniORB-copying", "ablation", zero_copy=False,
+                         client_overhead=zero_copy.client_overhead,
+                         server_overhead=zero_copy.server_overhead,
+                         copy_cost_per_byte=7.0e-9)
+
+    def run():
+        return {
+            "zero-copy": corba_bandwidth_curve(zero_copy, (8 << 20,)),
+            "copying": corba_bandwidth_curve(copying, (8 << 20,)),
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    zc = curves["zero-copy"][8 << 20]
+    cp = curves["copying"][8 << 20]
+    record_rows(benchmark, "A1 — CDR marshalling strategy @ 8 MB",
+                ("strategy", "MB/s"),
+                [("zero-copy", round(zc, 1)), ("copying", round(cp, 1))])
+    assert zc == pytest.approx(240, rel=0.02)
+    assert cp == pytest.approx(55, rel=0.05)
+    assert zc / cp > 4
+
+
+# ---------------------------------------------------------------------------
+# A2 — master bottleneck vs all-nodes-participate
+# ---------------------------------------------------------------------------
+
+def test_ablation_proxy_bottleneck(benchmark):
+    out = benchmark.pedantic(proxy_vs_direct, rounds=1, iterations=1)
+    record_rows(benchmark, "A2 — 4-node component, same total payload",
+                ("path", "aggregate MB/s"),
+                [("direct node-to-node", round(out["direct_mbps"], 1)),
+                 ("through the proxy", round(out["proxy_mbps"], 1))])
+    # the proxy path is capped by one NIC; direct aggregates ~n NICs
+    assert out["direct_mbps"] > 2.5 * out["proxy_mbps"]
+
+
+# ---------------------------------------------------------------------------
+# A3 — cross-paradigm mapping
+# ---------------------------------------------------------------------------
+
+def test_ablation_cross_paradigm(benchmark):
+    """The same CORBA pair with the selector free (→ Myrinet, the
+    cross-paradigm mapping) vs pinned to the socket stack on Ethernet
+    (the straight mapping a 'unique abstraction' design would force)."""
+
+    def run():
+        auto = corba_bandwidth_curve(OMNIORB4, (8 << 20,))[8 << 20]
+        lan = corba_bandwidth_curve(OMNIORB4, (8 << 20,),
+                                    lan_only=True)[8 << 20]
+        return {"auto": auto, "lan": lan}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, "A3 — VLink mapping for one CORBA stream @8MB",
+                ("mapping", "MB/s"),
+                [("cross-paradigm (Myrinet)", round(out["auto"], 1)),
+                 ("straight (Ethernet)", round(out["lan"], 1))])
+    assert out["auto"] / out["lan"] > 15
+
+
+# ---------------------------------------------------------------------------
+# A4 — security policy placement
+# ---------------------------------------------------------------------------
+
+def _secured_stream(mode: str, cross_site: bool) -> float:
+    topo, a_hosts, b_hosts = build_two_site_grid(n_per_site=2)
+    rt = PadicoRuntime(topo)
+    src = rt.create_process(a_hosts[0].name, "src")
+    dst = rt.create_process(
+        (b_hosts if cross_site else a_hosts)[1].name, "dst")
+    policy = GridSecurityPolicy(mode)
+    secure_process(src, policy)
+    secure_process(dst, policy)
+    listener = VLink.listen(dst, "sec")
+    out = {}
+    size = 4_000_000
+
+    def srv(proc):
+        ep = listener.accept(proc)
+        ep.recv(proc)
+
+    def cli(proc):
+        ep = VLink.connect(proc, src, dst.name, "sec")
+        t0 = rt.kernel.now
+        ep.send(proc, b"x", size)
+        out["bw"] = size / (rt.kernel.now - t0) / 1e6
+
+    dst.spawn(srv)
+    src.spawn(cli)
+    rt.run()
+    rt.shutdown()
+    return out["bw"]
+
+
+def _wire_protocol_latency(protocol: str) -> float:
+    from tests.corba.conftest import DEMO_IDL, make_adder_servant
+
+    topo = Topology()
+    build_cluster(topo, "n", 2)
+    rt = PadicoRuntime(topo)
+    server = rt.create_process("n0", "server")
+    client = rt.create_process("n1", "client")
+    s_orb = Orb(server, OMNIORB4, compile_idl(DEMO_IDL), protocol=protocol)
+    s_orb.start()
+    c_orb = Orb(client, OMNIORB4, compile_idl(DEMO_IDL), protocol=protocol)
+    servant = make_adder_servant(s_orb)
+    url = s_orb.object_to_string(s_orb.poa.activate_object(servant))
+    out = {}
+
+    def main(proc):
+        stub = c_orb.string_to_object(url)
+        stub.add(0, 0)
+        t0 = rt.kernel.now
+        stub.add(1, 1)
+        out["lat"] = (rt.kernel.now - t0) / 2 * 1e6
+
+    client.spawn(main)
+    rt.run()
+    rt.shutdown()
+    return out["lat"]
+
+
+def test_ablation_wire_protocol(benchmark):
+    def run():
+        return {"giop": _wire_protocol_latency("giop"),
+                "esiop": _wire_protocol_latency("esiop")}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, "A5 — omniORB one-way latency by wire protocol",
+                ("protocol", "latency µs"),
+                [("GIOP (general)", round(out["giop"], 1)),
+                 ("ESIOP (grid-specific)", round(out["esiop"], 1))])
+    assert out["esiop"] < out["giop"] - 2.0
+    assert out["esiop"] > 11.0  # the Madeleine wire still costs 11 µs
+
+
+def test_ablation_security_policy(benchmark):
+    def run():
+        table = {}
+        for mode in ("never", "wan-only", "always"):
+            table[mode] = {
+                "san": _secured_stream(mode, cross_site=False),
+                "wan": _secured_stream(mode, cross_site=True),
+            }
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(mode, round(v["san"], 1), round(v["wan"], 2))
+            for mode, v in table.items()]
+    record_rows(benchmark, "A4 — security policy vs wire (MB/s)",
+                ("policy", "SAN stream", "WAN stream"), rows)
+
+    # §6: wan-only rides the SAN at full speed while still costing the
+    # same as 'always' on the WAN
+    assert table["wan-only"]["san"] == pytest.approx(
+        table["never"]["san"], rel=0.02)
+    assert table["always"]["san"] < table["never"]["san"] / 8
+    assert table["wan-only"]["wan"] == pytest.approx(
+        table["always"]["wan"], rel=0.02)

@@ -1,0 +1,24 @@
+"""§4.4 concurrency: CORBA and MPI at the same time.
+
+Paper: "Concurrent benchmarks (CORBA and MPI at the same time) show the
+bandwidth is efficiently shared: each gets 120 MB/s."  The max-min fair
+allocator under the arbitration layer is what produces the even split."""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from benchmarks.harness import concurrent_sharing_mbps
+
+
+def test_concurrent_sharing(benchmark):
+    shares = benchmark.pedantic(concurrent_sharing_mbps,
+                                rounds=1, iterations=1)
+    record_rows(benchmark,
+                "§4.4 — concurrent CORBA + MPI over one Myrinet NIC",
+                ("stream", "measured MB/s", "paper MB/s"),
+                [("CORBA/omniORB", round(shares["corba"], 1), 120.0),
+                 ("MPI", round(shares["mpi"], 1), 120.0)])
+    assert shares["corba"] == pytest.approx(120.0, rel=0.05)
+    assert shares["mpi"] == pytest.approx(120.0, rel=0.05)
+    # fairness: within 2% of each other
+    assert abs(shares["corba"] - shares["mpi"]) / 120.0 < 0.02

@@ -1,0 +1,56 @@
+"""§4.4 Fast-Ethernet text: GridCCM aggregated bandwidth scaling.
+
+"The behavior of GridCCM on top a Fast-Ethernet network based on
+MicoCCM (resp. on OpenCCM (Java)) is similar: the bandwidth scales from
+9.8 MB/s (resp. 8.3 MB/s) to 78.4 MB/s (resp. 66.4 MB/s)" — i.e. 1 to
+8 nodes, one process per machine, near-linear ×8 scaling because every
+pair owns its own 100 Mb/s NIC."""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from benchmarks.harness import gridccm_n_to_n
+from repro.corba import MICO
+from repro.corba.profiles import OPENCCM_JAVA
+
+PAPER = {
+    "MicoCCM": {1: 9.8, 8: 78.4},
+    "OpenCCM": {1: 8.3, 8: 66.4},
+}
+
+
+def _measure():
+    out = {}
+    for label, profile in (("MicoCCM", MICO), ("OpenCCM", OPENCCM_JAVA)):
+        out[label] = {
+            n: gridccm_n_to_n(n, profile=profile, procs_per_host=1,
+                              ints_per_rank=250_000,
+                              lan_only=True)["aggregate_mbps"]
+            for n in (1, 8)}
+    return out
+
+
+def test_fastethernet_scaling(benchmark, paper_tolerance):
+    measured = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    rows = []
+    for label in PAPER:
+        for n in (1, 8):
+            rows.append((label, f"{n} to {n}",
+                         round(measured[label][n], 1), PAPER[label][n]))
+    record_rows(benchmark,
+                "§4.4 — GridCCM aggregate bandwidth on Fast-Ethernet",
+                ("container", "nodes", "measured MB/s", "paper MB/s"), rows)
+
+    for label in PAPER:
+        for n in (1, 8):
+            assert measured[label][n] == pytest.approx(
+                PAPER[label][n], rel=paper_tolerance), \
+                f"{label} n={n}: {measured[label][n]:.1f} vs " \
+                f"{PAPER[label][n]}"
+        # near-linear ×8 scaling (every pair has its own NIC)
+        ratio = measured[label][8] / measured[label][1]
+        assert ratio > 6.5
+    # MicoCCM beats the Java container at both scales, as in the paper
+    assert measured["MicoCCM"][1] > measured["OpenCCM"][1]
+    assert measured["MicoCCM"][8] > measured["OpenCCM"][8]

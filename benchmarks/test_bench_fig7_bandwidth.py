@@ -1,0 +1,70 @@
+"""Figure 7: CORBA and MPI bandwidth on top of PadicoTM.
+
+Regenerates every series of the figure — omniORB 3/4, Mico, ORBacus and
+MPICH over PadicoTM/Myrinet-2000 plus the TCP/Ethernet-100 reference —
+and checks the paper's headline shape: MPI and omniORB saturate the
+wire at ≈240 MB/s (96 % of the hardware), the copying ORBs plateau near
+55/63 MB/s, everything dwarfs Fast-Ethernet."""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from benchmarks.harness import (
+    FIG7_SIZES,
+    corba_bandwidth_curve,
+    mpi_bandwidth_curve,
+)
+from repro.corba import MICO, OMNIORB3, OMNIORB4, ORBACUS
+
+#: paper peak bandwidths (MB/s) per series
+PAPER_PEAKS = {
+    "omniORB-3.0.2": 240.0,
+    "omniORB-4.0.0": 240.0,
+    "Mico-2.3.7": 55.0,
+    "ORBacus-4.0.5": 63.0,
+    "MPICH-madeleine": 240.0,
+    "TCP/Ethernet-100": 11.2,
+}
+
+
+def _all_curves():
+    curves = {
+        "omniORB-3.0.2": corba_bandwidth_curve(OMNIORB3),
+        "omniORB-4.0.0": corba_bandwidth_curve(OMNIORB4),
+        "Mico-2.3.7": corba_bandwidth_curve(MICO),
+        "ORBacus-4.0.5": corba_bandwidth_curve(ORBACUS),
+        "MPICH-madeleine": mpi_bandwidth_curve(),
+        "TCP/Ethernet-100": corba_bandwidth_curve(OMNIORB4, lan_only=True),
+    }
+    return curves
+
+
+def test_fig7_bandwidth(benchmark, paper_tolerance):
+    curves = benchmark.pedantic(_all_curves, rounds=1, iterations=1)
+
+    header = ("series",) + tuple(f"{s}B" if s < 1024
+                                 else f"{s // 1024}KB" if s < 1024 ** 2
+                                 else f"{s // 1024 ** 2}MB"
+                                 for s in FIG7_SIZES) + ("paper peak",)
+    rows = [(name,) + tuple(round(curve[s], 1) for s in FIG7_SIZES)
+            + (PAPER_PEAKS[name],)
+            for name, curve in curves.items()]
+    record_rows(benchmark, "Figure 7 — bandwidth (MB/s) vs message size",
+                header, rows)
+
+    peak = {name: max(curve.values()) for name, curve in curves.items()}
+    # absolute peaks near the paper's numbers
+    for name, expected in PAPER_PEAKS.items():
+        assert peak[name] == pytest.approx(expected, rel=paper_tolerance), \
+            f"{name}: peak {peak[name]:.1f} vs paper {expected}"
+    # the figure's ordering at the right edge
+    assert peak["MPICH-madeleine"] > peak["ORBacus-4.0.5"] \
+        > peak["Mico-2.3.7"] > peak["TCP/Ethernet-100"]
+    assert peak["omniORB-4.0.0"] == pytest.approx(
+        peak["MPICH-madeleine"], rel=0.02)
+    # 96% hardware efficiency claim for the zero-copy stacks
+    assert peak["omniORB-4.0.0"] / 250.0 > 0.95
+    # curves grow monotonically with message size (saturating shape)
+    for name, curve in curves.items():
+        values = [curve[s] for s in FIG7_SIZES]
+        assert values == sorted(values), f"{name} not saturating"

@@ -1,0 +1,42 @@
+"""§4.4 latency text: one-way latencies over PadicoTM/Myrinet-2000.
+
+Paper: MPI 11 µs, omniORB 20 µs, ORBacus 54 µs, Mico 62 µs — the gaps
+being pure ORB software overhead on an identical wire."""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from benchmarks.harness import corba_one_way_latency_us, mpi_one_way_latency_us
+from repro.corba import MICO, OMNIORB3, OMNIORB4, ORBACUS
+
+PAPER_LATENCY_US = {
+    "MPICH-madeleine": 11.0,
+    "omniORB-3.0.2": 20.0,
+    "omniORB-4.0.0": 19.0,   # "slightly slower for latency" than MPI
+    "ORBacus-4.0.5": 54.0,
+    "Mico-2.3.7": 62.0,
+}
+
+
+def _measure():
+    out = {"MPICH-madeleine": mpi_one_way_latency_us()}
+    for profile in (OMNIORB3, OMNIORB4, ORBACUS, MICO):
+        out[profile.key] = corba_one_way_latency_us(profile)
+    return out
+
+
+def test_fig7_latency(benchmark, paper_tolerance):
+    measured = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    rows = [(name, round(measured[name], 1), paper)
+            for name, paper in PAPER_LATENCY_US.items()]
+    record_rows(benchmark, "§4.4 — one-way latency (µs) over Myrinet",
+                ("middleware", "measured", "paper"), rows)
+
+    for name, paper in PAPER_LATENCY_US.items():
+        assert measured[name] == pytest.approx(paper, rel=0.10), \
+            f"{name}: {measured[name]:.1f} µs vs paper {paper}"
+    # ordering: MPI < omniORB < ORBacus < Mico
+    assert measured["MPICH-madeleine"] < measured["omniORB-4.0.0"] \
+        <= measured["omniORB-3.0.2"] < measured["ORBacus-4.0.5"] \
+        < measured["Mico-2.3.7"]

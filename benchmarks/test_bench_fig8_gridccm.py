@@ -1,0 +1,59 @@
+"""Figure 8 (table): GridCCM performance between two parallel components
+over PadicoTM/Myrinet-2000.
+
+Paper rows (MicoCCM base, vector-of-integers argument, server operation
+contains only an MPI_Barrier, dual-Pentium III nodes):
+
+    ========  ============  =====================
+    nodes     latency (µs)  aggregate bw (MB/s)
+    ========  ============  =====================
+    1 to 1    62            43
+    2 to 2    93            76
+    4 to 4    123           144
+    8 to 8    148           280
+    ========  ============  =====================
+
+Our reproduction places 2 processes per host (the dual-CPU testbed), so
+at n ≥ 2 pairs share a 240 MB/s NIC — which is precisely what bends the
+per-pair bandwidth from 43 to ~35 MB/s in the paper's own numbers."""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from benchmarks.harness import gridccm_n_to_n
+
+PAPER_ROWS = {1: (62.0, 43.0), 2: (93.0, 76.0),
+              4: (123.0, 144.0), 8: (148.0, 280.0)}
+
+
+def _measure():
+    return {n: gridccm_n_to_n(n) for n in PAPER_ROWS}
+
+
+def test_fig8_gridccm_table(benchmark, paper_tolerance):
+    measured = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    rows = []
+    for n, (paper_lat, paper_bw) in PAPER_ROWS.items():
+        m = measured[n]
+        rows.append((f"{n} to {n}", round(m["latency_us"], 1), paper_lat,
+                     round(m["aggregate_mbps"], 1), paper_bw))
+    record_rows(benchmark, "Figure 8 — GridCCM over Myrinet-2000",
+                ("nodes", "lat µs", "paper", "bw MB/s", "paper"), rows)
+
+    for n, (paper_lat, paper_bw) in PAPER_ROWS.items():
+        m = measured[n]
+        assert m["latency_us"] == pytest.approx(paper_lat,
+                                                rel=paper_tolerance)
+        assert m["aggregate_mbps"] == pytest.approx(paper_bw,
+                                                    rel=paper_tolerance)
+
+    lats = [measured[n]["latency_us"] for n in (1, 2, 4, 8)]
+    bws = [measured[n]["aggregate_mbps"] for n in (1, 2, 4, 8)]
+    # latency grows with node count (the barrier term)...
+    assert lats == sorted(lats)
+    # ...bandwidth aggregates efficiently: ×~6.5 from 1 to 8 in the
+    # paper (280/43); demand at least ×5.5 and sub-linear vs ×8
+    assert 5.5 < bws[3] / bws[0] < 8.0
+    # 1→1 sits in the Mico-plus-GridCCM régime, well under plain Mico
+    assert bws[0] < 55.0

@@ -1,0 +1,143 @@
+"""Library micro-benchmarks (real wall-time, not virtual).
+
+Unlike the paper-reproduction benches — whose scientific output is
+virtual-clock readings — these measure the *library's own* hot paths
+with pytest-benchmark's normal repeated-measurement machinery: the
+simulation kernel's event throughput, context-switch rate, the max-min
+allocator, and CDR marshalling."""
+
+import numpy as np
+import pytest
+
+from repro.corba.cdr import CdrInputStream, CdrOutputStream, decode_value, encode_value
+from repro.corba.idl.types import PrimitiveType, SequenceType
+from repro.net import FlowNetwork, Topology, build_cluster
+from repro.net.flows import Flow, maxmin_rates
+from repro.sim import Mailbox, SimKernel
+
+
+def test_perf_kernel_event_throughput(benchmark):
+    """Schedule+fire 10k pure callbacks."""
+    def run():
+        k = SimKernel()
+        hits = []
+        for i in range(10_000):
+            k.schedule(i * 1e-6, hits.append, i)
+        k.run()
+        assert len(hits) == 10_000
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_perf_context_switches(benchmark):
+    """Two simulated processes ping-pong 2000 messages (4000 switches)."""
+    def run():
+        with SimKernel() as k:
+            ping = Mailbox(k)
+            pong = Mailbox(k)
+
+            def a(p):
+                for i in range(2000):
+                    ping.put(p, i)
+                    pong.get(p)
+
+            def b(p):
+                for _ in range(2000):
+                    ping.get(p)
+                    pong.put(p, "ack")
+
+            k.spawn(a)
+            k.spawn(b)
+            k.run()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_perf_maxmin_allocator(benchmark):
+    """Re-solve a 64-flow / 32-link allocation."""
+    topo = Topology()
+    build_cluster(topo, "a", 16)
+    fabric = topo.fabrics["a-san"]
+    links = list(fabric.links())
+    rng = np.random.default_rng(0)
+    flows = []
+    for i in range(64):
+        picks = rng.choice(len(links), size=3, replace=False)
+        flows.append(Flow([links[j] for j in picks], 1e6, None, None, 0.0))
+
+    def run():
+        rates = maxmin_rates(flows)
+        assert len(rates) == 64
+
+    benchmark(run)
+
+
+def test_perf_cdr_zero_copy_encode(benchmark):
+    """Marshal an 8 MB double sequence, zero-copy discipline."""
+    t = SequenceType(PrimitiveType("double"))
+    arr = np.zeros(1_000_000)
+
+    def run():
+        out = CdrOutputStream(zero_copy=True)
+        encode_value(out, t, arr)
+        assert out.copied_bytes < 100
+        return out.getvalue()
+
+    benchmark(run)
+
+
+def test_perf_cdr_roundtrip_structs(benchmark):
+    """Encode+decode 1000 small mixed values (header-path cost)."""
+    from repro.corba.idl.types import StringType, StructType
+
+    point = StructType("P", "P", [("x", PrimitiveType("double")),
+                                  ("y", PrimitiveType("double")),
+                                  ("tag", StringType())])
+    values = [point.make(x=float(i), y=-float(i), tag=f"p{i}")
+              for i in range(1000)]
+
+    def run():
+        out = CdrOutputStream()
+        for v in values:
+            encode_value(out, point, v)
+        inp = CdrInputStream(out.getvalue())
+        back = [decode_value(inp, point) for _ in range(1000)]
+        assert back[-1].tag == "p999"
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_perf_full_stack_invocation_rate(benchmark):
+    """1000 remote CORBA invocations through the whole stack."""
+    from repro.corba import OMNIORB4, Orb, compile_idl
+    from repro.padicotm import PadicoRuntime
+
+    def run():
+        topo = Topology()
+        build_cluster(topo, "a", 2)
+        rt = PadicoRuntime(topo)
+        server = rt.create_process("a0", "server")
+        client = rt.create_process("a1", "client")
+        idl_src = "interface Echo { long bump(in long x); };"
+        s_orb = Orb(server, OMNIORB4, compile_idl(idl_src))
+        s_orb.start()
+        c_orb = Orb(client, OMNIORB4, compile_idl(idl_src))
+
+        class Echo(s_orb.servant_base("Echo")):
+            def bump(self, x):
+                return x + 1
+
+        url = s_orb.object_to_string(s_orb.poa.activate_object(Echo()))
+
+        def main(proc):
+            stub = c_orb.string_to_object(url)
+            v = 0
+            for _ in range(1000):
+                v = stub.bump(v)
+            assert v == 1000
+
+        client.spawn(main)
+        rt.run()
+        rt.shutdown()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

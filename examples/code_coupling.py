@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""The paper's §2 motivating application: coupling a parallel chemistry
+code with a parallel transport code through GridCCM.
+
+- the **chemistry** code is a 4-rank SPMD MPI program owning the
+  chemical density field: it integrates a mass-conserving reaction
+  (species A → B) and a diffusion term whose stencil needs MPI halo
+  exchanges between the chemistry ranks;
+- the **transport** code is a 2-node GridCCM parallel component: its
+  ``advect`` operation is declared parallel with a block-distributed
+  argument, and internally performs upwind advection with halo
+  exchanges over *its own* MPI world;
+- each coupling step, every chemistry rank invokes ``advect`` with its
+  local block; the GridCCM layer redistributes 4 blocks → 2 blocks
+  node-to-node, the transport nodes compute, and the concatenated
+  result comes back — no master bottleneck anywhere.
+
+The script verifies that total mass (A + B) is conserved through the
+coupled simulation and reports virtual-time cost per coupling step.
+
+Run:  python examples/code_coupling.py
+"""
+
+import numpy as np
+
+from repro.ccm import ComponentImpl
+from repro.core import GridCcmCompiler, ParallelClient, ParallelComponent, ParallelismDescriptor
+from repro.corba import OMNIORB4, Orb, compile_idl
+from repro.core.distribution import BlockDistribution
+from repro.mpi import SUM, create_world, spmd
+from repro.net import Topology, build_cluster
+from repro.padicotm import PadicoRuntime
+
+IDL = """
+module Coupling {
+    typedef sequence<double> Field;
+    interface Transport {
+        Field advect(in Field rho, in double velocity, in double dt,
+                     in double dx);
+        string description();
+    };
+    component TransportCode {
+        provides Transport flow;
+    };
+    home TransportHome manages TransportCode {};
+};
+"""
+
+PARALLELISM = """
+<parallelism component="Coupling::TransportCode">
+  <port name="flow">
+    <operation name="advect">
+      <argument name="rho" distribution="block"/>
+      <result policy="concat"/>
+    </operation>
+  </port>
+</parallelism>
+"""
+
+N = 1200          # global grid points
+DX = 1.0 / N
+DT = 2e-4
+VELOCITY = 0.8
+DIFFUSION = 5e-5
+RATE = 0.3        # A -> B reaction rate
+STEPS = 5
+
+
+class TransportImpl(ComponentImpl):
+    """SPMD upwind advection on the transport component's own nodes."""
+
+    def description(self):
+        return f"upwind transport on {self.grid_size} nodes"
+
+    def advect(self, rho, velocity, dt, dx):
+        comm = self.mpi
+        left = (comm.rank - 1) % comm.size
+        right = (comm.rank + 1) % comm.size
+        # periodic halo exchange between the transport nodes (their MPI)
+        halo = comm.sendrecv(float(rho[-1]), dest=right, source=left)
+        upwind = np.concatenate(([halo], rho))
+        flux = velocity * upwind  # upwind for velocity > 0
+        out = rho - dt / dx * (flux[1:] - flux[:-1])
+        return out
+
+
+def chemistry_step(comm, a, b):
+    """Reaction + diffusion on the chemistry ranks (their own MPI)."""
+    # mass-conserving reaction A -> B
+    da = RATE * DT * a
+    a = a - da
+    b = b + da
+    # diffusion of A with periodic halo exchange among chemistry ranks
+    left = (comm.rank - 1) % comm.size
+    right = (comm.rank + 1) % comm.size
+    halo_l = comm.sendrecv(float(a[-1]), dest=right, source=left)
+    halo_r = comm.sendrecv(float(a[0]), dest=left, source=right)
+    padded = np.concatenate(([halo_l], a, [halo_r]))
+    a = a + DIFFUSION * DT / DX ** 2 * np.diff(padded, 2)
+    return a, b
+
+
+def main() -> None:
+    topo = Topology()
+    build_cluster(topo, "h", 6)  # 2 transport hosts + 4 chemistry hosts
+    rt = PadicoRuntime(topo)
+
+    transport_procs = [rt.create_process(f"h{i}", f"transport{i}")
+                       for i in range(2)]
+    transport = ParallelComponent.create(
+        rt, "transport", transport_procs, IDL, PARALLELISM, TransportImpl,
+        profile=OMNIORB4)
+    url = transport.proxy_url("flow")
+
+    chem_procs = [rt.create_process(f"h{2 + i}", f"chem{i}")
+                  for i in range(4)]
+    chem_world = create_world(rt, "chemistry", chem_procs)
+
+    report = {}
+
+    def chemistry_main(proc, comm):
+        idl = compile_idl(IDL)
+        plan = GridCcmCompiler(
+            idl, ParallelismDescriptor.parse(PARALLELISM)).compile()
+        orb = Orb(chem_procs[comm.rank], OMNIORB4, idl)
+        flow = ParallelClient.attach(orb, plan, "flow", url, comm=comm)
+
+        dist = BlockDistribution(comm.size, N)
+        x = np.arange(N) * DX
+        gaussian = np.exp(-((x - 0.3) ** 2) / 0.002)
+        a = gaussian[dist.start(comm.rank):dist.end(comm.rank)].copy()
+        b = np.zeros_like(a)
+        mass0 = comm.allreduce(float(a.sum() + b.sum()), SUM)
+
+        t0 = comm.Wtime()
+        for _step in range(STEPS):
+            a, b = chemistry_step(comm, a, b)
+            full_a = flow.advect(a, VELOCITY, DT, DX)
+            a = full_a[dist.start(comm.rank):dist.end(comm.rank)].copy()
+        elapsed = comm.Wtime() - t0
+
+        mass1 = comm.allreduce(float(a.sum() + b.sum()), SUM)
+        reacted = comm.allreduce(float(b.sum()), SUM)
+        if comm.rank == 0:
+            report.update(mass0=mass0, mass1=mass1, reacted=reacted,
+                          elapsed=elapsed,
+                          description=flow.description())
+
+    spmd(chem_world, chemistry_main)
+    rt.run()
+    rt.shutdown()
+
+    drift = abs(report["mass1"] - report["mass0"]) / report["mass0"]
+    print(f"transport component : {report['description']}")
+    print(f"chemistry ranks     : {chem_world.size}")
+    print(f"coupling steps      : {STEPS}")
+    print(f"initial mass (A+B)  : {report['mass0']:.6f}")
+    print(f"final mass (A+B)    : {report['mass1']:.6f}  "
+          f"(relative drift {drift:.2e})")
+    print(f"A converted to B    : {report['reacted']:.6f}")
+    print(f"virtual time / step : {report['elapsed'] / STEPS * 1e3:.3f} ms")
+    assert drift < 1e-12, "mass must be conserved by the coupled scheme"
+    print("code coupling OK")
+
+
+if __name__ == "__main__":
+    main()

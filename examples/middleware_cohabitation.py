@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Middleware cohabitation (paper §4.3, §4.4): CORBA, MPI and SOAP in
+the same PadicoTM process, sharing one Myrinet NIC cooperatively.
+
+Reproduces the §4.4 concurrency observation: running CORBA and MPI bulk
+transfers at the same instant, "the bandwidth is efficiently shared:
+each gets 120 MB/s" — and shows all three middleware systems loaded as
+PadicoTM modules under a single Marcel thread policy.
+
+Run:  python examples/middleware_cohabitation.py
+"""
+
+import numpy as np
+
+from repro.corba import OMNIORB4, Orb, compile_idl
+from repro.mpi import create_world, spmd
+from repro.net import Topology, build_cluster
+from repro.padicotm import PadicoRuntime
+from repro.soap import SoapClient, SoapServer
+
+IDL = """
+module Co {
+    typedef sequence<octet> Blob;
+    interface Sink { void push(in Blob data); };
+};
+"""
+
+SIZE = 24_000_000  # 24 MB each stream
+
+
+def main() -> None:
+    topo = Topology()
+    build_cluster(topo, "a", 2)
+    rt = PadicoRuntime(topo)
+    p0 = rt.create_process("a0", "p0")
+    p1 = rt.create_process("a1", "p1")
+
+    # CORBA between the two processes
+    s_orb = Orb(p1, OMNIORB4, compile_idl(IDL))
+    s_orb.start()
+    c_orb = Orb(p0, OMNIORB4, compile_idl(IDL))
+
+    class Sink(s_orb.servant_base("Co::Sink")):
+        def push(self, data):
+            pass
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(Sink()))
+
+    # MPI between the same two processes
+    world = create_world(rt, "w", [p0, p1])
+
+    # SOAP between the same two processes
+    soap_server = SoapServer(p1)
+    soap_server.register("status", lambda: {"ok": True})
+
+    results = {}
+    gate = 0.001  # both bulk streams start at t = 1 ms sharp
+
+    def corba_main(proc):
+        stub = c_orb.string_to_object(url)
+        stub.push(b"")
+        proc.sleep(gate - rt.kernel.now)
+        t0 = rt.kernel.now
+        stub.push(bytes(SIZE))
+        results["corba"] = SIZE / (rt.kernel.now - t0)
+        # a SOAP control-plane call rides along effortlessly
+        soap = SoapClient(p0, soap_server.url)
+        results["soap"] = soap.call(proc, "status")["ok"]
+
+    def mpi_main(proc, comm):
+        comm.bind(proc)
+        if comm.rank == 0:
+            proc.sleep(gate - rt.kernel.now)
+            t0 = rt.kernel.now
+            comm.Send(np.zeros(SIZE, dtype="u1"), dest=1)
+            results["mpi"] = SIZE / (rt.kernel.now - t0)
+        else:
+            buf = np.empty(SIZE, dtype="u1")
+            comm.Recv(buf, source=0)
+
+    p0.spawn(corba_main)
+    spmd(world, mpi_main)
+    rt.run()
+
+    print(f"modules in process p0   : {sorted(p0.modules.names())}")
+    print(f"thread policy           : {p0.arbitration.thread_policy}")
+    print(f"NIC claims on p0        : "
+          f"{[(c.fabric, c.driver, c.cooperative) for c in p0.arbitration.claims]}")
+    print(f"concurrent CORBA stream : {results['corba'] / 1e6:6.1f} MB/s")
+    print(f"concurrent MPI stream   : {results['mpi'] / 1e6:6.1f} MB/s")
+    print(f"SOAP control call       : {results['soap']}")
+    assert abs(results["corba"] - 120e6) / 120e6 < 0.05
+    assert abs(results["mpi"] - 120e6) / 120e6 < 0.05
+    rt.shutdown()
+    print("middleware cohabitation OK — each stream got ~120 MB/s "
+          "(paper §4.4)")
+
+
+if __name__ == "__main__":
+    main()

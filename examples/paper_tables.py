@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+A convenience front-end over the benchmark harness for readers who want
+the paper-vs-measured story without pytest:
+
+- Figure 7 (bandwidth vs message size, all middleware),
+- the §4.4 latency table,
+- the §4.4 concurrency result,
+- Figure 8 (GridCCM n→n),
+- the §4.4 Fast-Ethernet container scaling.
+
+Run from the repository root:  python examples/paper_tables.py
+(The full sweep takes a few seconds of wall time; all reported numbers
+are virtual-clock measurements.)
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import (  # noqa: E402 (path setup above)
+    FIG7_SIZES,
+    concurrent_sharing_mbps,
+    corba_bandwidth_curve,
+    corba_one_way_latency_us,
+    gridccm_n_to_n,
+    mpi_bandwidth_curve,
+    mpi_one_way_latency_us,
+)
+from repro.corba import MICO, OMNIORB3, OMNIORB4, ORBACUS  # noqa: E402
+from repro.corba.profiles import OPENCCM_JAVA  # noqa: E402
+
+
+def _size_label(s: int) -> str:
+    if s < 1024:
+        return f"{s}B"
+    if s < 1024 ** 2:
+        return f"{s // 1024}KB"
+    return f"{s // 1024 ** 2}MB"
+
+
+def figure7() -> None:
+    print("=== Figure 7 — bandwidth (MB/s) on top of PadicoTM ===")
+    series = [
+        ("omniORB-3.0.2", corba_bandwidth_curve(OMNIORB3), 240),
+        ("omniORB-4.0.0", corba_bandwidth_curve(OMNIORB4), 240),
+        ("Mico-2.3.7", corba_bandwidth_curve(MICO), 55),
+        ("ORBacus-4.0.5", corba_bandwidth_curve(ORBACUS), 63),
+        ("MPICH/Madeleine", mpi_bandwidth_curve(), 240),
+        ("TCP/Ethernet-100", corba_bandwidth_curve(OMNIORB4,
+                                                   lan_only=True), 11.2),
+    ]
+    header = f"{'series':18s}" + "".join(
+        f"{_size_label(s):>9s}" for s in FIG7_SIZES) + f"{'paper':>9s}"
+    print(header)
+    for name, curve, paper in series:
+        row = f"{name:18s}" + "".join(
+            f"{curve[s]:9.1f}" for s in FIG7_SIZES) + f"{paper:9.1f}"
+        print(row)
+    print()
+
+
+def latency_table() -> None:
+    print("=== §4.4 — one-way latency (µs) over Myrinet-2000 ===")
+    rows = [("MPICH/Madeleine", mpi_one_way_latency_us(), 11)]
+    for profile, paper in ((OMNIORB3, 20), (OMNIORB4, 19),
+                           (ORBACUS, 54), (MICO, 62)):
+        rows.append((profile.key, corba_one_way_latency_us(profile), paper))
+    print(f"{'middleware':18s}{'measured':>10s}{'paper':>8s}")
+    for name, measured, paper in rows:
+        print(f"{name:18s}{measured:10.1f}{paper:8d}")
+    print()
+
+
+def concurrency() -> None:
+    print("=== §4.4 — concurrent CORBA + MPI on one Myrinet NIC ===")
+    shares = concurrent_sharing_mbps()
+    for name, mbps in sorted(shares.items()):
+        print(f"{name:8s}: {mbps:6.1f} MB/s   (paper: 120)")
+    print()
+
+
+def figure8() -> None:
+    print("=== Figure 8 — GridCCM n→n over Myrinet-2000 (MicoCCM) ===")
+    paper = {1: (62, 43), 2: (93, 76), 4: (123, 144), 8: (148, 280)}
+    print(f"{'nodes':8s}{'lat µs':>9s}{'paper':>7s}"
+          f"{'bw MB/s':>10s}{'paper':>7s}")
+    for n, (plat, pbw) in paper.items():
+        r = gridccm_n_to_n(n)
+        print(f"{f'{n} to {n}':8s}{r['latency_us']:9.1f}{plat:7d}"
+              f"{r['aggregate_mbps']:10.1f}{pbw:7d}")
+    print()
+
+
+def fast_ethernet() -> None:
+    print("=== §4.4 — GridCCM aggregate bandwidth on Fast-Ethernet ===")
+    paper = {"MicoCCM": {1: 9.8, 8: 78.4}, "OpenCCM": {1: 8.3, 8: 66.4}}
+    for label, profile in (("MicoCCM", MICO), ("OpenCCM", OPENCCM_JAVA)):
+        for n in (1, 8):
+            r = gridccm_n_to_n(n, profile=profile, procs_per_host=1,
+                               ints_per_rank=250_000, lan_only=True)
+            print(f"{label:8s} {n} to {n}: {r['aggregate_mbps']:6.1f} MB/s"
+                  f"   (paper: {paper[label][n]})")
+    print()
+
+
+def main() -> None:
+    figure7()
+    latency_table()
+    concurrency()
+    figure8()
+    fast_ethernet()
+    print("all paper tables regenerated")
+
+
+if __name__ == "__main__":
+    main()

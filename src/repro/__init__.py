@@ -1,0 +1,34 @@
+"""Padico reproduction: GridCCM + PadicoTM on a simulated grid.
+
+Reproduces Denis, Pérez, Priol, Ribes, *Padico: A Component-Based
+Software Infrastructure for Grid Computing* (IPDPS 2003) as a complete
+Python library:
+
+- :mod:`repro.core` — **GridCCM**, parallel CORBA components (the
+  paper's contribution);
+- :mod:`repro.padicotm` — **PadicoTM**, the three-layer communication
+  runtime (arbitration / abstraction / personalities);
+- :mod:`repro.corba`, :mod:`repro.mpi`, :mod:`repro.ccm`,
+  :mod:`repro.soap` — the middleware substrates, built from scratch;
+- :mod:`repro.deploy` — grid deployment services (discovery, planning,
+  per-link security);
+- :mod:`repro.net`, :mod:`repro.sim` — the deterministic simulated
+  grid standing in for the paper's Myrinet/Ethernet testbed.
+
+See README.md for a tour, DESIGN.md for architecture and calibration,
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "net",
+    "padicotm",
+    "corba",
+    "mpi",
+    "ccm",
+    "core",
+    "soap",
+    "deploy",
+]

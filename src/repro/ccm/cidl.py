@@ -1,0 +1,180 @@
+"""CIDL — Component Implementation Definition Language (paper §3.2).
+
+"The CCM programming model defines the Component Implementation
+Definition Language (CIDL) which is used to describe the implementation
+structure of a component and its system requirements: the set of
+implementation classes, the abstract persistence state, etc."
+
+We implement the session-composition subset that structures executor
+code::
+
+    composition session ChemistryImpl {
+        home executor ChemistryHomeExec {
+            implements App::ChemistryHome;
+            manages ChemistryExec;
+        };
+    };
+
+Compiling a CIDL unit against the component IDL yields
+:class:`CompositionDef` records (which executor class implements which
+home/component), and :func:`bind_compositions` registers Python executor
+classes into the :class:`~repro.ccm.component.ImplementationRepository`
+under deterministic implementation ids — closing the loop from
+descriptor text to runnable code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ccm.component import ComponentImpl, ImplementationRepository
+from repro.corba.idl.compiler import CompiledIdl
+from repro.corba.idl.errors import IdlError, IdlParseError
+from repro.corba.idl.lexer import Token, tokenize
+
+#: CIDL-specific words (parsed as identifiers by the shared lexer)
+_CIDL_WORDS = ("composition", "session", "service", "process", "entity",
+               "executor", "implements", "manages")
+
+LIFECYCLES = ("session", "service", "process", "entity")
+
+
+class CidlError(IdlError):
+    """CIDL compilation failure."""
+
+
+@dataclass(frozen=True)
+class CompositionDef:
+    """One compiled composition."""
+
+    name: str
+    lifecycle: str           # session | service | process | entity
+    home_executor: str       # executor class name for the home
+    implements_home: str     # scoped home name from the IDL
+    manages_executor: str    # executor class name for the component
+    component: str           # scoped component name (via the home)
+
+    @property
+    def impl_id(self) -> str:
+        """Deterministic implementation id for the repository."""
+        return f"CIDL:{self.name}:{self.manages_executor}"
+
+
+class _CidlParser:
+    """Tiny recursive-descent parser sharing the IDL lexer."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[min(self._pos, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str) -> IdlParseError:
+        tok = self._peek()
+        return IdlParseError(f"{message}, got {tok.value!r}",
+                             tok.line, tok.column)
+
+    def _expect_word(self, word: str) -> None:
+        tok = self._next()
+        if tok.value != word:
+            raise self._error(f"expected {word!r}")
+
+    def _expect_punct(self, value: str) -> None:
+        tok = self._next()
+        if tok.kind != "punct" or tok.value != value:
+            raise self._error(f"expected {value!r}")
+
+    def _ident(self) -> str:
+        tok = self._next()
+        if tok.kind != "ident":
+            raise self._error("expected an identifier")
+        return tok.value
+
+    def _scoped(self) -> str:
+        parts = [self._ident()]
+        while self._peek().value == "::":
+            self._next()
+            parts.append(self._ident())
+        return "::".join(parts)
+
+    def parse(self) -> list[dict]:
+        out = []
+        while self._peek().kind != "eof":
+            out.append(self._composition())
+        return out
+
+    def _composition(self) -> dict:
+        self._expect_word("composition")
+        lifecycle = self._next().value
+        if lifecycle not in LIFECYCLES:
+            raise self._error(
+                f"expected a lifecycle category {LIFECYCLES}")
+        name = self._ident()
+        self._expect_punct("{")
+        self._expect_word("home")
+        self._expect_word("executor")
+        home_exec = self._ident()
+        self._expect_punct("{")
+        self._expect_word("implements")
+        implements = self._scoped()
+        self._expect_punct(";")
+        self._expect_word("manages")
+        manages = self._ident()
+        self._expect_punct(";")
+        self._expect_punct("}")
+        self._expect_punct(";")
+        self._expect_punct("}")
+        self._expect_punct(";")
+        return {"name": name, "lifecycle": lifecycle,
+                "home_executor": home_exec, "implements": implements,
+                "manages": manages}
+
+
+def compile_cidl(source: str, idl: CompiledIdl) -> list[CompositionDef]:
+    """Compile CIDL text against the component IDL it refers to."""
+    raw = _CidlParser(tokenize(source)).parse()
+    if not raw:
+        raise CidlError("CIDL unit declares no composition")
+    out = []
+    seen: set[str] = set()
+    for decl in raw:
+        if decl["name"] in seen:
+            raise CidlError(f"duplicate composition {decl['name']!r}")
+        seen.add(decl["name"])
+        home = idl.home(decl["implements"])  # raises if unknown
+        out.append(CompositionDef(
+            decl["name"], decl["lifecycle"], decl["home_executor"],
+            decl["implements"], decl["manages"], home.manages))
+    return out
+
+
+def bind_compositions(compositions: list[CompositionDef],
+                      executors: dict[str, type]) -> dict[str, str]:
+    """Bind executor classes to compositions and register them.
+
+    ``executors`` maps the CIDL executor class names (``manages``) to
+    Python :class:`ComponentImpl` subclasses.  Returns
+    ``{component scoped name: implementation id}`` for use in software
+    package descriptors."""
+    bound: dict[str, str] = {}
+    for comp in compositions:
+        cls = executors.get(comp.manages_executor)
+        if cls is None:
+            raise CidlError(
+                f"composition {comp.name!r}: no executor class provided "
+                f"for {comp.manages_executor!r} "
+                f"(provided: {sorted(executors)})")
+        if not (isinstance(cls, type) and issubclass(cls, ComponentImpl)):
+            raise CidlError(
+                f"{comp.manages_executor!r} must be a ComponentImpl "
+                f"subclass")
+        ImplementationRepository.register(comp.impl_id, comp.component,
+                                          cls)
+        bound[comp.component] = comp.impl_id
+    return bound

@@ -1,0 +1,61 @@
+"""CORBA substrate: IDL compiler, CDR, GIOP, ORB, Naming.
+
+The paper runs four C++ ORBs unchanged over PadicoTM (omniORB 3/4,
+Mico 2.3, ORBacus 4.0).  We implement one ORB core — an IDL compiler
+producing Python stubs/skeletons, byte-level CDR marshalling, GIOP 1.0
+framing, a POA and object references — and reproduce the four products
+as :class:`~repro.corba.profiles.OrbProfile` cost models: the decisive
+difference (paper §4.4) is that omniORB marshals **zero-copy** while
+Mico and ORBacus **always copy** on marshal and unmarshal, which is why
+they peak at 55/63 MB/s on a 240 MB/s wire.
+
+Layering: stubs → GIOP → VLink (PadicoTM picks the wire) → simulated
+network.
+"""
+
+from repro.corba.cdr import CdrError, CdrInputStream, CdrOutputStream
+from repro.corba.idl import (
+    IdlError,
+    IdlParseError,
+    compile_idl,
+    parse_idl,
+)
+from repro.corba.orb import (
+    CorbaError,
+    ObjectRef,
+    Orb,
+    OrbModule,
+    SystemException,
+    UserException,
+)
+from repro.corba.naming import NamingContext, NamingService
+from repro.corba.profiles import (
+    MICO,
+    OMNIORB3,
+    OMNIORB4,
+    ORBACUS,
+    OrbProfile,
+)
+
+__all__ = [
+    "compile_idl",
+    "parse_idl",
+    "IdlError",
+    "IdlParseError",
+    "CdrOutputStream",
+    "CdrInputStream",
+    "CdrError",
+    "Orb",
+    "OrbModule",
+    "ObjectRef",
+    "CorbaError",
+    "SystemException",
+    "UserException",
+    "OrbProfile",
+    "OMNIORB3",
+    "OMNIORB4",
+    "MICO",
+    "ORBACUS",
+    "NamingService",
+    "NamingContext",
+]

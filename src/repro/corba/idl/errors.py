@@ -1,0 +1,16 @@
+"""IDL compiler error types."""
+
+from __future__ import annotations
+
+
+class IdlError(Exception):
+    """Base class for IDL compilation failures."""
+
+
+class IdlParseError(IdlError):
+    """Lexing or parsing failure, annotated with source position."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column

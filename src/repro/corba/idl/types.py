@@ -1,0 +1,542 @@
+"""Runtime IDL type model.
+
+These objects describe wire types for the CDR marshaller and value
+shapes for stubs/skeletons.  Python value mapping:
+
+==================  =========================================
+IDL                 Python
+==================  =========================================
+short/long/...      int (range-checked)
+float/double        float
+boolean             bool
+char                 1-character str
+octet               int (0..255)
+string              str
+sequence<octet>     bytes / bytearray / memoryview
+sequence<numeric>   numpy array (or any sequence of numbers)
+sequence<T>         list
+struct              generated value class (attribute access)
+enum                int (member index) or member name str
+interface           ObjectRef
+==================  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence as PySequence
+
+import numpy as np
+
+from repro.corba.idl.errors import IdlError
+
+#: primitive kind -> (struct format char, size, alignment, numpy dtype)
+PRIMITIVES: dict[str, tuple[str, int, int, str]] = {
+    "short": ("h", 2, 2, "i2"),
+    "unsigned short": ("H", 2, 2, "u2"),
+    "long": ("i", 4, 4, "i4"),
+    "unsigned long": ("I", 4, 4, "u4"),
+    "long long": ("q", 8, 8, "i8"),
+    "unsigned long long": ("Q", 8, 8, "u8"),
+    "float": ("f", 4, 4, "f4"),
+    "double": ("d", 8, 8, "f8"),
+    "boolean": ("B", 1, 1, "u1"),
+    "char": ("c", 1, 1, "S1"),
+    "octet": ("B", 1, 1, "u1"),
+}
+
+_INT_RANGES = {
+    "short": (-2**15, 2**15 - 1),
+    "unsigned short": (0, 2**16 - 1),
+    "long": (-2**31, 2**31 - 1),
+    "unsigned long": (0, 2**32 - 1),
+    "long long": (-2**63, 2**63 - 1),
+    "unsigned long long": (0, 2**64 - 1),
+    "octet": (0, 255),
+}
+
+
+class IdlType:
+    """Base class of all wire types."""
+
+    def typename(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<idl {self.typename()}>"
+
+
+class VoidType(IdlType):
+    def typename(self) -> str:
+        return "void"
+
+
+VOID = VoidType()
+
+
+class AnyType(IdlType):
+    """CORBA ``any``: a (type, value) pair on the wire."""
+
+    def typename(self) -> str:
+        return "any"
+
+
+ANY = AnyType()
+
+
+class PrimitiveType(IdlType):
+    __slots__ = ("kind", "fmt", "size", "align", "dtype")
+    _cache: dict[str, "PrimitiveType"] = {}
+
+    def __new__(cls, kind: str) -> "PrimitiveType":
+        if kind not in PRIMITIVES:
+            raise IdlError(f"unknown primitive type {kind!r}")
+        if kind not in cls._cache:
+            inst = super().__new__(cls)
+            fmt, size, align, dtype = PRIMITIVES[kind]
+            inst.kind = kind
+            inst.fmt = fmt
+            inst.size = size
+            inst.align = align
+            inst.dtype = dtype
+            cls._cache[kind] = inst
+        return cls._cache[kind]
+
+    def typename(self) -> str:
+        return self.kind
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimitiveType) and other.kind == self.kind
+
+    def __hash__(self) -> int:
+        return hash(("prim", self.kind))
+
+
+class StringType(IdlType):
+    __slots__ = ("bound",)
+
+    def __init__(self, bound: int | None = None):
+        self.bound = bound
+
+    def typename(self) -> str:
+        return f"string<{self.bound}>" if self.bound else "string"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StringType) and other.bound == self.bound
+
+    def __hash__(self) -> int:
+        return hash(("string", self.bound))
+
+
+class SequenceType(IdlType):
+    __slots__ = ("element", "bound")
+
+    def __init__(self, element: IdlType, bound: int | None = None):
+        self.element = element
+        self.bound = bound
+
+    def typename(self) -> str:
+        inner = self.element.typename()
+        return (f"sequence<{inner},{self.bound}>" if self.bound
+                else f"sequence<{inner}>")
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, SequenceType)
+                and other.element == self.element and other.bound == self.bound)
+
+    def __hash__(self) -> int:
+        return hash(("seq", self.element, self.bound))
+
+
+class StructValue:
+    """Base for generated struct values: keyword construction,
+    attribute access, structural equality."""
+
+    _struct_type: "StructType"
+    __slots__ = ()
+
+    def __init__(self, **fields: Any):
+        declared = [n for n, _t in self._struct_type.fields]
+        unknown = set(fields) - set(declared)
+        if unknown:
+            raise IdlError(
+                f"struct {self._struct_type.name}: unknown fields {unknown}")
+        missing = set(declared) - set(fields)
+        if missing:
+            raise IdlError(
+                f"struct {self._struct_type.name}: missing fields {missing}")
+        for name, value in fields.items():
+            setattr(self, name, value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StructValue) or \
+                other._struct_type != self._struct_type:
+            return NotImplemented
+        return all(_values_equal(getattr(self, n), getattr(other, n))
+                   for n, _t in self._struct_type.fields)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{n}={getattr(self, n)!r}"
+                         for n, _t in self._struct_type.fields)
+        return f"{self._struct_type.name}({body})"
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+    return bool(a == b)
+
+
+class StructType(IdlType):
+    __slots__ = ("name", "scoped_name", "fields", "value_class")
+
+    def __init__(self, name: str, scoped_name: str,
+                 fields: list[tuple[str, IdlType]]):
+        self.name = name
+        self.scoped_name = scoped_name
+        self.fields = list(fields)
+        # no __slots__: exception value classes must combine with the
+        # C-level Exception layout, which forbids slotted bases
+        self.value_class = type(name, (StructValue,), {"_struct_type": self})
+
+    def make(self, **fields: Any) -> StructValue:
+        return self.value_class(**fields)
+
+    def typename(self) -> str:
+        return f"struct {self.scoped_name}"
+
+    def __eq__(self, other: object) -> bool:
+        # structural equality so types survive a trip through an `any`
+        return (isinstance(other, StructType)
+                and other.scoped_name == self.scoped_name
+                and other.fields == self.fields)
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.scoped_name))
+
+
+class ExceptionType(StructType):
+    """IDL exception: a struct raised as a Python exception."""
+
+    __slots__ = ("exc_class", "repo_id")
+
+    def __init__(self, name: str, scoped_name: str,
+                 fields: list[tuple[str, IdlType]], repo_id: str):
+        super().__init__(name, scoped_name, fields)
+        self.repo_id = repo_id
+        struct_type = self
+
+        def exc_init(self_exc, **kw: Any) -> None:
+            struct_type.value_class.__init__(self_exc, **kw)
+            Exception.__init__(self_exc, StructValue.__repr__(self_exc))
+
+        self.exc_class = type(
+            name, (UserExceptionBase, self.value_class),
+            {"__init__": exc_init, "_exception_type": self,
+             # Exception.__repr__ would otherwise shadow the struct repr
+             "__repr__": StructValue.__repr__,
+             "__str__": StructValue.__repr__})
+
+    def make(self, **fields: Any) -> "UserExceptionBase":
+        return self.exc_class(**fields)
+
+    def typename(self) -> str:
+        return f"exception {self.scoped_name}"
+
+
+class UserExceptionBase(Exception):
+    """Base of all generated IDL user exceptions."""
+
+    _exception_type: ExceptionType
+
+
+class EnumType(IdlType):
+    __slots__ = ("name", "scoped_name", "members")
+
+    def __init__(self, name: str, scoped_name: str, members: list[str]):
+        self.name = name
+        self.scoped_name = scoped_name
+        self.members = list(members)
+
+    def index_of(self, value: Any) -> int:
+        if isinstance(value, str):
+            try:
+                return self.members.index(value)
+            except ValueError:
+                raise IdlError(f"{value!r} is not a member of enum "
+                               f"{self.scoped_name}") from None
+        idx = int(value)
+        if not 0 <= idx < len(self.members):
+            raise IdlError(f"enum {self.scoped_name} index {idx} out of range")
+        return idx
+
+    def typename(self) -> str:
+        return f"enum {self.scoped_name}"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, EnumType)
+                and other.scoped_name == self.scoped_name
+                and other.members == self.members)
+
+    def __hash__(self) -> int:
+        return hash(("enum", self.scoped_name))
+
+
+class ObjRefType(IdlType):
+    """A reference to a CORBA object of a given interface."""
+
+    __slots__ = ("interface",)
+
+    def __init__(self, interface: str):
+        self.interface = interface  # scoped interface name
+
+    def typename(self) -> str:
+        return f"interface {self.interface}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ObjRefType) and \
+            other.interface == self.interface
+
+    def __hash__(self) -> int:
+        return hash(("objref", self.interface))
+
+
+class ArrayType(IdlType):
+    """Fixed-size IDL array (``typedef long Row[4]``).
+
+    Multidimensional arrays nest: ``long Grid[3][4]`` is
+    ``ArrayType(ArrayType(long, 4), 3)`` — outer dimension first."""
+
+    __slots__ = ("element", "length")
+
+    def __init__(self, element: IdlType, length: int):
+        if length < 1:
+            raise IdlError(f"array length must be >= 1, got {length}")
+        self.element = element
+        self.length = length
+
+    def typename(self) -> str:
+        dims = []
+        t: IdlType = self
+        while isinstance(t, ArrayType):
+            dims.append(t.length)
+            t = t.element
+        return t.typename() + "".join(f"[{d}]" for d in dims)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ArrayType)
+                and other.element == self.element
+                and other.length == self.length)
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.length))
+
+
+class UnionValue:
+    """A union instance: discriminator ``d`` selects the active member
+    held in ``v``."""
+
+    _union_type: "UnionType"
+
+    def __init__(self, d: Any, v: Any):
+        # enum discriminators normalise to member indices so equality
+        # and case selection are form-independent ("TEXT" == 1)
+        switch = self._union_type.switch_type
+        if isinstance(switch, EnumType):
+            try:
+                d = switch.index_of(d)
+            except IdlError:
+                pass  # invalid values surface via typecheck later
+        self.d = d
+        self.v = v
+
+    @property
+    def member(self) -> str | None:
+        """Name of the active member (None when an implicit default)."""
+        case = self._union_type.case_for(self.d)
+        return case[1] if case is not None else None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionValue) or \
+                other._union_type != self._union_type:
+            return NotImplemented
+        return other.d == self.d and _values_equal(other.v, self.v)
+
+    def __repr__(self) -> str:
+        return f"{self._union_type.name}(d={self.d!r}, v={self.v!r})"
+
+
+class UnionType(IdlType):
+    """IDL discriminated union.
+
+    ``cases`` is a list of ``(labels, member_name, member_type)`` where
+    ``labels`` is a tuple of discriminator values, or ``None`` for the
+    ``default:`` arm."""
+
+    __slots__ = ("name", "scoped_name", "switch_type", "cases",
+                 "value_class")
+
+    def __init__(self, name: str, scoped_name: str, switch_type: IdlType,
+                 cases: list[tuple[tuple | None, str, IdlType]]):
+        seen: set = set()
+        defaults = 0
+        for labels, _m, _t in cases:
+            if labels is None:
+                defaults += 1
+                continue
+            for label in labels:
+                if label in seen:
+                    raise IdlError(
+                        f"union {scoped_name}: duplicate case label "
+                        f"{label!r}")
+                seen.add(label)
+        if defaults > 1:
+            raise IdlError(f"union {scoped_name}: multiple default arms")
+        self.name = name
+        self.scoped_name = scoped_name
+        self.switch_type = switch_type
+        self.cases = list(cases)
+        self.value_class = type(name, (UnionValue,), {"_union_type": self})
+
+    def case_for(self, discriminator: Any
+                 ) -> tuple[tuple | None, str, IdlType] | None:
+        """The arm selected by ``discriminator`` (explicit or default)."""
+        default = None
+        for case in self.cases:
+            labels = case[0]
+            if labels is None:
+                default = case
+            elif discriminator in labels:
+                return case
+        return default
+
+    def make(self, d: Any, v: Any = None) -> UnionValue:
+        return self.value_class(d, v)
+
+    def typename(self) -> str:
+        return f"union {self.scoped_name}"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, UnionType)
+                and other.scoped_name == self.scoped_name
+                and other.switch_type == self.switch_type
+                and other.cases == self.cases)
+
+    def __hash__(self) -> int:
+        return hash(("union", self.scoped_name))
+
+
+class NamedTypeRef(IdlType):
+    """Unresolved scoped-name reference; eliminated by the compiler."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def typename(self) -> str:
+        return f"?{self.name}"
+
+
+# ---------------------------------------------------------------------------
+# value checking
+# ---------------------------------------------------------------------------
+
+def typecheck(idl_type: IdlType, value: Any) -> None:
+    """Validate that ``value`` conforms to ``idl_type``; raises IdlError."""
+    if isinstance(idl_type, VoidType):
+        if value is not None:
+            raise IdlError(f"void value must be None, got {value!r}")
+    elif isinstance(idl_type, PrimitiveType):
+        _check_primitive(idl_type, value)
+    elif isinstance(idl_type, StringType):
+        if not isinstance(value, str):
+            raise IdlError(f"string value expected, got {type(value).__name__}")
+        if idl_type.bound is not None and len(value) > idl_type.bound:
+            raise IdlError(f"string longer than bound {idl_type.bound}")
+    elif isinstance(idl_type, SequenceType):
+        _check_sequence(idl_type, value)
+    elif isinstance(idl_type, ArrayType):
+        if not isinstance(value, (PySequence, np.ndarray, bytes,
+                                  bytearray)):
+            raise IdlError(f"array value expected, got {value!r}")
+        if len(value) != idl_type.length:
+            raise IdlError(
+                f"array of length {idl_type.length} expected, "
+                f"got {len(value)} elements")
+        if not (isinstance(idl_type.element, PrimitiveType)
+                and isinstance(value, np.ndarray)):
+            for item in value:
+                typecheck(idl_type.element, item)
+    elif isinstance(idl_type, ExceptionType):
+        if not (isinstance(value, StructValue)
+                and value._struct_type == idl_type):
+            raise IdlError(f"expected {idl_type.typename()}, got {value!r}")
+    elif isinstance(idl_type, StructType):
+        if not (isinstance(value, StructValue)
+                and value._struct_type == idl_type):
+            raise IdlError(f"expected {idl_type.typename()}, got {value!r}")
+        for fname, ftype in idl_type.fields:
+            typecheck(ftype, getattr(value, fname))
+    elif isinstance(idl_type, EnumType):
+        idl_type.index_of(value)
+    elif isinstance(idl_type, UnionType):
+        if not (isinstance(value, UnionValue)
+                and value._union_type == idl_type):
+            raise IdlError(f"expected {idl_type.typename()}, got {value!r}")
+        typecheck(idl_type.switch_type, value.d)
+        case = idl_type.case_for(value.d)
+        if case is not None:
+            typecheck(case[2], value.v)
+        elif value.v is not None:
+            raise IdlError(
+                f"union {idl_type.scoped_name}: discriminator {value.d!r} "
+                f"selects no member, so v must be None")
+    elif isinstance(idl_type, (ObjRefType, AnyType)):
+        pass  # checked structurally at marshal time
+    elif isinstance(idl_type, NamedTypeRef):
+        raise IdlError(f"unresolved type reference {idl_type.name!r}")
+    else:
+        raise IdlError(f"cannot typecheck {idl_type!r}")
+
+
+def _check_primitive(t: PrimitiveType, value: Any) -> None:
+    if t.kind in ("float", "double"):
+        if not isinstance(value, (int, float, np.floating)):
+            raise IdlError(f"{t.kind} expects a number, got {value!r}")
+    elif t.kind == "boolean":
+        if not isinstance(value, (bool, np.bool_)):
+            raise IdlError(f"boolean expects bool, got {value!r}")
+    elif t.kind == "char":
+        if not (isinstance(value, str) and len(value) == 1):
+            raise IdlError(f"char expects 1-char str, got {value!r}")
+    else:
+        if isinstance(value, bool) or not isinstance(
+                value, (int, np.integer)):
+            raise IdlError(f"{t.kind} expects an int, got {value!r}")
+        lo, hi = _INT_RANGES[t.kind]
+        if not lo <= int(value) <= hi:
+            raise IdlError(f"{value} out of range for {t.kind}")
+
+
+def _check_sequence(t: SequenceType, value: Any) -> None:
+    elem = t.element
+    if isinstance(elem, PrimitiveType) and elem.kind == "octet":
+        if not isinstance(value, (bytes, bytearray, memoryview, np.ndarray,
+                                  list, tuple)):
+            raise IdlError("sequence<octet> expects bytes-like")
+        n = len(value)
+    elif isinstance(elem, PrimitiveType) and elem.kind not in ("char",):
+        if isinstance(value, np.ndarray):
+            n = value.size
+        elif isinstance(value, PySequence):
+            n = len(value)
+        else:
+            raise IdlError(f"sequence value expected, got {value!r}")
+    else:
+        # general sequences: python sequences, or numpy arrays whose
+        # first axis is the sequence dimension (2D data as rows)
+        if not isinstance(value, (PySequence, np.ndarray)):
+            raise IdlError(f"sequence value expected, got {value!r}")
+        n = len(value)
+    if t.bound is not None and n > t.bound:
+        raise IdlError(f"sequence longer than bound {t.bound}")

@@ -1,0 +1,44 @@
+"""Interoperable Object References.
+
+Our IOR carries what GIOP needs to reach a servant on the simulated
+grid: the repository id, the PadicoTM process name (standing in for
+host+port of an IIOP profile) and the POA object key.  The stringified
+form mirrors ``corbaloc``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IOR:
+    """Wire-level object reference."""
+
+    type_id: str       # repository id, e.g. IDL:Demo/Adder:1.0
+    process: str       # PadicoTM process name (transport address)
+    port: str          # VLink port the ORB listens on
+    object_key: str    # POA object key
+
+    def __post_init__(self) -> None:
+        for field_name in ("process", "port", "object_key"):
+            value = getattr(self, field_name)
+            if ":" in value or "/" in value or "#" in value:
+                raise ValueError(
+                    f"IOR {field_name} {value!r} may not contain ':', '/' "
+                    f"or '#' (corbaloc delimiters)")
+
+    def stringify(self) -> str:
+        return (f"corbaloc:padico:{self.process}:{self.port}/"
+                f"{self.object_key}#{self.type_id}")
+
+    @classmethod
+    def destringify(cls, text: str) -> "IOR":
+        if not text.startswith("corbaloc:padico:"):
+            raise ValueError(f"not a padico corbaloc: {text!r}")
+        rest = text[len("corbaloc:padico:"):]
+        addr, _, anchor = rest.partition("#")
+        location, _, object_key = addr.partition("/")
+        process, _, port = location.rpartition(":")
+        if not (process and port and object_key and anchor):
+            raise ValueError(f"malformed corbaloc: {text!r}")
+        return cls(anchor, process, port, object_key)

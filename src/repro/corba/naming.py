@@ -1,0 +1,110 @@
+"""CORBA Naming Service (CosNaming subset).
+
+The paper's CCM deployment model needs a way for components spread over
+the grid to find each other; the standard CORBA answer is the Naming
+Service.  Ours is an ordinary servant defined in our own IDL (below) and
+hosted by any ORB — which also exercises the full stub/skeleton path in
+every test that uses it."""
+
+from __future__ import annotations
+
+from repro.corba.idl.compiler import CompiledIdl, compile_idl
+from repro.corba.orb import ObjectRef, Orb
+
+NAMING_IDL = """
+module CosNaming {
+    exception NotFound { string name; };
+    exception AlreadyBound { string name; };
+
+    interface NamingContext {
+        void bind(in string name, in Object obj) raises (AlreadyBound);
+        void rebind(in string name, in Object obj);
+        Object resolve(in string name) raises (NotFound);
+        void unbind(in string name) raises (NotFound);
+        sequence<string> list();
+    };
+};
+"""
+
+_naming_idl_cache: CompiledIdl | None = None
+
+
+def naming_idl() -> CompiledIdl:
+    """The compiled CosNaming IDL (shared, immutable)."""
+    global _naming_idl_cache
+    if _naming_idl_cache is None:
+        _naming_idl_cache = compile_idl(NAMING_IDL)
+    return _naming_idl_cache
+
+
+class NamingService:
+    """Server side: host a NamingContext servant on an ORB."""
+
+    OBJECT_KEY = "NameService"
+
+    def __init__(self, orb: Orb):
+        if "CosNaming::NamingContext" not in orb.idl.interfaces:
+            orb.idl.merge(compile_idl(NAMING_IDL))
+        self.orb = orb
+        idl = orb.idl
+        not_found = idl.type("CosNaming::NotFound")
+        already_bound = idl.type("CosNaming::AlreadyBound")
+        base = orb.servant_base("CosNaming::NamingContext")
+        bindings: dict[str, ObjectRef] = {}
+
+        class _NamingServant(base):  # type: ignore[misc, valid-type]
+            def bind(self, name: str, obj: ObjectRef) -> None:
+                if name in bindings:
+                    raise already_bound.make(name=name)
+                bindings[name] = obj
+
+            def rebind(self, name: str, obj: ObjectRef) -> None:
+                bindings[name] = obj
+
+            def resolve(self, name: str) -> ObjectRef:
+                try:
+                    return bindings[name]
+                except KeyError:
+                    raise not_found.make(name=name) from None
+
+            def unbind(self, name: str) -> None:
+                if name not in bindings:
+                    raise not_found.make(name=name)
+                del bindings[name]
+
+            def list(self) -> list[str]:
+                return sorted(bindings)
+
+        self.bindings = bindings
+        self.ref = orb.poa.activate_object(_NamingServant(),
+                                           key=self.OBJECT_KEY)
+
+    @property
+    def url(self) -> str:
+        return self.orb.object_to_string(self.ref)
+
+
+class NamingContext:
+    """Client-side convenience wrapper over a NamingContext reference."""
+
+    def __init__(self, orb: Orb, url: str):
+        if "CosNaming::NamingContext" not in orb.idl.interfaces:
+            orb.idl.merge(compile_idl(NAMING_IDL))
+        ref = orb.string_to_object(url)
+        self._ctx = orb.narrow(ref, "CosNaming::NamingContext")
+        self.orb = orb
+
+    def bind(self, name: str, obj: ObjectRef) -> None:
+        self._ctx.bind(name, obj)
+
+    def rebind(self, name: str, obj: ObjectRef) -> None:
+        self._ctx.rebind(name, obj)
+
+    def resolve(self, name: str) -> ObjectRef:
+        return self._ctx.resolve(name)
+
+    def unbind(self, name: str) -> None:
+        self._ctx.unbind(name)
+
+    def list(self) -> list[str]:
+        return self._ctx.list()

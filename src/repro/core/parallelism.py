@@ -1,0 +1,133 @@
+"""XML description of a component's parallelism (paper Figure 5).
+
+The GridCCM compiler consumes the component's IDL *and* an XML document
+describing which provided operations are parallel and how their
+arguments are distributed::
+
+    <parallelism component="App::Transport">
+      <port name="input">
+        <operation name="setDensity">
+          <argument name="values" distribution="block"/>
+          <result policy="none"/>
+        </operation>
+        <operation name="relax">
+          <argument name="field" distribution="block-cyclic" blocksize="64"/>
+          <result policy="sum"/>
+        </operation>
+      </port>
+    </parallelism>
+
+Result policies describe how per-node return values combine at the
+client layer: ``none`` (void), ``first`` (all nodes agree; take one),
+``sum`` (reduce), ``concat`` (distributed result: concatenate chunks in
+node order).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+DISTRIBUTION_KINDS = ("block", "cyclic", "block-cyclic")
+RESULT_POLICIES = ("none", "first", "sum", "concat")
+
+
+class ParallelismError(Exception):
+    """Malformed or inconsistent parallelism description."""
+
+
+@dataclass(frozen=True)
+class ParallelArgSpec:
+    name: str
+    distribution: str = "block"
+    block_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.distribution not in DISTRIBUTION_KINDS:
+            raise ParallelismError(
+                f"unknown distribution {self.distribution!r} "
+                f"(one of {DISTRIBUTION_KINDS})")
+        if self.distribution == "block-cyclic" and not self.block_size:
+            raise ParallelismError(
+                f"argument {self.name!r}: block-cyclic needs blocksize")
+
+
+@dataclass(frozen=True)
+class ParallelOpSpec:
+    port: str
+    name: str
+    args: tuple[ParallelArgSpec, ...] = ()
+    result_policy: str = "first"
+
+    def __post_init__(self) -> None:
+        if self.result_policy not in RESULT_POLICIES:
+            raise ParallelismError(
+                f"unknown result policy {self.result_policy!r}")
+
+    def arg(self, name: str) -> ParallelArgSpec | None:
+        for a in self.args:
+            if a.name == name:
+                return a
+        return None
+
+
+@dataclass
+class ParallelismDescriptor:
+    """Which operations of which ports are parallel, and how."""
+
+    component: str
+    operations: dict[tuple[str, str], ParallelOpSpec] = \
+        field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, xml_text: str) -> "ParallelismDescriptor":
+        try:
+            root = ET.fromstring(xml_text)
+        except ET.ParseError as exc:
+            raise ParallelismError(f"malformed XML: {exc}") from exc
+        if root.tag != "parallelism":
+            raise ParallelismError(
+                f"expected <parallelism>, got <{root.tag}>")
+        component = root.get("component")
+        if not component:
+            raise ParallelismError("<parallelism> needs a component name")
+        desc = cls(component)
+        for port_el in root.findall("port"):
+            port = port_el.get("name")
+            if not port:
+                raise ParallelismError("<port> needs a name")
+            for op_el in port_el.findall("operation"):
+                opname = op_el.get("name")
+                if not opname:
+                    raise ParallelismError("<operation> needs a name")
+                args = []
+                for arg_el in op_el.findall("argument"):
+                    aname = arg_el.get("name")
+                    if not aname:
+                        raise ParallelismError("<argument> needs a name")
+                    bs = arg_el.get("blocksize")
+                    args.append(ParallelArgSpec(
+                        aname, arg_el.get("distribution", "block"),
+                        int(bs) if bs else None))
+                result_el = op_el.find("result")
+                policy = result_el.get("policy", "first") \
+                    if result_el is not None else "first"
+                desc.add(ParallelOpSpec(port, opname, tuple(args), policy))
+        if not desc.operations:
+            raise ParallelismError(
+                f"{component}: no parallel operations declared")
+        return desc
+
+    def add(self, spec: ParallelOpSpec) -> None:
+        key = (spec.port, spec.name)
+        if key in self.operations:
+            raise ParallelismError(
+                f"operation {spec.name!r} on port {spec.port!r} declared "
+                f"twice")
+        self.operations[key] = spec
+
+    def spec_for(self, port: str, opname: str) -> ParallelOpSpec | None:
+        return self.operations.get((port, opname))
+
+    def ports(self) -> list[str]:
+        return sorted({port for port, _ in self.operations})

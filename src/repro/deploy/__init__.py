@@ -1,0 +1,47 @@
+"""Grid deployment services: discovery, planning, security (paper §2).
+
+The paper's usage scenarios demand machine discovery ("a mechanism to
+find, to deploy and to execute their codes on machines they get access
+to"), localization constraints ("the chemistry code must be on the
+machines of the company") and per-network communication security ("the
+data computed by the simulation need to be secured on insecure
+networks").  This package supplies each as a small, testable service:
+
+- :class:`MachineRegistry` — advertises machines and answers discovery
+  queries over labels, sites, fabrics, CPUs and memory;
+- :class:`DeploymentPlanner` — maps assembly instances to discovered
+  machines, honouring constraints and preferring placements whose
+  connected components share the fastest networks;
+- :class:`GridSecurityPolicy` — the VLink security hook: encrypt on
+  untrusted wires, skip the cipher inside a trusted SAN (the §6
+  optimisation), or force either behaviour for ablations.
+"""
+
+from repro.deploy.auth import (
+    AccessPolicy,
+    AuthenticationError,
+    GridCredential,
+    grant_credentials,
+)
+from repro.deploy.registry import MachineInfo, MachineRegistry, DiscoveryError
+from repro.deploy.planner import DeploymentPlanner, PlanningError
+from repro.deploy.security import (
+    CIPHER_COST_PER_BYTE,
+    GridSecurityPolicy,
+    secure_process,
+)
+
+__all__ = [
+    "GridCredential",
+    "AccessPolicy",
+    "AuthenticationError",
+    "grant_credentials",
+    "MachineRegistry",
+    "MachineInfo",
+    "DiscoveryError",
+    "DeploymentPlanner",
+    "PlanningError",
+    "GridSecurityPolicy",
+    "secure_process",
+    "CIPHER_COST_PER_BYTE",
+]

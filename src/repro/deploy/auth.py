@@ -1,0 +1,80 @@
+"""Grid-wide authentication for deployment (paper §6 future work).
+
+"In particular, we investigate the relationship between CCM and Globus:
+component servers could be deployed within a grid-wide authentication
+mechanism."  We model the essentials of that mechanism (GSI-style, sans
+actual cryptography, which the simulation does not need):
+
+- a :class:`GridCredential` is an identity issued by a certificate
+  authority; :func:`grant_credentials` attaches it to an ORB, which
+  stamps it into the Principal field of every outgoing request;
+- an :class:`AccessPolicy` is the ACL a component server enforces:
+  ``install_home`` from an unauthenticated or unauthorised deployer is
+  refused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.corba.orb import Orb
+
+
+class AuthenticationError(PermissionError):
+    """Caller identity missing or not permitted."""
+
+
+@dataclass(frozen=True)
+class GridCredential:
+    """An identity issued by a grid certificate authority."""
+
+    subject: str                 # e.g. "alice@site-a"
+    issuer: str = "grid-ca"
+
+    @property
+    def token(self) -> str:
+        """Wire form carried in the GIOP Principal field."""
+        return f"{self.issuer}:{self.subject}"
+
+    @classmethod
+    def parse(cls, token: str) -> "GridCredential":
+        issuer, _, subject = token.partition(":")
+        if not issuer or not subject:
+            raise AuthenticationError(f"malformed credential {token!r}")
+        return cls(subject, issuer)
+
+
+def grant_credentials(orb: "Orb", credential: GridCredential) -> None:
+    """Attach ``credential`` to every request this ORB sends."""
+    orb.credentials = credential.token
+
+
+class AccessPolicy:
+    """ACL enforced by services (component servers, registries)."""
+
+    def __init__(self, subjects: Iterable[str] = (),
+                 issuers: Iterable[str] = ("grid-ca",)):
+        self.subjects = frozenset(subjects)
+        self.issuers = frozenset(issuers)
+
+    def check(self, principal: str) -> GridCredential:
+        """Validate a wire principal; raises :class:`AuthenticationError`."""
+        if not principal:
+            raise AuthenticationError("anonymous caller refused")
+        cred = GridCredential.parse(principal)
+        if cred.issuer not in self.issuers:
+            raise AuthenticationError(
+                f"issuer {cred.issuer!r} is not trusted")
+        if self.subjects and cred.subject not in self.subjects:
+            raise AuthenticationError(
+                f"subject {cred.subject!r} is not authorised")
+        return cred
+
+    def permits(self, principal: str) -> bool:
+        try:
+            self.check(principal)
+        except AuthenticationError:
+            return False
+        return True

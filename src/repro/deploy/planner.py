@@ -1,0 +1,111 @@
+"""Deployment planning: instances → machines.
+
+Implements the paper's §2 deployment scenarios as one greedy planner:
+
+- **localization constraints**: an instance with ``<constraint
+  label="company-x"/>`` only lands on machines advertising that label;
+- **communication flexibility**: among feasible machines, prefer the one
+  maximising the bandwidth of the best fabric shared with the already
+  placed instances this one connects to — so two coupled codes land on
+  one SAN when a big enough cluster exists, and fall back to the WAN
+  split otherwise, with no change to the assembly;
+- **load spreading**: ties break towards the least-loaded machine.
+"""
+
+from __future__ import annotations
+
+from repro.ccm.descriptors import AssemblyDescriptor
+from repro.deploy.registry import MachineInfo, MachineRegistry
+from repro.net.topology import Topology
+
+
+class PlanningError(RuntimeError):
+    """No feasible placement exists."""
+
+
+class DeploymentPlanner:
+    """Greedy constraint-aware placement of assembly instances."""
+
+    def __init__(self, registry: MachineRegistry,
+                 topology: Topology | None = None):
+        self.registry = registry
+        self.topology = topology or registry.topology
+
+    def plan(self, assembly: AssemblyDescriptor,
+             instances_per_machine: int | None = None
+             ) -> dict[str, str]:
+        """Compute ``instance id → component-server process name``.
+
+        Honours explicit ``destination`` fields, label constraints, and
+        optionally caps how many instances may share one machine.
+        """
+        placement: dict[str, str] = {}
+        loads: dict[str, int] = {m.process: m.load
+                                 for m in self.registry.machines()}
+        neighbours = self._neighbour_map(assembly)
+
+        for inst in assembly.instances:
+            if inst.destination is not None:
+                machine = self.registry.machine(inst.destination)
+                self._check_constraints(inst.id, machine, inst.constraints)
+                placement[inst.id] = machine.process
+                loads[machine.process] = loads.get(machine.process, 0) + 1
+                continue
+            candidates = self.registry.discover(labels=inst.constraints,
+                                                require=False)
+            if instances_per_machine is not None:
+                candidates = [m for m in candidates
+                              if loads.get(m.process, 0) <
+                              instances_per_machine]
+            if not candidates:
+                raise PlanningError(
+                    f"no machine satisfies instance {inst.id!r} "
+                    f"(constraints={list(inst.constraints)})")
+            best = max(candidates, key=lambda m: (
+                self._affinity(m, inst.id, placement, neighbours),
+                -loads.get(m.process, 0),
+                # deterministic final tie-break
+                [-ord(c) for c in m.process]))
+            placement[inst.id] = best.process
+            loads[best.process] = loads.get(best.process, 0) + 1
+        return placement
+
+    # ------------------------------------------------------------------
+    def _neighbour_map(self, assembly: AssemblyDescriptor
+                       ) -> dict[str, set[str]]:
+        out: dict[str, set[str]] = {i.id: set() for i in assembly.instances}
+        for conn in assembly.connections:
+            out[conn.user_instance].add(conn.provider_instance)
+            out[conn.provider_instance].add(conn.user_instance)
+        return out
+
+    def _affinity(self, machine: MachineInfo, inst_id: str,
+                  placement: dict[str, str],
+                  neighbours: dict[str, set[str]]) -> float:
+        """Bandwidth of the best fabric shared with placed neighbours."""
+        if self.topology is None:
+            return 0.0
+        score = 0.0
+        for other_id in neighbours.get(inst_id, ()):
+            other_proc = placement.get(other_id)
+            if other_proc is None:
+                continue
+            other = self.registry.machine(other_proc)
+            score += self._best_bandwidth(machine.host, other.host)
+        return score
+
+    def _best_bandwidth(self, host_a: str, host_b: str) -> float:
+        if host_a == host_b:
+            return 1e9  # same machine: shared memory beats any NIC
+        for fabric in self.topology.fabrics_connecting(host_a, host_b):
+            return fabric.technology.bandwidth  # sorted best-first
+        return 0.0
+
+    @staticmethod
+    def _check_constraints(inst_id: str, machine: MachineInfo,
+                           constraints: tuple[str, ...]) -> None:
+        missing = set(constraints) - machine.labels
+        if missing:
+            raise PlanningError(
+                f"instance {inst_id!r} pinned to {machine.process!r} "
+                f"which lacks required labels {sorted(missing)}")

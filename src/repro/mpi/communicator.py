@@ -1,0 +1,633 @@
+"""MPI communicator: point-to-point and collective operations.
+
+A :class:`Comm` is bound to one rank of a Circuit and to the simulated
+thread that runs that rank (see :func:`repro.mpi.world.spmd`).  Message
+envelopes are ``(context, tag, body)`` tuples; contexts isolate
+communicators (and each collective call) from each other, so overlapping
+traffic can never be mis-matched.
+
+Cost model (charged to the virtual clock):
+
+- lowercase/pickle path: ``len(pickle) * PICKLE_BYTE_COST`` CPU seconds
+  on each side (the serialisation copy);
+- uppercase/buffer path: no software copy — the zero-copy Madeleine DMA
+  path, which is what lets MPI saturate Myrinet in Figure 7;
+- wire time and per-message overheads are charged by the Circuit layer.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from repro.mpi.ops import ReduceOp
+from repro.mpi.request import Request
+from repro.padicotm.abstraction.circuit import ANY_SOURCE as _CIRCUIT_ANY
+from repro.padicotm.abstraction.circuit import Circuit
+from repro.sim.kernel import SimProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.padicotm.runtime import PadicoProcess
+
+#: wildcard receive selectors (mpi4py names)
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: CPU cost of the pickle serialisation copy, seconds per byte (~500 MB/s,
+#: generous for a 1 GHz Pentium III but it keeps the pickle path visibly
+#: slower than the zero-copy buffer path).
+PICKLE_BYTE_COST = 2.0e-9
+
+
+class MpiError(RuntimeError):
+    """MPI usage or transport error."""
+
+
+class Status:
+    """Receive status: envelope information of a matched message."""
+
+    def __init__(self) -> None:
+        self.source: int = ANY_SOURCE
+        self.tag: int = ANY_TAG
+        self.count: float = 0.0
+
+    def Get_source(self) -> int:
+        return self.source
+
+    def Get_tag(self) -> int:
+        return self.tag
+
+    def Get_count(self) -> float:
+        return self.count
+
+
+class Comm:
+    """An MPI communicator bound to one rank.
+
+    Created through :func:`repro.mpi.world.create_world`; user code
+    receives it already bound to the simulated thread of its rank.
+    """
+
+    def __init__(self, circuit: Circuit, group: list[int], rank: int,
+                 context: str):
+        self._circuit = circuit
+        self._group = group           # group index -> circuit rank
+        self._rank = rank             # my index within the group
+        self._context = context
+        self._coll_seq = 0
+        self._proc: SimProcess | None = None
+
+    # ------------------------------------------------------------------
+    # binding & identity
+    # ------------------------------------------------------------------
+    def bind(self, proc: SimProcess) -> "Comm":
+        """Attach this communicator to the simulated thread of its rank."""
+        self._proc = proc
+        return self
+
+    @property
+    def proc(self) -> SimProcess:
+        if self._proc is None:
+            raise MpiError("communicator not bound to a thread; "
+                           "run ranks through repro.mpi.spmd()")
+        return self._proc
+
+    @property
+    def kernel(self):
+        return self._circuit.runtime.kernel
+
+    @property
+    def process(self) -> "PadicoProcess":
+        return self._circuit.members[self._group[self._rank]]
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return len(self._group)
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    def Get_processor_name(self) -> str:
+        return self.process.host.name
+
+    def Wtime(self) -> float:
+        return self.kernel.now
+
+    def __repr__(self) -> str:
+        return (f"<Comm rank {self._rank}/{self.size} "
+                f"ctx={self._context!r}>")
+
+    # ------------------------------------------------------------------
+    # envelope plumbing
+    # ------------------------------------------------------------------
+    def _send_body(self, proc: SimProcess, dest: int, tag: int, body: Any,
+                   nbytes: float, context: str) -> None:
+        if not 0 <= dest < self.size:
+            raise MpiError(f"destination rank {dest} out of range "
+                           f"(size {self.size})")
+        self._circuit.send(proc, self._group[self._rank],
+                           self._group[dest], (context, tag, body), nbytes)
+
+    def _recv_body(self, proc: SimProcess, source: int, tag: int,
+                   context: str) -> tuple[int, int, Any, float]:
+        csrc = _CIRCUIT_ANY if source == ANY_SOURCE \
+            else self._group[source]
+
+        def where(payload) -> bool:
+            ctx, mtag, _body = payload
+            return ctx == context and (tag == ANY_TAG or mtag == tag)
+
+        src, payload, n = self._circuit.recv(
+            proc, self._group[self._rank], source=csrc, where=where)
+        _ctx, mtag, body = payload
+        return self._group.index(src), mtag, body, n
+
+    def _p2p_context(self) -> str:
+        return f"{self._context}|p2p"
+
+    def _coll_context(self, opname: str) -> str:
+        """A fresh context per collective call.
+
+        SPMD discipline means every rank issues collectives in the same
+        order, so per-rank sequence numbers agree."""
+        ctx = f"{self._context}|coll{self._coll_seq}|{opname}"
+        self._coll_seq += 1
+        return ctx
+
+    # ------------------------------------------------------------------
+    # point-to-point: pickle path (lowercase)
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking send of a pickled Python object."""
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        n = len(data)
+        self.proc.sleep(n * PICKLE_BYTE_COST)
+        self._send_body(self.proc, dest, tag, ("p", data), n,
+                        self._p2p_context())
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             status: Status | None = None) -> Any:
+        """Blocking receive of a pickled Python object."""
+        src, mtag, body, n = self._recv_body(self.proc, source, tag,
+                                             self._p2p_context())
+        obj = self._decode(self.proc, body, n)
+        if status is not None:
+            status.source, status.tag, status.count = src, mtag, n
+        return obj
+
+    def _decode(self, proc: SimProcess, body: tuple[str, Any],
+                nbytes: float) -> Any:
+        kind, data = body
+        if kind == "p":
+            proc.sleep(nbytes * PICKLE_BYTE_COST)
+            return pickle.loads(data)
+        return data
+
+    # ------------------------------------------------------------------
+    # point-to-point: buffer path (uppercase, zero-copy)
+    # ------------------------------------------------------------------
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Blocking send of a numpy buffer on the zero-copy path."""
+        arr = np.ascontiguousarray(buf)
+        self._send_body(self.proc, dest, tag, ("b", arr.copy()),
+                        arr.nbytes, self._p2p_context())
+
+    def Recv(self, buf: np.ndarray, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG, status: Status | None = None) -> None:
+        """Blocking receive into a caller-provided numpy buffer."""
+        src, mtag, body, n = self._recv_body(self.proc, source, tag,
+                                             self._p2p_context())
+        kind, data = body
+        if kind != "b":
+            raise MpiError("Recv matched a pickled message; use recv()")
+        out = np.asarray(buf)
+        if out.nbytes != data.nbytes:
+            raise MpiError(f"receive buffer is {out.nbytes} bytes, "
+                           f"message is {data.nbytes}")
+        np.copyto(out, data.reshape(out.shape))
+        if status is not None:
+            status.source, status.tag, status.count = src, mtag, n
+
+    # ------------------------------------------------------------------
+    # nonblocking
+    # ------------------------------------------------------------------
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking pickled send; the buffer is captured immediately."""
+        req = Request(self)
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        n = len(data)
+        ctx = self._p2p_context()
+
+        def worker(p: SimProcess) -> None:
+            try:
+                p.sleep(n * PICKLE_BYTE_COST)
+                self._send_body(p, dest, tag, ("p", data), n, ctx)
+            except Exception as exc:  # noqa: BLE001 - surfaced via request
+                req._complete(error=exc)
+            else:
+                req._complete()
+
+        self.process.spawn(worker, name="mpi-isend", daemon=True)
+        return req
+
+    def Isend(self, buf: np.ndarray, dest: int, tag: int = 0) -> Request:
+        """Nonblocking buffer send."""
+        req = Request(self)
+        arr = np.ascontiguousarray(buf).copy()
+        ctx = self._p2p_context()
+
+        def worker(p: SimProcess) -> None:
+            try:
+                self._send_body(p, dest, tag, ("b", arr), arr.nbytes, ctx)
+            except Exception as exc:  # noqa: BLE001
+                req._complete(error=exc)
+            else:
+                req._complete()
+
+        self.process.spawn(worker, name="mpi-Isend", daemon=True)
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking pickled receive; ``wait()`` returns the object."""
+        req = Request(self)
+        ctx = self._p2p_context()
+
+        def worker(p: SimProcess) -> None:
+            try:
+                _src, _t, body, n = self._recv_body(p, source, tag, ctx)
+                obj = self._decode(p, body, n)
+            except Exception as exc:  # noqa: BLE001
+                req._complete(error=exc)
+            else:
+                req._complete(obj)
+
+        self.process.spawn(worker, name="mpi-irecv", daemon=True)
+        return req
+
+    def Irecv(self, buf: np.ndarray, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> Request:
+        """Nonblocking buffer receive into ``buf``."""
+        req = Request(self)
+        ctx = self._p2p_context()
+
+        def worker(p: SimProcess) -> None:
+            try:
+                _src, _t, body, _n = self._recv_body(p, source, tag, ctx)
+                kind, data = body
+                if kind != "b":
+                    raise MpiError("Irecv matched a pickled message")
+                out = np.asarray(buf)
+                np.copyto(out, data.reshape(out.shape))
+            except Exception as exc:  # noqa: BLE001
+                req._complete(error=exc)
+            else:
+                req._complete()
+
+        self.process.spawn(worker, name="mpi-Irecv", daemon=True)
+        return req
+
+    def sendrecv(self, obj: Any, dest: int, source: int = ANY_SOURCE,
+                 sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
+        """Combined send+receive (deadlock-free by construction)."""
+        req = self.isend(obj, dest, sendtag)
+        got = self.recv(source, recvtag)
+        req.wait()
+        return got
+
+    def Scatterv(self, sendbuf: np.ndarray | None,
+                 counts: Sequence[int] | None, recvbuf: np.ndarray,
+                 root: int = 0) -> None:
+        """Variable-count scatter of a numpy buffer.
+
+        ``counts[i]`` elements go to rank i; displacements are the
+        running sum (contiguous layout, the common case)."""
+        ctx = self._coll_context("Scatterv")
+        out = np.asarray(recvbuf)
+        if self._rank == root:
+            if sendbuf is None or counts is None or \
+                    len(counts) != self.size:
+                raise MpiError(f"root must supply sendbuf and exactly "
+                               f"{self.size} counts")
+            flat = np.ascontiguousarray(sendbuf).ravel()
+            if sum(counts) != flat.size:
+                raise MpiError(f"counts sum to {sum(counts)} but sendbuf "
+                               f"has {flat.size} elements")
+            offset = 0
+            my_part = None
+            for dst, count in enumerate(counts):
+                part = flat[offset:offset + count]
+                offset += count
+                if dst == root:
+                    my_part = part.copy()
+                else:
+                    self._send_body(self.proc, dst, 9,
+                                    ("b", part.copy()), part.nbytes, ctx)
+            np.copyto(out, my_part.reshape(out.shape))
+        else:
+            _s, _t, body, _n = self._recv_body(self.proc, root, 9, ctx)
+            np.copyto(out, body[1].reshape(out.shape))
+
+    def Gatherv(self, sendbuf: np.ndarray,
+                recvbuf: np.ndarray | None,
+                counts: Sequence[int] | None, root: int = 0) -> None:
+        """Variable-count gather into a contiguous buffer at ``root``."""
+        ctx = self._coll_context("Gatherv")
+        part = np.ascontiguousarray(sendbuf).ravel()
+        if self._rank == root:
+            if recvbuf is None or counts is None or \
+                    len(counts) != self.size:
+                raise MpiError(f"root must supply recvbuf and exactly "
+                               f"{self.size} counts")
+            flat = np.asarray(recvbuf).ravel()
+            if sum(counts) != flat.size:
+                raise MpiError(f"counts sum to {sum(counts)} but recvbuf "
+                               f"has {flat.size} elements")
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            flat[offsets[root]:offsets[root + 1]] = part
+            for _ in range(self.size - 1):
+                src, _t, body, _n = self._recv_body(self.proc, ANY_SOURCE,
+                                                    10, ctx)
+                flat[offsets[src]:offsets[src + 1]] = body[1]
+        else:
+            self._send_body(self.proc, root, 10, ("b", part.copy()),
+                            part.nbytes, ctx)
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              status: Status | None = None) -> None:
+        """Block until a matching message is pending, without receiving
+        it (MPI_Probe); fills ``status`` with the pending envelope."""
+        ctx = self._p2p_context()
+        csrc = _CIRCUIT_ANY if source == ANY_SOURCE else self._group[source]
+        src, payload, n = self._circuit.wait_message(
+            self.proc, self._group[self._rank], source=csrc,
+            where=lambda p: p[0] == ctx and
+            (tag == ANY_TAG or p[1] == tag))
+        if status is not None:
+            status.source = self._group.index(src)
+            status.tag = payload[1]
+            status.count = n
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking check for a matching pending message."""
+        ctx = self._p2p_context()
+        csrc = _CIRCUIT_ANY if source == ANY_SOURCE else self._group[source]
+        return self._circuit.poll(
+            self._group[self._rank], source=csrc,
+            where=lambda p: p[0] == ctx and (tag == ANY_TAG or p[1] == tag))
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Binomial gather-to-0 then binomial release (MPICH style).
+
+        2·ceil(log2(size)) message hops on the critical path — the term
+        the paper's Figure-8 latency column grows by with node count.
+        """
+        ctx = self._coll_context("barrier")
+        self._tree_gather_signal(ctx)
+        self._tree_bcast(("p", b""), 0.0, 0, ctx)
+
+    Barrier = barrier
+
+    def _tree_gather_signal(self, ctx: str) -> None:
+        size, rank = self.size, self._rank
+        mask = 1
+        while mask < size:
+            if rank & mask:
+                self._send_body(self.proc, rank - mask, 0, ("p", b""), 0, ctx)
+                break
+            if rank + mask < size:
+                self._recv_body(self.proc, rank + mask, 0, ctx)
+            mask <<= 1
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast of a pickled object."""
+        ctx = self._coll_context("bcast")
+        if self._rank == root:
+            data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            self.proc.sleep(len(data) * PICKLE_BYTE_COST)
+            body: tuple[str, Any] = ("p", data)
+            n = float(len(data))
+        else:
+            body, n = None, 0.0  # type: ignore[assignment]
+        body, n = self._tree_bcast(body, n, root, ctx)
+        _kind, data = body
+        self.proc.sleep(n * PICKLE_BYTE_COST)
+        return pickle.loads(data)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        """Binomial-tree broadcast of a numpy buffer, in place."""
+        ctx = self._coll_context("Bcast")
+        out = np.asarray(buf)
+        if self._rank == root:
+            body: tuple[str, Any] = ("b", np.ascontiguousarray(out).copy())
+            n = float(out.nbytes)
+        else:
+            body, n = None, 0.0  # type: ignore[assignment]
+        body, _n = self._tree_bcast(body, n, root, ctx)
+        np.copyto(out, body[1].reshape(out.shape))
+
+    def _tree_bcast(self, body: Any, nbytes: float, root: int,
+                    ctx: str) -> tuple[Any, float]:
+        """Binomial-tree broadcast: each node receives once (from its
+        parent in the virtual-rank tree) then forwards down."""
+        size = self.size
+        vrank = (self._rank - root) % size
+        mask = 1
+        while mask < size:
+            if vrank < mask:
+                if vrank + mask < size:
+                    dst = (vrank + mask + root) % size
+                    self._send_body(self.proc, dst, 2, body, nbytes, ctx)
+            elif vrank < mask << 1:
+                src = (vrank - mask + root) % size
+                _s, _t, body, nbytes = self._recv_body(self.proc, src, 2, ctx)
+            mask <<= 1
+        return body, nbytes
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather pickled objects to ``root`` (rank order preserved)."""
+        ctx = self._coll_context("gather")
+        if self._rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for _ in range(self.size - 1):
+                src, _t, body, n = self._recv_body(self.proc, ANY_SOURCE,
+                                                   3, ctx)
+                out[src] = self._decode(self.proc, body, n)
+            return out
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self.proc.sleep(len(data) * PICKLE_BYTE_COST)
+        self._send_body(self.proc, root, 3, ("p", data), len(data), ctx)
+        return None
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one object per rank from ``root``."""
+        if self._rank == root and (objs is None or len(objs) != self.size):
+            # reject before allocating the collective context so a failed
+            # call leaves the context sequence aligned across ranks
+            raise MpiError(f"scatter needs exactly {self.size} items "
+                           f"at the root")
+        ctx = self._coll_context("scatter")
+        if self._rank == root:
+            for dst, item in enumerate(objs):
+                if dst == root:
+                    continue
+                data = pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+                self.proc.sleep(len(data) * PICKLE_BYTE_COST)
+                self._send_body(self.proc, dst, 4, ("p", data),
+                                len(data), ctx)
+            return objs[root]
+        _s, _t, body, n = self._recv_body(self.proc, root, 4, ctx)
+        return self._decode(self.proc, body, n)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather to rank 0, then broadcast the assembled list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Personalised all-to-all exchange."""
+        if len(objs) != self.size:
+            raise MpiError(f"alltoall needs exactly {self.size} items")
+        ctx = self._coll_context("alltoall")
+        out: list[Any] = [None] * self.size
+        out[self._rank] = objs[self._rank]
+        for shift in range(1, self.size):
+            dst = (self._rank + shift) % self.size
+            data = pickle.dumps(objs[dst], protocol=pickle.HIGHEST_PROTOCOL)
+            self.proc.sleep(len(data) * PICKLE_BYTE_COST)
+            self._send_body(self.proc, dst, 5, ("p", data), len(data), ctx)
+        for _ in range(self.size - 1):
+            src, _t, body, n = self._recv_body(self.proc, ANY_SOURCE, 5, ctx)
+            out[src] = self._decode(self.proc, body, n)
+        return out
+
+    def reduce(self, obj: Any, op: ReduceOp, root: int = 0) -> Any:
+        """Binomial-tree reduction of pickled objects towards ``root``."""
+        ctx = self._coll_context("reduce")
+        size = self.size
+        vrank = (self._rank - root) % size
+        acc = obj
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                dst = (vrank - mask + root) % size
+                data = pickle.dumps(acc, protocol=pickle.HIGHEST_PROTOCOL)
+                self.proc.sleep(len(data) * PICKLE_BYTE_COST)
+                self._send_body(self.proc, dst, 6, ("p", data),
+                                len(data), ctx)
+                break
+            if vrank + mask < size:
+                src = (vrank + mask + root) % size
+                _s, _t, body, n = self._recv_body(self.proc, src, 6, ctx)
+                contrib = self._decode(self.proc, body, n)
+                # combine in child-first order so non-commutative ops
+                # see operands in rank order
+                acc = op(acc, contrib)
+            mask <<= 1
+        return acc if self._rank == root else None
+
+    def allreduce(self, obj: Any, op: ReduceOp) -> Any:
+        """Reduce to rank 0, then broadcast the result."""
+        reduced = self.reduce(obj, op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def scan(self, obj: Any, op: ReduceOp) -> Any:
+        """Inclusive prefix reduction (linear chain)."""
+        ctx = self._coll_context("scan")
+        acc = obj
+        if self._rank > 0:
+            _s, _t, body, n = self._recv_body(self.proc, self._rank - 1,
+                                              7, ctx)
+            prefix = self._decode(self.proc, body, n)
+            acc = op(prefix, obj)
+        if self._rank + 1 < self.size:
+            data = pickle.dumps(acc, protocol=pickle.HIGHEST_PROTOCOL)
+            self.proc.sleep(len(data) * PICKLE_BYTE_COST)
+            self._send_body(self.proc, self._rank + 1, 7, ("p", data),
+                            len(data), ctx)
+        return acc
+
+    def Reduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray | None,
+               op: ReduceOp, root: int = 0) -> None:
+        """Buffer-path binomial reduction (no pickle cost)."""
+        ctx = self._coll_context("Reduce")
+        size = self.size
+        vrank = (self._rank - root) % size
+        acc = np.ascontiguousarray(sendbuf).copy()
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                dst = (vrank - mask + root) % size
+                self._send_body(self.proc, dst, 8, ("b", acc),
+                                acc.nbytes, ctx)
+                break
+            if vrank + mask < size:
+                src = (vrank + mask + root) % size
+                _s, _t, body, _n = self._recv_body(self.proc, src, 8, ctx)
+                acc = op(acc, body[1])
+            mask <<= 1
+        if self._rank == root:
+            if recvbuf is None:
+                raise MpiError("root must supply recvbuf")
+            np.copyto(np.asarray(recvbuf), acc.reshape(
+                np.asarray(recvbuf).shape))
+
+    def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                  op: ReduceOp) -> None:
+        """Buffer-path reduce to rank 0 followed by broadcast."""
+        out = np.asarray(recvbuf)
+        if self._rank == 0:
+            self.Reduce(sendbuf, out, op, root=0)
+        else:
+            self.Reduce(sendbuf, None, op, root=0)
+        self.Bcast(out, root=0)
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+    def split(self, color: int | None, key: int = 0) -> "Comm | None":
+        """Partition the communicator by ``color``; order ranks by
+        ``(key, old rank)``.  Returns None for ``color=None``
+        (MPI_UNDEFINED)."""
+        triples = self.allgather((color, key, self._rank))
+        seq = self._coll_seq  # advanced identically on every rank
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for c, k, r in triples if c == color)
+        group = [self._group[r] for _k, r in members]
+        my_index = [r for _k, r in members].index(self._rank)
+        ctx = f"{self._context}/split{seq}:{color}"
+        sub = Comm(self._circuit, group, my_index, ctx)
+        sub.bind(self.proc)
+        return sub
+
+    def Create_cart(self, dims, periods=None) -> "Comm":
+        """Cartesian topology view (see :mod:`repro.mpi.cartesian`)."""
+        from repro.mpi.cartesian import create_cart
+
+        return create_cart(self, dims, periods)
+
+    def dup(self) -> "Comm":
+        """Duplicate with a fresh context (isolated traffic)."""
+        triples = self.allgather(0)  # synchronise context generation
+        del triples
+        ctx = f"{self._context}/dup{self._coll_seq}"
+        dup = Comm(self._circuit, list(self._group), self._rank, ctx)
+        dup.bind(self.proc)
+        return dup

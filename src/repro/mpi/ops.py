@@ -1,0 +1,44 @@
+"""MPI reduction operations.
+
+Each op is a binary callable working on scalars, sequences and numpy
+arrays (elementwise via numpy when both operands are arrays)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+
+class ReduceOp:
+    """A named, associative binary reduction operator."""
+
+    def __init__(self, name: str, scalar: Callable[[Any, Any], Any],
+                 ufunc: np.ufunc | None = None):
+        self.name = name
+        self._scalar = scalar
+        self._ufunc = ufunc
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            if self._ufunc is None:
+                raise TypeError(f"{self.name} is not defined on arrays")
+            return self._ufunc(a, b)
+        return self._scalar(a, b)
+
+    def __repr__(self) -> str:
+        return f"<ReduceOp {self.name}>"
+
+
+SUM = ReduceOp("SUM", lambda a, b: a + b, np.add)
+PROD = ReduceOp("PROD", lambda a, b: a * b, np.multiply)
+MAX = ReduceOp("MAX", max, np.maximum)
+MIN = ReduceOp("MIN", min, np.minimum)
+LAND = ReduceOp("LAND", lambda a, b: bool(a) and bool(b), np.logical_and)
+LOR = ReduceOp("LOR", lambda a, b: bool(a) or bool(b), np.logical_or)
+BAND = ReduceOp("BAND", lambda a, b: a & b, np.bitwise_and)
+BOR = ReduceOp("BOR", lambda a, b: a | b, np.bitwise_or)
+
+#: value-with-location reductions operate on ``(value, location)`` pairs
+MAXLOC = ReduceOp("MAXLOC", lambda a, b: a if a[0] >= b[0] else b)
+MINLOC = ReduceOp("MINLOC", lambda a, b: a if a[0] <= b[0] else b)

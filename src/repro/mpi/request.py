@@ -1,0 +1,53 @@
+"""Nonblocking-communication request handles."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.kernel import SimKernel, SimProcess
+from repro.sim.sync import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.communicator import Comm
+
+
+class Request:
+    """Handle for an in-flight ``isend``/``irecv`` operation.
+
+    Completion is driven by a helper thread (a Marcel thread in the real
+    runtime); :meth:`wait` blocks the owner rank until done.
+    """
+
+    def __init__(self, comm: "Comm"):
+        self._comm = comm
+        self._event = SimEvent(comm.kernel)
+        self._value: Any = None
+        self._error: Exception | None = None
+
+    # -- completion (called by the helper thread) -------------------------
+    def _complete(self, value: Any = None,
+                  error: Exception | None = None) -> None:
+        self._value = value
+        self._error = error
+        self._event.set()
+
+    # -- user API ----------------------------------------------------------
+    def test(self) -> bool:
+        """Non-blocking completion check."""
+        return self._event.is_set
+
+    def wait(self) -> Any:
+        """Block the owning rank until the operation completes.
+
+        Returns the received object for ``irecv`` requests, None for
+        sends.  Re-raises any transport error.
+        """
+        self._event.wait(self._comm.proc)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @staticmethod
+    def waitall(requests: list["Request"]) -> list[Any]:
+        """Wait on every request; returns their values in order."""
+        return [r.wait() for r in requests]

@@ -1,0 +1,280 @@
+"""Grid topology: hosts, fabrics, switches, links, routing.
+
+A :class:`Topology` holds a set of :class:`Host` machines and a set of
+:class:`Fabric` networks.  A fabric is *one* network of *one*
+technology — e.g. the Myrinet SAN of a cluster, a site LAN, or the
+wide-area interconnect — mirroring the paper's view that a grid node may
+own several NICs on different networks and that the runtime (PadicoTM)
+picks which one to use per communication.
+
+Each fabric is an undirected networkx graph whose nodes are host names
+and switch names; every edge materialises as a *pair of simplex*
+:class:`Link` objects (full-duplex cable), which is what makes the
+max-min allocator in :mod:`repro.net.flows` attribute send and receive
+bandwidth independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import networkx as nx
+
+from repro.net.devices import ETHERNET_100, MYRINET_2000, WAN, NetworkTechnology
+
+
+class NoRouteError(RuntimeError):
+    """No live path between two endpoints on the requested fabric."""
+
+
+class Link:
+    """A simplex (one-direction) network link.
+
+    ``up`` supports failure injection: a downed link is skipped by
+    routing and kills flows currently crossing it.
+    """
+
+    __slots__ = ("name", "src", "dst", "fabric", "bandwidth", "latency", "up")
+
+    def __init__(self, name: str, src: str, dst: str, fabric: "Fabric",
+                 bandwidth: float, latency: float):
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.fabric = fabric
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.up = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.name} {self.bandwidth/1e6:.0f}MB/s {state}>"
+
+
+@dataclass
+class Host:
+    """A grid machine.
+
+    ``cpus`` models the paper's dual-Pentium III nodes: it bounds how
+    many simulated processes can burn CPU concurrently without slowdown
+    (the CPU model lives in the PadicoTM layer; here it is descriptive
+    metadata used by deployment planning).
+    """
+
+    name: str
+    cpus: int = 2
+    site: str = "default"
+    labels: frozenset[str] = frozenset()
+    fabrics: set[str] = field(default_factory=set)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class Fabric:
+    """One network of one technology inside a :class:`Topology`."""
+
+    def __init__(self, name: str, technology: NetworkTechnology):
+        self.name = name
+        self.technology = technology
+        self.graph = nx.Graph()
+        self._links: dict[tuple[str, str], Link] = {}
+
+    def _add_edge(self, a: str, b: str, bandwidth: float,
+                  latency: float) -> None:
+        if a == b:
+            raise ValueError(f"self-loop {a!r} in fabric {self.name!r}")
+        self.graph.add_edge(a, b)
+        for src, dst in ((a, b), (b, a)):
+            self._links[(src, dst)] = Link(
+                f"{self.name}:{src}->{dst}", src, dst, self,
+                bandwidth, latency)
+
+    def link(self, src: str, dst: str) -> Link:
+        return self._links[(src, dst)]
+
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    def route(self, src: str, dst: str) -> list[Link]:
+        """Directed links along the lowest-latency live path src→dst."""
+        if src == dst:
+            return []
+        if src not in self.graph or dst not in self.graph:
+            raise NoRouteError(
+                f"{src!r} or {dst!r} not attached to fabric {self.name!r}")
+
+        def weight(a: str, b: str, _attrs: dict) -> float | None:
+            link = self._links[(a, b)]
+            return link.latency if link.up else None
+
+        try:
+            path = nx.shortest_path(self.graph, src, dst, weight=weight)
+        except nx.NetworkXNoPath as exc:
+            raise NoRouteError(
+                f"no live path {src!r}->{dst!r} on fabric {self.name!r}") from exc
+        return [self._links[(a, b)] for a, b in zip(path, path[1:])]
+
+    def path_latency(self, src: str, dst: str) -> float:
+        return sum(l.latency for l in self.route(src, dst))
+
+    def __repr__(self) -> str:
+        return (f"<Fabric {self.name} ({self.technology.name}) "
+                f"{self.graph.number_of_nodes()} nodes>")
+
+
+class Topology:
+    """The whole simulated grid: hosts plus fabrics."""
+
+    def __init__(self) -> None:
+        self.hosts: dict[str, Host] = {}
+        self.fabrics: dict[str, Fabric] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_host(self, name: str, cpus: int = 2, site: str = "default",
+                 labels: Iterable[str] = ()) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host {name!r}")
+        host = Host(name, cpus, site, frozenset(labels))
+        self.hosts[name] = host
+        return host
+
+    def add_fabric(self, name: str, technology: NetworkTechnology) -> Fabric:
+        if name in self.fabrics:
+            raise ValueError(f"duplicate fabric {name!r}")
+        fabric = Fabric(name, technology)
+        self.fabrics[name] = fabric
+        return fabric
+
+    def add_switch(self, fabric: str | Fabric, name: str) -> str:
+        """Register a switch node on a fabric; returns its name."""
+        fab = self._fabric(fabric)
+        fab.graph.add_node(name)
+        return name
+
+    def attach(self, host: str | Host, fabric: str | Fabric,
+               peer: str, bandwidth: float | None = None,
+               latency: float | None = None) -> None:
+        """Cable a host NIC to ``peer`` (a switch or another host)."""
+        fab = self._fabric(fabric)
+        hostname = host.name if isinstance(host, Host) else host
+        if hostname not in self.hosts:
+            raise ValueError(f"unknown host {hostname!r}")
+        tech = fab.technology
+        fab._add_edge(hostname, peer,
+                      tech.bandwidth if bandwidth is None else bandwidth,
+                      tech.latency if latency is None else latency)
+        self.hosts[hostname].fabrics.add(fab.name)
+
+    def link_switches(self, fabric: str | Fabric, a: str, b: str,
+                      bandwidth: float | None = None,
+                      latency: float | None = None) -> None:
+        fab = self._fabric(fabric)
+        tech = fab.technology
+        fab._add_edge(a, b,
+                      tech.bandwidth if bandwidth is None else bandwidth,
+                      tech.latency if latency is None else latency)
+
+    # -- queries ---------------------------------------------------------
+    def _fabric(self, fabric: str | Fabric) -> Fabric:
+        if isinstance(fabric, Fabric):
+            return fabric
+        try:
+            return self.fabrics[fabric]
+        except KeyError:
+            raise ValueError(f"unknown fabric {fabric!r}") from None
+
+    def route(self, src: str, dst: str, fabric: str | Fabric) -> list[Link]:
+        return self._fabric(fabric).route(src, dst)
+
+    def fabrics_connecting(self, src: str, dst: str) -> list[Fabric]:
+        """All fabrics offering a live path src→dst, best bandwidth first.
+
+        This is the raw material for PadicoTM's automatic network
+        selection (§4.3.2): given two endpoints, which wires could carry
+        the traffic and which is fastest.
+        """
+        out: list[Fabric] = []
+        for fab in self.fabrics.values():
+            try:
+                fab.route(src, dst)
+            except NoRouteError:
+                continue
+            out.append(fab)
+        out.sort(key=lambda f: (-f.technology.bandwidth, f.name))
+        return out
+
+    def set_link_state(self, fabric: str | Fabric, src: str, dst: str,
+                       up: bool, both_directions: bool = True) -> list[Link]:
+        """Failure injection: bring a cable down (or back up)."""
+        fab = self._fabric(fabric)
+        pairs = [(src, dst), (dst, src)] if both_directions else [(src, dst)]
+        changed = []
+        for a, b in pairs:
+            link = fab.link(a, b)
+            link.up = up
+            changed.append(link)
+        return changed
+
+
+# ---------------------------------------------------------------------------
+# convenience builders used across tests, examples and benchmarks
+# ---------------------------------------------------------------------------
+
+def build_cluster(topo: Topology, name: str, n_hosts: int,
+                  san: NetworkTechnology | None = MYRINET_2000,
+                  lan: NetworkTechnology | None = ETHERNET_100,
+                  cpus: int = 2, site: str | None = None,
+                  labels: Iterable[str] = ()) -> list[Host]:
+    """A cluster: ``n_hosts`` dual-CPU machines on a SAN and/or a LAN.
+
+    Mirrors the paper's testbed: every node has a Myrinet-2000 NIC into
+    the SAN switch and a Fast-Ethernet NIC into the site LAN switch.
+    Fabrics are named ``{name}-san`` / ``{name}-lan``.
+    """
+    site = site or name
+    hosts = []
+    san_fab = topo.add_fabric(f"{name}-san", san) if san else None
+    lan_fab = topo.add_fabric(f"{name}-lan", lan) if lan else None
+    if san_fab:
+        topo.add_switch(san_fab, f"{name}-san-sw")
+    if lan_fab:
+        topo.add_switch(lan_fab, f"{name}-lan-sw")
+    for i in range(n_hosts):
+        host = topo.add_host(f"{name}{i}", cpus=cpus, site=site, labels=labels)
+        if san_fab:
+            topo.attach(host, san_fab, f"{name}-san-sw")
+        if lan_fab:
+            topo.attach(host, lan_fab, f"{name}-lan-sw")
+        hosts.append(host)
+    return hosts
+
+
+def build_two_site_grid(topo: Topology | None = None,
+                        n_per_site: int = 4,
+                        wan_tech: NetworkTechnology = WAN,
+                        ) -> tuple[Topology, list[Host], list[Host]]:
+    """The paper's §2 deployment: two clusters joined by a wide-area link.
+
+    Returns ``(topology, site_a_hosts, site_b_hosts)``.  The WAN fabric
+    reaches every host through its site router (Ethernet hop to the
+    router, WAN hop between routers), so cross-site traffic is slow and
+    insecure while intra-site traffic can use the SAN.
+    """
+    topo = topo or Topology()
+    a_hosts = build_cluster(topo, "a", n_per_site, site="site-a")
+    b_hosts = build_cluster(topo, "b", n_per_site, site="site-b")
+    wan = topo.add_fabric("wan", wan_tech)
+    topo.add_switch(wan, "router-a")
+    topo.add_switch(wan, "router-b")
+    topo.link_switches(wan, "router-a", "router-b")
+    for h in a_hosts:
+        topo.attach(h, wan, "router-a",
+                    bandwidth=ETHERNET_100.bandwidth,
+                    latency=ETHERNET_100.latency)
+    for h in b_hosts:
+        topo.attach(h, wan, "router-b",
+                    bandwidth=ETHERNET_100.bandwidth,
+                    latency=ETHERNET_100.latency)
+    return topo, a_hosts, b_hosts

@@ -1,0 +1,39 @@
+"""PadicoTM abstraction layer (paper §4.3.2).
+
+Provides *both* communication paradigms as hardware-independent
+interfaces:
+
+- :class:`Circuit` — parallel-oriented: static group, logical ranks,
+  framed messages (what MPI builds on);
+- :class:`VLink` — distributed-oriented: dynamic connect/accept streams
+  (what CORBA's GIOP, SOAP/HTTP, ... build on).
+
+Each interface maps automatically onto the best arbitrated driver for
+the hardware actually between the endpoints.  The mapping can be
+*straight* (parallel interface on a parallel network) or
+*cross-paradigm* (e.g. VLink on Myrinet — the mechanism by which the
+paper's omniORB reaches 240 MB/s); the choice is made per endpoint pair
+by :mod:`repro.padicotm.abstraction.selector` and is completely
+transparent to the middleware above.
+"""
+
+from repro.padicotm.abstraction.circuit import ANY_SOURCE, Circuit
+from repro.padicotm.abstraction.selector import MappingChoice, select_group_fabric, select_pair_fabric
+from repro.padicotm.abstraction.vlink import (
+    ConnectionRefusedError,
+    VLink,
+    VLinkEndpoint,
+    VLinkListener,
+)
+
+__all__ = [
+    "Circuit",
+    "ANY_SOURCE",
+    "VLink",
+    "VLinkListener",
+    "VLinkEndpoint",
+    "ConnectionRefusedError",
+    "MappingChoice",
+    "select_pair_fabric",
+    "select_group_fabric",
+]

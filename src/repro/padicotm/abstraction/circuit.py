@@ -1,0 +1,139 @@
+"""Circuit: the parallel-oriented abstract interface (paper §4.3.2).
+
+A Circuit is a static group of PadicoTM processes with logical ranks and
+framed messaging — the abstraction MPI is implemented on.  The backend
+is selected automatically:
+
+- all members share a parallel fabric (Myrinet/SCI SAN) → a Madeleine
+  channel (**straight** mapping);
+- otherwise → a framed mesh over the best distributed fabric with TCP
+  costs (**cross-paradigm** mapping: parallel interface on distributed
+  hardware);
+- all members in one host → loopback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.net.devices import PARALLEL
+from repro.padicotm.abstraction.selector import (
+    MappingChoice,
+    select_group_fabric,
+)
+from repro.padicotm.arbitration._framed import ANY_SOURCE, FramedGroupTransport
+from repro.padicotm.arbitration.madeleine import open_channel
+from repro.padicotm.arbitration.sockets import (
+    TCP_RECV_OVERHEAD,
+    TCP_SEND_OVERHEAD,
+)
+from repro.sim.kernel import SimProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.padicotm.runtime import PadicoProcess, PadicoRuntime
+
+__all__ = ["Circuit", "ANY_SOURCE"]
+
+
+class _SocketMesh(FramedGroupTransport):
+    """Cross-paradigm backend: framed group messaging over TCP links."""
+
+    send_overhead = TCP_SEND_OVERHEAD
+    recv_overhead = TCP_RECV_OVERHEAD
+
+    def __init__(self, runtime: "PadicoRuntime",
+                 members: list["PadicoProcess"], fabric: str | None):
+        super().__init__(runtime, members, fabric)
+        if fabric is not None:
+            for p in members:
+                p.arbitration.sockets()._ensure_claim(fabric)
+
+
+class Circuit:
+    """Parallel-oriented group communication abstraction."""
+
+    def __init__(self, name: str, backend: FramedGroupTransport,
+                 choice: MappingChoice):
+        self.name = name
+        self._backend = backend
+        self.choice = choice
+
+    # ------------------------------------------------------------------
+    # establishment
+    # ------------------------------------------------------------------
+    @classmethod
+    def establish(cls, runtime: "PadicoRuntime",
+                  name: str, members: list["PadicoProcess"],
+                  fabric: str | None = None) -> "Circuit":
+        """Collectively create a circuit over ``members``.
+
+        ``fabric`` forces a specific network (used by ablation benches);
+        by default the selector picks the best one.
+        """
+        hosts = [p.host.name for p in members]
+        choice = select_group_fabric(runtime.topology, hosts, PARALLEL,
+                                     forced_fabric=fabric)
+        if choice.fabric is not None and \
+                choice.fabric.technology.paradigm == PARALLEL:
+            backend: FramedGroupTransport = open_channel(
+                runtime, f"circuit:{name}", members, choice.fabric.name)
+        else:
+            backend = _SocketMesh(runtime, members, choice.fabric_name)
+        return cls(name, backend, choice)
+
+    # ------------------------------------------------------------------
+    # paradigm API
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._backend.size
+
+    @property
+    def runtime(self) -> "PadicoRuntime":
+        return self._backend.runtime
+
+    @property
+    def members(self) -> list["PadicoProcess"]:
+        return self._backend.members
+
+    @property
+    def mapping(self) -> str:
+        """``straight``, ``cross-paradigm`` or ``loopback``."""
+        return self.choice.mapping
+
+    @property
+    def fabric_name(self) -> str | None:
+        return self.choice.fabric_name
+
+    def rank_of(self, process: "PadicoProcess") -> int:
+        return self._backend.rank_of[process.name]
+
+    def send(self, proc: SimProcess, my_rank: int, dst_rank: int,
+             payload: Any, nbytes: float) -> None:
+        """Send a framed message to ``dst_rank`` (blocking, timed)."""
+        self._backend.send(proc, my_rank, dst_rank, payload, nbytes)
+
+    def recv(self, proc: SimProcess, my_rank: int,
+             source: int = ANY_SOURCE, where=None) -> tuple[int, Any, float]:
+        """Blocking selective receive → ``(src_rank, payload, nbytes)``.
+
+        ``where`` optionally filters on the payload (tag matching)."""
+        return self._backend.recv(proc, my_rank, source, where)
+
+    def poll(self, my_rank: int, source: int = ANY_SOURCE,
+             where=None) -> bool:
+        return self._backend.poll(my_rank, source, where)
+
+    def wait_message(self, proc: SimProcess, my_rank: int,
+                     source: int = ANY_SOURCE,
+                     where=None) -> tuple[int, Any, float]:
+        """Blocking probe: peek at the next matching message."""
+        return self._backend.wait_message(proc, my_rank, source, where)
+
+    def deliver_nowait(self, dst_rank: int, src_rank: int, payload: Any,
+                       nbytes: float) -> None:
+        self._backend.deliver_nowait(dst_rank, src_rank, payload, nbytes)
+
+    def __repr__(self) -> str:
+        return (f"<Circuit {self.name} size={self.size} "
+                f"{self.mapping} on {self.fabric_name}>")

@@ -1,0 +1,245 @@
+"""VLink: the distributed-oriented abstract interface (paper §4.3.2).
+
+VLink gives middleware the shape of a dynamic stream — listen, connect,
+accept, ordered duplex messages — while the actual wire is chosen per
+connection by the selector:
+
+- endpoints share a parallel fabric → the stream rides the Madeleine
+  subsystem (**cross-paradigm**; this is how a CORBA ORB transparently
+  reaches Myrinet speed in Figure 7);
+- otherwise → TCP over the best distributed fabric (**straight**);
+- same host → loopback.
+
+A per-endpoint ``security_policy`` hook lets the deployment layer charge
+encryption cost on insecure wires (paper §2/§6)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Protocol
+
+from repro.net.devices import DISTRIBUTED
+from repro.padicotm.abstraction.selector import (
+    CROSS_PARADIGM,
+    MappingChoice,
+    select_pair_fabric,
+)
+from repro.padicotm.arbitration.madeleine import (
+    MAD_RECV_OVERHEAD,
+    MAD_SEND_OVERHEAD,
+)
+from repro.padicotm.arbitration.sockets import (
+    TCP_RECV_OVERHEAD,
+    TCP_SEND_OVERHEAD,
+)
+from repro.sim.kernel import SimProcess
+from repro.sim.sync import Mailbox
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.padicotm.runtime import PadicoProcess, PadicoRuntime
+
+#: loopback per-message software cost, seconds
+_LOOP_OVERHEAD = 0.5e-6
+
+_EOF = object()
+
+
+class ConnectionRefusedError(RuntimeError):
+    """No VLink listener at the target (process, port)."""
+
+
+class SecurityPolicy(Protocol):  # pragma: no cover - structural type
+    """Deployment-layer hook charging cryptographic CPU cost."""
+
+    def transform_cost(self, nbytes: float, fabric_name: str | None,
+                       secure_wire: bool) -> float:
+        """Extra per-side CPU seconds for a message of ``nbytes``."""
+        ...
+
+    def should_encrypt(self, fabric_name: str | None,
+                       secure_wire: bool) -> bool:
+        ...
+
+
+class VLinkListener:
+    """Passive VLink endpoint accepting incoming connections."""
+
+    def __init__(self, process: "PadicoProcess", port: str):
+        self.process = process
+        self.port = port
+        self._backlog = Mailbox(process.runtime.kernel)
+        self.closed = False
+
+    def accept(self, proc: SimProcess) -> "VLinkEndpoint":
+        """Block until a peer connects; returns the server-side end."""
+        return self._backlog.get(proc)
+
+    def poll(self) -> bool:
+        return not self._backlog.empty
+
+    def close(self) -> None:
+        self.closed = True
+        key = (self.process.name, self.port)
+        self.process.runtime.vlink_listeners.pop(key, None)
+
+
+class VLinkEndpoint:
+    """One end of an established VLink stream."""
+
+    def __init__(self, runtime: "PadicoRuntime", local: "PadicoProcess",
+                 remote: "PadicoProcess", choice: MappingChoice):
+        self.runtime = runtime
+        self.local = local
+        self.remote = remote
+        self.choice = choice
+        if choice.fabric is None:
+            self._send_ovh = self._recv_ovh = _LOOP_OVERHEAD
+        elif choice.mapping == CROSS_PARADIGM:
+            self._send_ovh, self._recv_ovh = (MAD_SEND_OVERHEAD,
+                                              MAD_RECV_OVERHEAD)
+        else:
+            self._send_ovh, self._recv_ovh = (TCP_SEND_OVERHEAD,
+                                              TCP_RECV_OVERHEAD)
+        self._inbox = Mailbox(runtime.kernel)
+        self.peer: "VLinkEndpoint | None" = None
+        self.closed = False
+        # the process-wide default policy applies unless overridden
+        self.security_policy: SecurityPolicy | None = \
+            getattr(local, "security_policy", None)
+        #: bytes this end sent through an encrypting policy (telemetry)
+        self.encrypted_bytes: float = 0.0
+        self.sent_bytes: float = 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def make_pair(cls, runtime: "PadicoRuntime", a: "PadicoProcess",
+                  b: "PadicoProcess", choice: MappingChoice
+                  ) -> tuple["VLinkEndpoint", "VLinkEndpoint"]:
+        ea = cls(runtime, a, b, choice)
+        eb = cls(runtime, b, a, choice)
+        ea.peer, eb.peer = eb, ea
+        return ea, eb
+
+    @property
+    def mapping(self) -> str:
+        return self.choice.mapping
+
+    @property
+    def fabric_name(self) -> str | None:
+        return self.choice.fabric_name
+
+    @property
+    def secure_wire(self) -> bool:
+        """Is the underlying wire physically trusted (SAN/loopback)?"""
+        if self.choice.fabric is None:
+            return True
+        return self.choice.fabric.technology.secure
+
+    # ------------------------------------------------------------------
+    def send(self, proc: SimProcess, payload: Any, nbytes: float) -> None:
+        """Send one message down the stream (blocking, timed)."""
+        if self.closed:
+            raise BrokenPipeError("VLink endpoint is closed")
+        extra = 0.0
+        if self.security_policy is not None:
+            extra = self.security_policy.transform_cost(
+                nbytes, self.fabric_name, self.secure_wire)
+            if self.security_policy.should_encrypt(self.fabric_name,
+                                                   self.secure_wire):
+                self.encrypted_bytes += nbytes
+        proc.sleep(self._send_ovh + extra)
+        if self.choice.fabric is None or \
+                self.local.host.name == self.remote.host.name:
+            self.runtime.local_copy(proc, nbytes)
+        else:
+            self.runtime.network.transfer(
+                proc, self.local.host.name, self.remote.host.name,
+                nbytes, self.choice.fabric.name)
+        self.sent_bytes += nbytes
+        self.peer._inbox.put_nowait((payload, nbytes, extra))
+
+    def recv(self, proc: SimProcess,
+             timeout: float | None = None) -> tuple[Any, float] | None:
+        """Blocking receive → ``(payload, nbytes)``, or None on EOF.
+
+        With ``timeout``, raises :class:`repro.sim.sync.SimTimeout`."""
+        item = self._inbox.get(proc, timeout=timeout)
+        if item is _EOF:
+            return None
+        payload, nbytes, sender_extra = item
+        # decryption costs the receiver what encryption cost the sender
+        proc.sleep(self._recv_ovh + sender_extra)
+        return payload, nbytes
+
+    def poll(self) -> bool:
+        return not self._inbox.empty
+
+    def close(self) -> None:
+        """Close: signal EOF to the peer and to local readers."""
+        if not self.closed:
+            self.closed = True
+            if self.peer is not None:
+                self.peer._inbox.put_nowait(_EOF)
+            # unblock threads of our own process waiting in recv()
+            self._inbox.put_nowait(_EOF)
+
+    def __repr__(self) -> str:
+        return (f"<VLinkEndpoint {self.local.name}->{self.remote.name} "
+                f"{self.mapping} on {self.fabric_name}>")
+
+
+class VLink:
+    """Factory namespace for the distributed-oriented abstraction."""
+
+    @staticmethod
+    def listen(process: "PadicoProcess", port: str) -> VLinkListener:
+        """Bind a listener on ``process`` under ``port``."""
+        runtime = process.runtime
+        key = (process.name, port)
+        if key in runtime.vlink_listeners:
+            raise OSError(f"VLink port {port!r} already bound in "
+                          f"{process.name!r}")
+        listener = VLinkListener(process, port)
+        runtime.vlink_listeners[key] = listener
+        return listener
+
+    @staticmethod
+    def connect(proc: SimProcess, process: "PadicoProcess",
+                target_process: str, port: str,
+                fabric: str | None = None) -> VLinkEndpoint:
+        """Connect to ``target_process:port``; blocks for the handshake.
+
+        ``fabric`` forces a wire (ablation benches); the default lets the
+        selector choose, which is the paper's intended behaviour.
+        """
+        runtime = process.runtime
+        target = runtime.process(target_process)
+        choice = select_pair_fabric(
+            runtime.topology, process.host.name, target.host.name,
+            DISTRIBUTED, forced_fabric=fabric)
+        if choice.fabric is not None:
+            if choice.mapping == CROSS_PARADIGM:
+                process.arbitration.madeleine()._ensure_claim(
+                    choice.fabric.name)
+            else:
+                process.arbitration.sockets()._ensure_claim(
+                    choice.fabric.name)
+        listener = runtime.vlink_listeners.get((target_process, port))
+        _hop(proc, runtime, process, target, choice)  # SYN
+        if listener is None or listener.closed:
+            raise ConnectionRefusedError(
+                f"{target_process}:{port} is not listening")
+        local_end, remote_end = VLinkEndpoint.make_pair(
+            runtime, process, target, choice)
+        listener._backlog.put_nowait(remote_end)
+        _hop(proc, runtime, process, target, choice)  # ACK
+        return local_end
+
+
+def _hop(proc: SimProcess, runtime: "PadicoRuntime",
+         src: "PadicoProcess", dst: "PadicoProcess",
+         choice: MappingChoice) -> None:
+    if choice.fabric is None or src.host.name == dst.host.name:
+        runtime.local_copy(proc, 0)
+    else:
+        runtime.network.transfer(proc, src.host.name, dst.host.name, 0,
+                                 choice.fabric.name)

@@ -1,0 +1,34 @@
+"""PadicoTM arbitration layer (paper §4.3.1).
+
+The arbitration layer is the *unique entry point* to low-level
+resources: network interfaces, threading policy, polling loops.  It
+contains one subsystem per low-level paradigm — :class:`MadeleineSubsystem`
+for parallel-oriented networks and :class:`SocketSubsystem` for
+distributed-oriented links — and a core that multiplexes access and
+detects the conflicts the paper motivates (exclusive Myrinet drivers,
+incompatible thread policies)."""
+
+from repro.padicotm.arbitration.core import (
+    ArbitrationConflictError,
+    ArbitrationCore,
+    NicClaim,
+    ThreadPolicyError,
+)
+from repro.padicotm.arbitration.madeleine import MadeleineChannel, MadeleineSubsystem
+from repro.padicotm.arbitration.sockets import (
+    SocketConnection,
+    SocketListener,
+    SocketSubsystem,
+)
+
+__all__ = [
+    "ArbitrationCore",
+    "ArbitrationConflictError",
+    "ThreadPolicyError",
+    "NicClaim",
+    "MadeleineSubsystem",
+    "MadeleineChannel",
+    "SocketSubsystem",
+    "SocketListener",
+    "SocketConnection",
+]

@@ -1,0 +1,100 @@
+"""Shared framed-message group transport.
+
+Both the Madeleine channel (parallel paradigm) and the cross-paradigm
+socket mesh behind :class:`~repro.padicotm.abstraction.circuit.Circuit`
+move framed messages between the ranks of a static process group; they
+differ only in the fabric they drive and the per-message software cost.
+This base class carries the common mechanics: rank bookkeeping, timed
+sends (same-host shared-memory copy vs network transfer), selective
+receives."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.kernel import SimProcess
+from repro.sim.sync import MatchQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.padicotm.runtime import PadicoProcess, PadicoRuntime
+
+#: Receive from any rank.
+ANY_SOURCE = -1
+
+
+class FramedGroupTransport:
+    """Timed, framed messaging between the ranks of a process group."""
+
+    #: software cost per message on the send side, seconds
+    send_overhead: float = 0.0
+    #: software cost per message on the receive side, seconds
+    recv_overhead: float = 0.0
+
+    def __init__(self, runtime: "PadicoRuntime",
+                 members: list["PadicoProcess"], fabric: str | None):
+        self.runtime = runtime
+        self.fabric = fabric  # None: every pair is same-host (loopback)
+        self.members = list(members)
+        self.rank_of = {p.name: i for i, p in enumerate(members)}
+        if len(self.rank_of) != len(members):
+            raise ValueError("duplicate process in group member list")
+        self._inbox = [MatchQueue(runtime.kernel) for _ in members]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def send(self, proc: SimProcess, src_rank: int, dst_rank: int,
+             payload: Any, nbytes: float) -> None:
+        """Send one framed message; blocks for overhead + transfer."""
+        src = self.members[src_rank]
+        dst = self.members[dst_rank]
+        if self.send_overhead:
+            proc.sleep(self.send_overhead)
+        if src.host.name == dst.host.name or self.fabric is None:
+            self.runtime.local_copy(proc, nbytes)
+        else:
+            self.runtime.network.transfer(
+                proc, src.host.name, dst.host.name, nbytes, self.fabric)
+        self._inbox[dst_rank].put((src_rank, payload, nbytes))
+
+    @staticmethod
+    def _predicate(source: int, where) -> "Any":
+        if source == ANY_SOURCE and where is None:
+            return None
+
+        def match(item) -> bool:
+            if source != ANY_SOURCE and item[0] != source:
+                return False
+            return where is None or where(item[1])
+
+        return match
+
+    def recv(self, proc: SimProcess, my_rank: int,
+             source: int = ANY_SOURCE, where=None) -> tuple[int, Any, float]:
+        """Blocking selective receive → ``(src_rank, payload, nbytes)``.
+
+        ``where`` optionally filters on the payload (MPI tag matching).
+        """
+        item = self._inbox[my_rank].get(proc, self._predicate(source, where))
+        if self.recv_overhead:
+            proc.sleep(self.recv_overhead)
+        return item
+
+    def poll(self, my_rank: int, source: int = ANY_SOURCE,
+             where=None) -> bool:
+        """Non-blocking probe for a pending message."""
+        return self._inbox[my_rank].poll(self._predicate(source, where))
+
+    def wait_message(self, proc: SimProcess, my_rank: int,
+                     source: int = ANY_SOURCE,
+                     where=None) -> tuple[int, Any, float]:
+        """Block until a matching message is pending, without consuming
+        it (probe semantics); returns a peek at the envelope."""
+        return self._inbox[my_rank].wait_match(
+            proc, self._predicate(source, where))
+
+    def deliver_nowait(self, dst_rank: int, src_rank: int, payload: Any,
+                       nbytes: float) -> None:
+        """Zero-time local delivery (used by kernel-context callbacks)."""
+        self._inbox[dst_rank].put((src_rank, payload, nbytes))

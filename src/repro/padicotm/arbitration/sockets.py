@@ -1,0 +1,168 @@
+"""Socket subsystem: distributed-oriented links (LAN, WAN, loopback).
+
+Plain-socket semantics as the paper uses them: dynamic, connection
+oriented, stream-of-messages.  The per-message software overhead models
+the kernel TCP stack (noticeably more expensive than the user-level
+Madeleine fast path)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.net.devices import DISTRIBUTED
+from repro.net.topology import NoRouteError
+from repro.sim.kernel import SimProcess
+from repro.sim.sync import Mailbox
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.padicotm.runtime import PadicoProcess, PadicoRuntime
+
+#: Per-message kernel TCP stack cost, seconds (each side).
+TCP_SEND_OVERHEAD = 5.0e-6
+TCP_RECV_OVERHEAD = 5.0e-6
+
+_EOF = object()
+
+
+class ConnectionRefusedError(RuntimeError):
+    """No listener at the target (process, port)."""
+
+
+class SocketListener:
+    """A passive socket: accepts incoming connections on a port."""
+
+    def __init__(self, subsystem: "SocketSubsystem", port: str):
+        self.subsystem = subsystem
+        self.port = port
+        self._backlog = Mailbox(subsystem.process.runtime.kernel)
+        self.closed = False
+
+    def accept(self, proc: SimProcess) -> "SocketConnection":
+        """Block until a peer connects; returns the server-side end."""
+        conn = self._backlog.get(proc)
+        return conn
+
+    def close(self) -> None:
+        self.closed = True
+        key = (self.subsystem.process.name, self.port)
+        self.subsystem.process.runtime.socket_listeners.pop(key, None)
+
+
+class SocketConnection:
+    """One end of an established duplex connection."""
+
+    def __init__(self, runtime: "PadicoRuntime", local: "PadicoProcess",
+                 remote: "PadicoProcess", fabric: str | None):
+        self.runtime = runtime
+        self.local = local
+        self.remote = remote
+        self.fabric = fabric  # None means same-host loopback
+        self._inbox = Mailbox(runtime.kernel)
+        self.peer: "SocketConnection | None" = None
+        self.closed = False
+
+    @classmethod
+    def make_pair(cls, runtime: "PadicoRuntime", a: "PadicoProcess",
+                  b: "PadicoProcess", fabric: str | None
+                  ) -> tuple["SocketConnection", "SocketConnection"]:
+        ca = cls(runtime, a, b, fabric)
+        cb = cls(runtime, b, a, fabric)
+        ca.peer, cb.peer = cb, ca
+        return ca, cb
+
+    def send(self, proc: SimProcess, payload: Any, nbytes: float) -> None:
+        """Send one message; blocks for TCP overhead + transfer time."""
+        if self.closed:
+            raise BrokenPipeError("socket is closed")
+        proc.sleep(TCP_SEND_OVERHEAD)
+        if self.fabric is None:
+            self.runtime.local_copy(proc, nbytes)
+        else:
+            self.runtime.network.transfer(
+                proc, self.local.host.name, self.remote.host.name,
+                nbytes, self.fabric)
+        self.peer._inbox.put_nowait((payload, nbytes))
+
+    def recv(self, proc: SimProcess) -> tuple[Any, float] | None:
+        """Blocking receive; returns ``(payload, nbytes)`` or None on EOF."""
+        item = self._inbox.get(proc)
+        if item is _EOF:
+            return None
+        proc.sleep(TCP_RECV_OVERHEAD)
+        return item
+
+    def poll(self) -> bool:
+        return not self._inbox.empty
+
+    def close(self) -> None:
+        """Half-close: signal EOF to the peer."""
+        if not self.closed:
+            self.closed = True
+            self.peer._inbox.put_nowait(_EOF)
+
+
+class SocketSubsystem:
+    """Per-process handle on the socket arbitration subsystem."""
+
+    def __init__(self, process: "PadicoProcess"):
+        self.process = process
+        self._claimed: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def listen(self, port: str) -> SocketListener:
+        runtime = self.process.runtime
+        key = (self.process.name, port)
+        if key in runtime.socket_listeners:
+            raise OSError(f"port {port!r} already bound in {self.process.name!r}")
+        listener = SocketListener(self, port)
+        runtime.socket_listeners[key] = listener
+        return listener
+
+    def connect(self, proc: SimProcess, target_process: str, port: str,
+                fabric: str | None = None) -> SocketConnection:
+        """Open a connection; blocks for the handshake round-trip."""
+        runtime = self.process.runtime
+        target = runtime.process(target_process)
+        same_host = target.host.name == self.process.host.name
+        if fabric is None and not same_host:
+            fabric = self._pick_fabric(target)
+        if fabric is not None:
+            self._ensure_claim(fabric)
+        listener = runtime.socket_listeners.get((target_process, port))
+        # SYN: one-way latency to the target
+        self._hop(proc, target, fabric)
+        if listener is None or listener.closed:
+            raise ConnectionRefusedError(
+                f"{target_process}:{port} is not listening")
+        local_end, remote_end = SocketConnection.make_pair(
+            runtime, self.process, target, fabric)
+        listener._backlog.put_nowait(remote_end)
+        # SYN/ACK: one-way latency back
+        self._hop(proc, target, fabric)
+        return local_end
+
+    # ------------------------------------------------------------------
+    def _pick_fabric(self, target: "PadicoProcess") -> str:
+        topo = self.process.runtime.topology
+        for fab in topo.fabrics_connecting(self.process.host.name,
+                                           target.host.name):
+            if fab.technology.paradigm == DISTRIBUTED:
+                return fab.name
+        raise NoRouteError(
+            f"no distributed-oriented fabric between "
+            f"{self.process.host.name!r} and {target.host.name!r}")
+
+    def _hop(self, proc: SimProcess, target: "PadicoProcess",
+             fabric: str | None) -> None:
+        if fabric is None:
+            self.process.runtime.local_copy(proc, 0)
+        else:
+            self.process.runtime.network.transfer(
+                proc, self.process.host.name, target.host.name, 0, fabric)
+
+    def _ensure_claim(self, fabric: str) -> None:
+        if fabric in self._claimed:
+            return
+        self.process.arbitration.claim_nic(
+            fabric, "tcp", owner="PadicoTM/sockets", cooperative=True)
+        self._claimed.add(fabric)

@@ -1,0 +1,106 @@
+"""Dynamically loadable PadicoTM modules (paper §4.3.4).
+
+"The middleware systems, like any other PadicoTM module, are dynamically
+loadable.  Thus, any combination of them may be used at the same time
+and can be dynamically changed."
+
+A :class:`PadicoModule` is a named unit with dependencies, an optional
+thread-policy requirement and load/unload hooks.  Middleware
+implementations (MPI, the CORBA ORBs, SOAP, the JVM, HLA) subclass it;
+the registry enforces dependency order, duplicate detection, and —
+together with the arbitration core — surface the conflicts that motivate
+PadicoTM when a *legacy* (non-cooperative) module grabs resources
+directly."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.padicotm.runtime import PadicoProcess
+
+
+class ModuleError(RuntimeError):
+    """Module lifecycle violation (missing dependency, duplicate...)."""
+
+
+class PadicoModule:
+    """Base class for loadable modules.
+
+    Class attributes subclasses may override:
+
+    - ``name`` / ``version`` — identity;
+    - ``requires`` — names of modules that must already be loaded;
+    - ``thread_policy`` — threading package the middleware was written
+      against (``None`` if it has no opinion);
+    - ``cooperative`` — True (default) when the module goes through
+      PadicoTM for resources; False models an unported legacy build that
+      grabs NICs and thread policies directly.
+    """
+
+    name: str = "module"
+    version: str = "1.0"
+    requires: tuple[str, ...] = ()
+    thread_policy: str | None = None
+    cooperative: bool = True
+
+    def on_load(self, process: "PadicoProcess") -> None:
+        """Hook run when the module is loaded into a process."""
+
+    def on_unload(self, process: "PadicoProcess") -> None:
+        """Hook run when the module is unloaded."""
+
+    def __repr__(self) -> str:
+        return f"<PadicoModule {self.name}-{self.version}>"
+
+
+class ModuleRegistry:
+    """Per-process module table with dependency management."""
+
+    def __init__(self, process: "PadicoProcess"):
+        self.process = process
+        self._loaded: dict[str, PadicoModule] = {}
+
+    def load(self, module: PadicoModule) -> PadicoModule:
+        """Load ``module``; raises :class:`ModuleError` on violations and
+        propagates arbitration conflicts from the module's hooks."""
+        if module.name in self._loaded:
+            raise ModuleError(f"module {module.name!r} already loaded in "
+                              f"{self.process.name!r}")
+        missing = [r for r in module.requires if r not in self._loaded]
+        if missing:
+            raise ModuleError(
+                f"module {module.name!r} requires {missing} "
+                f"(loaded: {sorted(self._loaded)})")
+        if module.thread_policy is not None:
+            self.process.arbitration.install_thread_policy(
+                module.thread_policy, owner=module.name,
+                via_padico=module.cooperative)
+        module.on_load(self.process)
+        self._loaded[module.name] = module
+        return module
+
+    def unload(self, name: str) -> None:
+        if name not in self._loaded:
+            raise ModuleError(f"module {name!r} is not loaded")
+        dependents = [m.name for m in self._loaded.values()
+                      if name in m.requires]
+        if dependents:
+            raise ModuleError(
+                f"cannot unload {name!r}: required by {dependents}")
+        module = self._loaded.pop(name)
+        module.on_unload(self.process)
+        self.process.arbitration.release_claims(name)
+
+    def is_loaded(self, name: str) -> bool:
+        return name in self._loaded
+
+    def get(self, name: str) -> PadicoModule:
+        try:
+            return self._loaded[name]
+        except KeyError:
+            raise ModuleError(f"module {name!r} is not loaded in "
+                              f"{self.process.name!r}") from None
+
+    def names(self) -> list[str]:
+        return list(self._loaded)

@@ -1,0 +1,26 @@
+"""PadicoTM personality layer (paper §4.3.3).
+
+Personalities are *thin adapters which adapt a generic API to make it
+look like another close API* — no protocol adaptation, no paradigm
+translation, only syntax.  We implement the four the paper names:
+
+- :class:`MadPersonality` — Madeleine's pack/unpack API on Circuit;
+- :class:`FMPersonality` — FastMessages' handler-dispatch API on Circuit;
+- :class:`BsdSocketPersonality` — BSD sockets on VLink;
+- :class:`AioPersonality` — POSIX.2 asynchronous I/O on VLink.
+"""
+
+from repro.padicotm.personality.aio import AioControlBlock, AioPersonality
+from repro.padicotm.personality.bsd import BsdSocket, BsdSocketPersonality
+from repro.padicotm.personality.fastmessages import FMPersonality
+from repro.padicotm.personality.madeleine_api import MadConnection, MadPersonality
+
+__all__ = [
+    "MadPersonality",
+    "MadConnection",
+    "FMPersonality",
+    "BsdSocketPersonality",
+    "BsdSocket",
+    "AioPersonality",
+    "AioControlBlock",
+]

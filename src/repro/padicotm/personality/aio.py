@@ -1,0 +1,98 @@
+"""POSIX asynchronous I/O personality on VLink.
+
+``aio_write``/``aio_read`` return immediately with a control block; the
+operation proceeds on a helper thread (a Marcel thread in the paper's
+runtime); ``aio_suspend`` blocks until completion and ``aio_return``
+yields the result, mirroring POSIX.2 Aio semantics."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.padicotm.abstraction.vlink import VLinkEndpoint
+from repro.sim.kernel import SimProcess
+from repro.sim.sync import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.padicotm.runtime import PadicoProcess
+
+#: aio_error states (POSIX uses errno values; we use symbolic ones)
+IN_PROGRESS = "EINPROGRESS"
+DONE = "0"
+FAILED = "EIO"
+
+
+class AioControlBlock:
+    """The aiocb: tracks one asynchronous operation."""
+
+    def __init__(self, kernel) -> None:
+        self._event = SimEvent(kernel)
+        self.state = IN_PROGRESS
+        self.result: Any = None
+        self.error: Exception | None = None
+
+    def _complete(self, result: Any, error: Exception | None) -> None:
+        self.result = result
+        self.error = error
+        self.state = FAILED if error else DONE
+        self._event.set()
+
+
+class AioPersonality:
+    """Aio veneer bound to one PadicoTM process."""
+
+    def __init__(self, process: "PadicoProcess"):
+        self.process = process
+
+    def aio_write(self, endpoint: VLinkEndpoint, data: Any,
+                  nbytes: float) -> AioControlBlock:
+        """Queue an asynchronous send; returns immediately."""
+        cb = AioControlBlock(self.process.runtime.kernel)
+
+        def worker(proc: SimProcess) -> None:
+            try:
+                endpoint.send(proc, data, nbytes)
+            except Exception as exc:  # noqa: BLE001 - surfaced via aiocb
+                cb._complete(None, exc)
+            else:
+                cb._complete(nbytes, None)
+
+        self.process.spawn(worker, name="aio-write", daemon=True)
+        return cb
+
+    def aio_read(self, endpoint: VLinkEndpoint) -> AioControlBlock:
+        """Queue an asynchronous receive; returns immediately."""
+        cb = AioControlBlock(self.process.runtime.kernel)
+
+        def worker(proc: SimProcess) -> None:
+            try:
+                item = endpoint.recv(proc)
+            except Exception as exc:  # noqa: BLE001 - surfaced via aiocb
+                cb._complete(None, exc)
+            else:
+                cb._complete(item, None)
+
+        self.process.spawn(worker, name="aio-read", daemon=True)
+        return cb
+
+    @staticmethod
+    def aio_error(cb: AioControlBlock) -> str:
+        return cb.state
+
+    @staticmethod
+    def aio_suspend(proc: SimProcess, cbs: list[AioControlBlock]) -> None:
+        """Block until at least one of ``cbs`` completes."""
+        while all(cb.state == IN_PROGRESS for cb in cbs):
+            # wait on the first in-progress block; broadcast semantics
+            for cb in cbs:
+                if cb.state == IN_PROGRESS:
+                    cb._event.wait(proc)
+                    break
+
+    @staticmethod
+    def aio_return(cb: AioControlBlock) -> Any:
+        if cb.state == IN_PROGRESS:
+            raise RuntimeError("operation still in progress")
+        if cb.error is not None:
+            raise cb.error
+        return cb.result

@@ -1,0 +1,94 @@
+"""BSD socket personality: the classic socket API on VLink.
+
+Legacy distributed middleware (ORBs, SOAP stacks) is written against
+``socket``/``bind``/``listen``/``accept``/``connect``/``send``/``recv``.
+This veneer maps those names one-to-one onto VLink, which is exactly how
+PadicoTM runs unmodified ORBs over whatever wire the selector picks."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.padicotm.abstraction.vlink import VLink, VLinkEndpoint, VLinkListener
+from repro.sim.kernel import SimProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.padicotm.runtime import PadicoProcess
+
+
+class BsdSocket:
+    """A socket in one of three roles: fresh, listening, or connected."""
+
+    def __init__(self, process: "PadicoProcess"):
+        self.process = process
+        self._listener: VLinkListener | None = None
+        self._endpoint: VLinkEndpoint | None = None
+        self._port: str | None = None
+
+    # -- server side ------------------------------------------------------
+    def bind(self, port: str) -> None:
+        if self._port is not None:
+            raise OSError("socket already bound")
+        self._port = port
+
+    def listen(self) -> None:
+        if self._port is None:
+            raise OSError("bind before listen")
+        self._listener = VLink.listen(self.process, self._port)
+
+    def accept(self, proc: SimProcess) -> "BsdSocket":
+        if self._listener is None:
+            raise OSError("listen before accept")
+        conn = BsdSocket(self.process)
+        conn._endpoint = self._listener.accept(proc)
+        return conn
+
+    # -- client side -------------------------------------------------------
+    def connect(self, proc: SimProcess, address: tuple[str, str]) -> None:
+        if self._endpoint is not None:
+            raise OSError("socket already connected")
+        target_process, port = address
+        self._endpoint = VLink.connect(proc, self.process,
+                                       target_process, port)
+
+    # -- data --------------------------------------------------------------
+    def send(self, proc: SimProcess, data: bytes) -> int:
+        ep = self._require_endpoint()
+        ep.send(proc, data, float(len(data)))
+        return len(data)
+
+    def recv(self, proc: SimProcess) -> bytes:
+        """Next message's bytes; ``b""`` on EOF (BSD convention)."""
+        ep = self._require_endpoint()
+        item = ep.recv(proc)
+        if item is None:
+            return b""
+        payload, _n = item
+        return payload
+
+    def close(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+        if self._endpoint is not None:
+            self._endpoint.close()
+
+    # -- internals -----------------------------------------------------------
+    def _require_endpoint(self) -> VLinkEndpoint:
+        if self._endpoint is None:
+            raise OSError("socket is not connected")
+        return self._endpoint
+
+    @property
+    def endpoint(self) -> VLinkEndpoint | None:
+        """The underlying VLink endpoint (for white-box assertions)."""
+        return self._endpoint
+
+
+class BsdSocketPersonality:
+    """Factory bound to one PadicoTM process."""
+
+    def __init__(self, process: "PadicoProcess"):
+        self.process = process
+
+    def socket(self) -> BsdSocket:
+        return BsdSocket(self.process)

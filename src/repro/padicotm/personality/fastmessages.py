@@ -1,0 +1,53 @@
+"""FastMessages personality: handler-dispatch messaging on Circuit.
+
+Illinois Fast Messages associates each message with a *handler id*; the
+receiver calls ``FM_extract`` to drain pending messages, running the
+registered handler for each."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.padicotm.abstraction.circuit import Circuit
+from repro.sim.kernel import SimProcess
+
+
+class FMPersonality:
+    """FastMessages API veneer for one rank of a Circuit."""
+
+    def __init__(self, circuit: Circuit, my_rank: int):
+        self.circuit = circuit
+        self.my_rank = my_rank
+        self._handlers: dict[int, Callable] = {}
+
+    def register_handler(self, handler_id: int,
+                         fn: Callable[[int, Any], None]) -> None:
+        """Register ``fn(src_rank, data)`` for ``handler_id``."""
+        if handler_id in self._handlers:
+            raise ValueError(f"handler {handler_id} already registered")
+        self._handlers[handler_id] = fn
+
+    def fm_send(self, proc: SimProcess, dst_rank: int, handler_id: int,
+                data: Any, nbytes: float) -> None:
+        if handler_id not in self._handlers and dst_rank == self.my_rank:
+            raise LookupError(f"no handler {handler_id} registered")
+        self.circuit.send(proc, self.my_rank, dst_rank,
+                          (handler_id, data), nbytes)
+
+    def fm_extract(self, proc: SimProcess, max_messages: int = 1) -> int:
+        """Drain up to ``max_messages`` (blocking for the first); runs
+        handlers; returns how many were processed."""
+        processed = 0
+        while processed < max_messages:
+            if processed > 0 and not self.circuit.poll(self.my_rank):
+                break
+            src, (handler_id, data), _n = self.circuit.recv(proc, self.my_rank)
+            try:
+                handler = self._handlers[handler_id]
+            except KeyError:
+                raise LookupError(
+                    f"message with unregistered handler {handler_id}") \
+                    from None
+            handler(src, data)
+            processed += 1
+        return processed

@@ -1,0 +1,67 @@
+"""Madeleine personality: pack/unpack message building on Circuit.
+
+Real Madeleine builds a message from several *packed* segments between
+``mad_begin_packing`` and ``mad_end_packing``; the receiver mirrors with
+``begin_unpacking``/``unpack``/``end_unpacking``.  The adapter only
+translates this syntax onto one framed Circuit message."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.padicotm.abstraction.circuit import ANY_SOURCE, Circuit
+from repro.sim.kernel import SimProcess
+
+
+class MadConnection:
+    """An in-flight message being packed or unpacked."""
+
+    def __init__(self, remote_rank: int):
+        self.remote_rank = remote_rank
+        self.segments: list[tuple[Any, float]] = []
+        self._cursor = 0
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(n for _, n in self.segments)
+
+
+class MadPersonality:
+    """Madeleine API veneer for one rank of a Circuit."""
+
+    def __init__(self, circuit: Circuit, my_rank: int):
+        self.circuit = circuit
+        self.my_rank = my_rank
+
+    # -- sender side ----------------------------------------------------
+    def begin_packing(self, dst_rank: int) -> MadConnection:
+        return MadConnection(dst_rank)
+
+    def pack(self, conn: MadConnection, data: Any, nbytes: float) -> None:
+        conn.segments.append((data, nbytes))
+
+    def end_packing(self, proc: SimProcess, conn: MadConnection) -> None:
+        """Flush: the whole packed message travels as one frame."""
+        self.circuit.send(proc, self.my_rank, conn.remote_rank,
+                          conn.segments, conn.total_bytes)
+
+    # -- receiver side ---------------------------------------------------
+    def begin_unpacking(self, proc: SimProcess,
+                        source: int = ANY_SOURCE) -> MadConnection:
+        src, segments, _n = self.circuit.recv(proc, self.my_rank, source)
+        conn = MadConnection(src)
+        conn.segments = list(segments)
+        return conn
+
+    def unpack(self, conn: MadConnection) -> Any:
+        if conn._cursor >= len(conn.segments):
+            raise IndexError("no more segments to unpack")
+        data, _n = conn.segments[conn._cursor]
+        conn._cursor += 1
+        return data
+
+    def end_unpacking(self, conn: MadConnection) -> None:
+        if conn._cursor != len(conn.segments):
+            raise RuntimeError(
+                f"message not fully unpacked: {conn._cursor} of "
+                f"{len(conn.segments)} segments consumed")

@@ -1,0 +1,123 @@
+"""Grid runtime: the simulated world and per-process PadicoTM instances.
+
+:class:`PadicoRuntime` owns the simulation kernel, the topology and the
+flow network, and tracks every :class:`PadicoProcess` (one simulated OS
+process running PadicoTM on some host).  A PadicoProcess hosts
+middleware modules, its arbitration core, and any number of simulated
+threads (the paper's Marcel threads)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.devices import LOOPBACK
+from repro.net.flows import FlowNetwork
+from repro.net.topology import Host, Topology
+from repro.sim.kernel import SimKernel, SimProcess
+
+
+class PadicoRuntime:
+    """The simulated grid: kernel + network + process registry.
+
+    Typical setup::
+
+        runtime = PadicoRuntime(topology)
+        p0 = runtime.create_process("a0", "server")
+        p1 = runtime.create_process("a1", "client")
+        ... load modules, spawn threads ...
+        runtime.kernel.run()
+    """
+
+    def __init__(self, topology: Topology, kernel: SimKernel | None = None):
+        self.kernel = kernel or SimKernel()
+        self.topology = topology
+        self.network = FlowNetwork(self.kernel, topology)
+        self.processes: dict[str, PadicoProcess] = {}
+        #: socket listener registry: (process_name, port) -> SocketListener
+        self.socket_listeners: dict[tuple[str, str], Any] = {}
+        #: VLink listener registry: (process_name, port) -> VLinkListener
+        self.vlink_listeners: dict[tuple[str, str], Any] = {}
+
+    def create_process(self, host: str | Host, name: str) -> "PadicoProcess":
+        """Boot a PadicoTM process on ``host`` under a unique ``name``."""
+        hostname = host.name if isinstance(host, Host) else host
+        if hostname not in self.topology.hosts:
+            raise ValueError(f"unknown host {hostname!r}")
+        if name in self.processes:
+            raise ValueError(f"duplicate process name {name!r}")
+        proc = PadicoProcess(self, self.topology.hosts[hostname], name)
+        self.processes[name] = proc
+        return proc
+
+    def process(self, name: str) -> "PadicoProcess":
+        try:
+            return self.processes[name]
+        except KeyError:
+            raise ValueError(f"no such PadicoTM process {name!r}") from None
+
+    def run(self, until: float | None = None) -> float:
+        return self.kernel.run(until=until)
+
+    def shutdown(self) -> None:
+        self.kernel.shutdown()
+
+    def __enter__(self) -> "PadicoRuntime":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # intra-host data movement (both endpoints on the same machine)
+    # ------------------------------------------------------------------
+    def local_copy(self, proc: SimProcess, nbytes: float) -> None:
+        """Charge the cost of a same-host message (shared-memory copy)."""
+        proc.sleep(LOOPBACK.latency + nbytes / LOOPBACK.bandwidth)
+
+
+class PadicoProcess:
+    """One simulated OS process running the PadicoTM runtime.
+
+    Middleware modules are loaded into :attr:`modules`; network access
+    goes through :attr:`arbitration`; simulated threads are spawned with
+    :meth:`spawn`.
+    """
+
+    def __init__(self, runtime: PadicoRuntime, host: Host, name: str):
+        # imports here to avoid a cycle (arbitration needs runtime types)
+        from repro.padicotm.arbitration.core import ArbitrationCore
+        from repro.padicotm.modules import ModuleRegistry
+
+        self.runtime = runtime
+        self.host = host
+        self.name = name
+        self.arbitration = ArbitrationCore(self)
+        self.modules = ModuleRegistry(self)
+        #: default VLink security policy (see repro.deploy.security)
+        self.security_policy = None
+        self._threads: list[SimProcess] = []
+
+    def spawn(self, fn: Callable, *args: Any, name: str | None = None,
+              daemon: bool = False, delay: float = 0.0) -> SimProcess:
+        """Start a simulated thread inside this process.
+
+        The target runs as ``fn(sim_process, *args)``; by PadicoTM
+        convention middleware passes this PadicoProcess explicitly where
+        needed.
+        """
+        label = f"{self.name}/{name or f'thr{len(self._threads)}'}"
+        thread = self.runtime.kernel.spawn(fn, *args, name=label,
+                                           daemon=daemon, delay=delay)
+        # tag the thread with its hosting OS process: middleware uses
+        # this to enforce process isolation (a stub created by one
+        # process's ORB cannot be driven from another process's threads)
+        thread.padico_process = self
+        self._threads.append(thread)
+        return thread
+
+    @property
+    def threads(self) -> list[SimProcess]:
+        return list(self._threads)
+
+    def __repr__(self) -> str:
+        return f"<PadicoProcess {self.name} on {self.host.name}>"

@@ -1,0 +1,62 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the execution substrate for the whole Padico
+reproduction: simulated grid processes are ordinary Python threads, but
+the kernel hands out a single "run token" so exactly one simulated
+process executes at any instant and every run is fully deterministic.
+
+The virtual clock (:attr:`SimKernel.now`, seconds as ``float``) stands in
+for the wall clock of the paper's testbed; all latencies and bandwidths
+reported by the benchmarks are read off this clock.
+
+Public API
+----------
+- :class:`SimKernel` — event loop, virtual clock, process management.
+- :class:`SimProcess` — a simulated process (thread-backed coroutine).
+- :class:`Timer` — cancellable scheduled callback handle.
+- Exceptions: :class:`SimShutdown`, :class:`SimInterrupt`,
+  :class:`SimDeadlockError`, :class:`SimProcessError`.
+- Synchronisation primitives in :mod:`repro.sim.sync`: :class:`Mailbox`,
+  :class:`SimEvent`, :class:`SimLock`, :class:`SimSemaphore`,
+  :class:`SimCondition`, :class:`SimBarrier`, :class:`WaitQueue`.
+"""
+
+from repro.sim.kernel import (
+    SimDeadlockError,
+    SimInterrupt,
+    SimKernel,
+    SimProcess,
+    SimProcessError,
+    SimShutdown,
+    Timer,
+)
+from repro.sim.sync import (
+    Mailbox,
+    SimTimeout,
+    MatchQueue,
+    SimBarrier,
+    SimCondition,
+    SimEvent,
+    SimLock,
+    SimSemaphore,
+    WaitQueue,
+)
+
+__all__ = [
+    "SimKernel",
+    "SimProcess",
+    "Timer",
+    "SimShutdown",
+    "SimInterrupt",
+    "SimDeadlockError",
+    "SimProcessError",
+    "Mailbox",
+    "MatchQueue",
+    "SimTimeout",
+    "SimEvent",
+    "SimLock",
+    "SimSemaphore",
+    "SimCondition",
+    "SimBarrier",
+    "WaitQueue",
+]

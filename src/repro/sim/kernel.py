@@ -1,0 +1,400 @@
+"""Deterministic cooperative simulation kernel.
+
+Simulated processes are backed by real Python threads, but the kernel
+enforces *one-at-a-time* execution: a process runs until it performs a
+timed or blocking primitive (``sleep``, ``suspend``, a :class:`Mailbox`
+get, ...), at which point control returns to the kernel, which pops the
+next event off a ``(time, seq)``-ordered heap.  Because the event order
+is a total order and only one thread ever runs, simulations are exactly
+reproducible — a property the test-suite checks.
+
+The design follows the classic "threads as coroutines" pattern: each
+process owns a semaphore (``_go``); the kernel owns one (``_control``).
+Resuming a process is ``proc._go.release(); kernel._control.acquire()``;
+yielding is the mirror image.  No other locking is needed because the
+run token serialises every access to kernel data structures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any, Callable, Iterable
+
+
+class SimShutdown(BaseException):
+    """Raised inside a simulated process when the kernel shuts down.
+
+    Derives from ``BaseException`` so that ordinary ``except Exception``
+    blocks in user code do not swallow it.
+    """
+
+
+class SimInterrupt(Exception):
+    """Raised inside a simulated process interrupted by another process
+    (failure injection, cancellation)."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimDeadlockError(RuntimeError):
+    """All processes are blocked and no event can ever wake them."""
+
+
+class SimProcessError(RuntimeError):
+    """A non-daemon simulated process died with an exception."""
+
+    def __init__(self, process: "SimProcess", exc: BaseException):
+        super().__init__(f"process {process.name!r} failed: {exc!r}")
+        self.process = process
+        self.exc = exc
+
+
+class Timer:
+    """Handle for a scheduled event; supports :meth:`cancel`."""
+
+    __slots__ = ("time", "seq", "_fn", "_args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self._fn = fn
+        self._args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class SimProcess:
+    """A simulated process: a thread run cooperatively by the kernel.
+
+    Created via :meth:`SimKernel.spawn`.  The target function receives
+    the process object as its first argument, giving access to
+    :meth:`sleep`, :meth:`suspend` and the kernel.
+    """
+
+    _STATE_NEW = "new"
+    _STATE_READY = "ready"
+    _STATE_RUNNING = "running"
+    _STATE_BLOCKED = "blocked"
+    _STATE_DONE = "done"
+    _STATE_FAILED = "failed"
+
+    def __init__(self, kernel: "SimKernel", fn: Callable, args: tuple,
+                 name: str, daemon: bool):
+        self.kernel = kernel
+        self.name = name
+        self.daemon = daemon
+        self.result: Any = None
+        self.exc: BaseException | None = None
+        self._fn = fn
+        self._args = args
+        self._go = threading.Semaphore(0)
+        self._state = self._STATE_NEW
+        self._wake_value: Any = None
+        self._pending_exc: BaseException | None = None
+        self._wake_token = 0  # invalidates stale scheduled wake-ups
+        self._joiners: list[SimProcess] = []
+        self._thread = threading.Thread(
+            target=self._run, name=f"sim:{name}", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        self._go.acquire()  # wait for first dispatch from kernel
+        try:
+            if self._pending_exc is not None:  # shut down before first run
+                exc = self._pending_exc
+                self._pending_exc = None
+                raise exc
+            self.result = self._fn(self, *self._args)
+            self._state = self._STATE_DONE
+        except SimShutdown:
+            self._state = self._STATE_DONE
+        except BaseException as exc:  # noqa: BLE001 - report to kernel
+            self.exc = exc
+            self._state = self._STATE_FAILED
+        finally:
+            self.kernel._on_process_exit(self)
+            self.kernel._control.release()
+
+    @property
+    def alive(self) -> bool:
+        """True while the process has neither returned nor failed."""
+        return self._state not in (self._STATE_DONE, self._STATE_FAILED)
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimProcess {self.name} {self._state} t={self.kernel.now:.6f}>"
+
+    # ------------------------------------------------------------------
+    # primitives usable from inside the process
+    # ------------------------------------------------------------------
+    def sleep(self, duration: float) -> None:
+        """Advance this process's virtual time by ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError(f"negative sleep duration {duration}")
+        self.kernel._check_current(self)
+        token = self._arm()
+        self.kernel._schedule(duration, self.kernel._wake, self, token)
+        self._yield()
+
+    def suspend(self) -> Any:
+        """Block until another actor calls :meth:`SimKernel.wake` on us.
+
+        Returns the value passed to ``wake``.
+        """
+        self.kernel._check_current(self)
+        self._arm()
+        return self._yield()
+
+    def yield_(self) -> None:
+        """Let every other ready process at the current instant run."""
+        self.kernel._check_current(self)
+        self.sleep(0.0)
+
+    def join(self, target: "SimProcess") -> Any:
+        """Block until ``target`` finishes; returns its result."""
+        self.kernel._check_current(self)
+        if target.alive:
+            target._joiners.append(self)
+            self.suspend()
+        if target.exc is not None:
+            raise SimProcessError(target, target.exc)
+        return target.result
+
+    # ------------------------------------------------------------------
+    # control transfer internals
+    # ------------------------------------------------------------------
+    def _arm(self) -> int:
+        """Invalidate stale wake-ups and return a fresh token."""
+        self._wake_token += 1
+        return self._wake_token
+
+    def _yield(self) -> Any:
+        """Give the run token back to the kernel and wait to be resumed."""
+        self._state = self._STATE_BLOCKED
+        self.kernel._control.release()
+        self._go.acquire()
+        self._state = self._STATE_RUNNING
+        if self._pending_exc is not None:
+            exc = self._pending_exc
+            self._pending_exc = None
+            raise exc
+        return self._wake_value
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Inject a :class:`SimInterrupt` into this process.
+
+        May be called from another simulated process or from kernel
+        callbacks.  Takes effect at the interrupted process's current
+        blocking point (its pending sleep/suspend is abandoned).
+        """
+        if not self.alive:
+            return
+        exc = cause if isinstance(cause, BaseException) else SimInterrupt(cause)
+        token = self._arm()  # invalidate whatever wake it was waiting for
+        self.kernel._schedule(0.0, self.kernel._wake, self, token, None, exc)
+
+
+class SimKernel:
+    """Event loop + virtual clock for a deterministic simulation.
+
+    Use as a context manager in tests so that processes still blocked at
+    the end of a run are cleanly shut down::
+
+        with SimKernel() as k:
+            k.spawn(lambda p: p.sleep(1.0), name="idler")
+            k.run()
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Timer] = []
+        self._seq = 0
+        self._control = threading.Semaphore(0)
+        self._processes: list[SimProcess] = []
+        self._current: SimProcess | None = None
+        self._running = False
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # spawning and scheduling
+    # ------------------------------------------------------------------
+    def spawn(self, fn: Callable, *args: Any, name: str | None = None,
+              daemon: bool = False, delay: float = 0.0) -> SimProcess:
+        """Create a simulated process that starts at ``now + delay``.
+
+        ``fn`` is called as ``fn(process, *args)``.  If a non-daemon
+        process raises, :meth:`run` re-raises it as
+        :class:`SimProcessError`; daemon process failures are recorded on
+        ``process.exc`` but do not abort the simulation.
+        """
+        if name is None:
+            name = f"proc-{len(self._processes)}"
+        proc = SimProcess(self, fn, args, name, daemon)
+        self._processes.append(proc)
+        proc._state = SimProcess._STATE_READY
+        token = proc._arm()
+        self._schedule(delay, self._wake, proc, token)
+        return proc
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Timer:
+        """Run ``fn(*args)`` in kernel context after ``delay`` seconds.
+
+        The callback must not block; it may spawn processes, wake them,
+        or schedule further callbacks.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self._schedule(delay, fn, *args)
+
+    def _schedule(self, delay: float, fn: Callable, *args: Any) -> Timer:
+        self._seq += 1
+        timer = Timer(self.now + delay, self._seq, fn, args)
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    # ------------------------------------------------------------------
+    # waking processes
+    # ------------------------------------------------------------------
+    def wake(self, proc: SimProcess, value: Any = None) -> None:
+        """Schedule ``proc`` (blocked in :meth:`SimProcess.suspend`) to
+        resume at the current instant with ``value``."""
+        token = proc._wake_token
+        self._schedule(0.0, self._wake, proc, token, value)
+
+    def _wake(self, proc: SimProcess, token: int, value: Any = None,
+              exc: BaseException | None = None) -> None:
+        if not proc.alive or token != proc._wake_token:
+            return  # stale wake-up (process was interrupted or finished)
+        if exc is not None:
+            proc._pending_exc = exc
+        proc._wake_value = value
+        self._dispatch(proc)
+
+    def _dispatch(self, proc: SimProcess) -> None:
+        """Hand the run token to ``proc`` and wait for it to yield."""
+        prev = self._current
+        self._current = proc
+        proc._go.release()
+        self._control.acquire()
+        self._current = prev
+        if proc._state == SimProcess._STATE_FAILED and not proc.daemon \
+                and not self._shutdown:
+            raise SimProcessError(proc, proc.exc)
+
+    def _on_process_exit(self, proc: SimProcess) -> None:
+        for joiner in proc._joiners:
+            if joiner.alive:
+                token = joiner._wake_token
+                self._schedule(0.0, self._wake, joiner, token)
+        proc._joiners.clear()
+
+    def _check_current(self, proc: SimProcess) -> None:
+        if self._current is not proc:
+            raise RuntimeError(
+                f"primitive called from {proc.name!r} which does not hold "
+                f"the run token (current={getattr(self._current, 'name', None)!r})")
+
+    @property
+    def current(self) -> SimProcess | None:
+        """The process currently holding the run token, if any."""
+        return self._current
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Process events until the heap drains or ``until`` is reached.
+
+        Returns the final virtual time.  Processes still blocked when the
+        heap drains simply remain blocked (use :meth:`shutdown`, or the
+        context-manager form, to terminate them).
+        """
+        if self._running:
+            raise RuntimeError("kernel is already running")
+        self._running = True
+        try:
+            while self._heap:
+                timer = self._heap[0]
+                if timer.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and timer.time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                self.now = timer.time
+                timer._fn(*timer._args)
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_complete(self, proc: SimProcess,
+                           until: float | None = None) -> Any:
+        """Run the simulation until ``proc`` finishes; return its result."""
+        self.run(until=until)
+        if proc.alive:
+            raise SimDeadlockError(
+                f"process {proc.name!r} did not complete by "
+                f"t={self.now} (state={proc.state}); blocked processes: "
+                f"{[p.name for p in self.blocked_processes()]}")
+        if proc.exc is not None:
+            raise SimProcessError(proc, proc.exc)
+        return proc.result
+
+    def blocked_processes(self) -> list[SimProcess]:
+        """Processes that are alive but not scheduled to run."""
+        return [p for p in self._processes
+                if p.alive and p._state == SimProcess._STATE_BLOCKED]
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Terminate every live process by raising :class:`SimShutdown`
+        at its current blocking point."""
+        self._shutdown = True
+        for proc in self._processes:
+            if proc.alive and proc._state in (SimProcess._STATE_BLOCKED,
+                                              SimProcess._STATE_READY):
+                proc._arm()
+                proc._pending_exc = SimShutdown()
+                self._dispatch(proc)
+
+    def __enter__(self) -> "SimKernel":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+def run_processes(fns: Iterable[Callable], until: float | None = None,
+                  args: tuple = ()) -> list[Any]:
+    """Convenience: run ``fns`` as processes to completion, return results."""
+    with SimKernel() as kernel:
+        procs = [kernel.spawn(fn, *args, name=getattr(fn, "__name__", None))
+                 for fn in fns]
+        kernel.run(until=until)
+        for p in procs:
+            if p.alive:
+                raise SimDeadlockError(f"process {p.name!r} never finished")
+            if p.exc is not None:
+                raise SimProcessError(p, p.exc)
+        return [p.result for p in procs]

@@ -1,0 +1,29 @@
+"""gSOAP-style SOAP messaging over PadicoTM (paper §4.3.4 / §5).
+
+The paper ports gSOAP onto PadicoTM unchanged and notes that Web
+Services "do not appear well suited to build grid-aware high-performance
+applications ... their performance is poor".  This package provides a
+real XML envelope codec and an HTTP-like RPC layer over VLink so that
+claim can be *measured* (see the marshalling ablation bench): text
+encoding inflates payloads several-fold and costs far more CPU per byte
+than CDR."""
+
+from repro.soap.soap import (
+    SoapClient,
+    SoapError,
+    SoapFault,
+    SoapModule,
+    SoapServer,
+    decode_envelope,
+    encode_envelope,
+)
+
+__all__ = [
+    "SoapServer",
+    "SoapClient",
+    "SoapModule",
+    "SoapFault",
+    "SoapError",
+    "encode_envelope",
+    "decode_envelope",
+]

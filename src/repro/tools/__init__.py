@@ -1,0 +1,8 @@
+"""Command-line tools.
+
+- ``python -m repro.tools.idlc file.idl`` — compile IDL, print a model
+  summary (the classic ``idlc``-style front end);
+- ``python -m repro.tools.gridccm_gen file.idl parallel.xml`` — run the
+  GridCCM compiler and emit the generated internal IDL (the "New
+  Component IDL description" box of the paper's Figure 5).
+"""

@@ -1,0 +1,175 @@
+"""``netbench``: quick middleware bandwidth/latency probe.
+
+Usage::
+
+    python -m repro.tools.netbench --middleware omniORB4 --size 8M
+    python -m repro.tools.netbench --middleware mpi --latency
+    python -m repro.tools.netbench --middleware Mico --lan --size 1M
+
+Spins up a two-node simulated cluster, runs the requested middleware's
+transfer path, and prints virtual-clock results — the command-line
+equivalent of one Figure-7 data point."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.corba import (
+    MICO,
+    OMNIORB3,
+    OMNIORB4,
+    ORBACUS,
+    Orb,
+    compile_idl,
+)
+from repro.corba.profiles import OPENCCM_JAVA, OrbProfile
+from repro.mpi import create_world, spmd
+from repro.net import MYRINET_2000, Topology, build_cluster
+from repro.padicotm import PadicoRuntime
+
+PROFILES: dict[str, OrbProfile] = {
+    "omniORB3": OMNIORB3,
+    "omniORB4": OMNIORB4,
+    "Mico": MICO,
+    "ORBacus": ORBACUS,
+    "OpenCCM": OPENCCM_JAVA,
+}
+
+_IDL = """
+module NB { typedef sequence<octet> Blob;
+            interface Sink { void push(in Blob data); }; };
+"""
+
+
+def parse_size(text: str) -> int:
+    """'8M', '32K', '100' → bytes."""
+    text = text.strip().upper()
+    factor = 1
+    if text.endswith("K"):
+        factor, text = 1024, text[:-1]
+    elif text.endswith("M"):
+        factor, text = 1024 * 1024, text[:-1]
+    try:
+        return int(float(text) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size {text!r}") from None
+
+
+def _build_runtime(lan_only: bool) -> PadicoRuntime:
+    topo = Topology()
+    build_cluster(topo, "n", 2, san=None if lan_only else MYRINET_2000)
+    return PadicoRuntime(topo)
+
+
+def corba_probe(profile: OrbProfile, size: int, lan_only: bool,
+                protocol: str) -> dict[str, float]:
+    rt = _build_runtime(lan_only)
+    server = rt.create_process("n0", "server")
+    client = rt.create_process("n1", "client")
+    s_orb = Orb(server, profile, compile_idl(_IDL), protocol=protocol)
+    s_orb.start()
+    c_orb = Orb(client, profile, compile_idl(_IDL), protocol=protocol)
+
+    class Sink(s_orb.servant_base("NB::Sink")):
+        def push(self, data):
+            pass
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(Sink()))
+    out: dict[str, float] = {}
+
+    def main(proc):
+        stub = c_orb.string_to_object(url)
+        stub.push(b"")
+        t0 = rt.kernel.now
+        stub.push(b"")
+        out["latency_us"] = (rt.kernel.now - t0) / 2 * 1e6
+        if size:
+            t0 = rt.kernel.now
+            stub.push(bytes(size))
+            rtt = rt.kernel.now - t0
+            out["bandwidth_mbps"] = size / rtt / 1e6
+            out["fabric"] = c_orb._connections[
+                (server.name, s_orb.port)].endpoint.fabric_name
+
+    client.spawn(main)
+    rt.run()
+    rt.shutdown()
+    return out
+
+
+def mpi_probe(size: int, lan_only: bool) -> dict[str, float]:
+    rt = _build_runtime(lan_only)
+    procs = [rt.create_process(f"n{i}", f"rank{i}") for i in range(2)]
+    world = create_world(rt, "nb", procs)
+    out: dict[str, float] = {}
+
+    def main(proc, comm):
+        buf = np.zeros(max(size, 1), dtype="u1")
+        if comm.rank == 0:
+            comm.Send(buf[:1], dest=1, tag=0)
+            comm.Recv(buf[:1], source=1, tag=0)
+            t0 = comm.Wtime()
+            comm.Send(buf[:1], dest=1, tag=1)
+            comm.Recv(buf[:1], source=1, tag=1)
+            out["latency_us"] = (comm.Wtime() - t0) / 2 * 1e6
+            if size:
+                t0 = comm.Wtime()
+                comm.Send(buf, dest=1, tag=2)
+                out["bandwidth_mbps"] = size / (comm.Wtime() - t0) / 1e6
+        else:
+            comm.Recv(buf[:1], source=0, tag=0)
+            comm.Send(buf[:1], dest=0, tag=0)
+            comm.Recv(buf[:1], source=0, tag=1)
+            comm.Send(buf[:1], dest=0, tag=1)
+            if size:
+                comm.Recv(buf, source=0, tag=2)
+
+    spmd(world, main)
+    rt.run()
+    rt.shutdown()
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="netbench",
+        description="probe middleware performance on a simulated cluster")
+    parser.add_argument("--middleware", default="omniORB4",
+                        choices=["mpi"] + sorted(PROFILES),
+                        help="transfer path to exercise")
+    parser.add_argument("--size", type=parse_size, default=parse_size("8M"),
+                        help="payload size (e.g. 8M, 32K); 0 = latency only")
+    parser.add_argument("--lan", action="store_true",
+                        help="Fast-Ethernet only (no Myrinet SAN)")
+    parser.add_argument("--protocol", default="giop",
+                        choices=["giop", "esiop"],
+                        help="CORBA wire protocol")
+    parser.add_argument("--latency", action="store_true",
+                        help="shorthand for --size 0")
+    args = parser.parse_args(argv)
+    size = 0 if args.latency else args.size
+
+    if args.middleware == "mpi":
+        out = mpi_probe(size, args.lan)
+        label = "MPI (MPICH/Madeleine)"
+    else:
+        out = corba_probe(PROFILES[args.middleware], size, args.lan,
+                          args.protocol)
+        label = f"CORBA {PROFILES[args.middleware].key} ({args.protocol})"
+
+    wire = "Fast-Ethernet" if args.lan else "Myrinet-2000"
+    print(f"middleware : {label}")
+    print(f"wire       : {wire}" + (f" via {out['fabric']}"
+                                    if "fabric" in out else ""))
+    print(f"latency    : {out['latency_us']:.1f} us one-way")
+    if "bandwidth_mbps" in out:
+        print(f"bandwidth  : {out['bandwidth_mbps']:.1f} MB/s "
+              f"({size / 1e6:.2f} MB payload)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Shared CCM fixtures: a demo application with two component types."""
+
+import pytest
+
+from repro.ccm import ComponentImpl, ImplementationRepository
+from repro.corba import compile_idl
+from repro.net import Topology, build_cluster
+from repro.padicotm import PadicoRuntime
+
+APP_IDL = """
+module App {
+    interface Compute {
+        double work(in double x);
+        sequence<double> transform(in sequence<double> data);
+    };
+    eventtype Done { long steps; string origin; };
+
+    component Worker {
+        provides Compute service;
+        emits Done finished;
+        attribute double gain;
+    };
+    home WorkerHome manages Worker {};
+
+    component Driver {
+        uses Compute backend;
+        consumes Done finished;
+        attribute long iterations;
+    };
+    home DriverHome manages Driver {};
+
+    component Monitor {
+        consumes Done finished;
+    };
+    home MonitorHome manages Monitor {};
+};
+"""
+
+
+class WorkerImpl(ComponentImpl):
+    gain = 1.0
+
+    def __init__(self):
+        self.activated = False
+        self.removed = False
+
+    def ccm_activate(self):
+        self.activated = True
+
+    def ccm_remove(self):
+        self.removed = True
+
+    def work(self, x):
+        return x * self.gain
+
+    def transform(self, data):
+        import numpy as np
+        return np.asarray(data) * self.gain
+
+    def announce(self, steps):
+        done = self.context._instance.container.idl.type("App::Done")
+        self.context.push_event("finished", done.make(
+            steps=steps, origin="worker"))
+
+
+class DriverImpl(ComponentImpl):
+    iterations = 1
+
+    def __init__(self):
+        self.received = []
+
+    def push_finished(self, event):
+        self.received.append((event.steps, event.origin))
+
+    def run(self):
+        backend = self.context.get_connection("backend")
+        return sum(backend.work(float(i))
+                   for i in range(self.iterations))
+
+
+class MonitorImpl(ComponentImpl):
+    def __init__(self):
+        self.received = []
+
+    def push_finished(self, event):
+        self.received.append(event.steps)
+
+
+@pytest.fixture(autouse=True)
+def impl_repository():
+    ImplementationRepository.clear()
+    ImplementationRepository.register("DCE:worker-1", "App::Worker",
+                                      WorkerImpl)
+    ImplementationRepository.register("DCE:driver-1", "App::Driver",
+                                      DriverImpl)
+    ImplementationRepository.register("DCE:monitor-1", "App::Monitor",
+                                      MonitorImpl)
+    yield ImplementationRepository
+    ImplementationRepository.clear()
+
+
+@pytest.fixture()
+def runtime():
+    topo = Topology()
+    build_cluster(topo, "a", 4)
+    rt = PadicoRuntime(topo)
+    yield rt
+    rt.shutdown()
+
+
+def app_idl():
+    return compile_idl(APP_IDL)

@@ -1,0 +1,127 @@
+"""CIDL: the CCM programming-model descriptor (paper §3.2)."""
+
+import pytest
+
+from repro.ccm import (
+    CidlError,
+    ComponentImpl,
+    ImplementationRepository,
+    bind_compositions,
+    compile_cidl,
+)
+from repro.corba import compile_idl
+from repro.corba.idl import IdlParseError
+
+from tests.ccm.conftest import APP_IDL, WorkerImpl
+
+CIDL = """
+composition session WorkerImpl {
+    home executor WorkerHomeExec {
+        implements App::WorkerHome;
+        manages WorkerExec;
+    };
+};
+
+composition process DriverImpl {
+    home executor DriverHomeExec {
+        implements App::DriverHome;
+        manages DriverExec;
+    };
+};
+"""
+
+
+def test_compile_cidl_resolves_against_idl():
+    idl = compile_idl(APP_IDL)
+    comps = compile_cidl(CIDL, idl)
+    assert len(comps) == 2
+    worker = comps[0]
+    assert worker.name == "WorkerImpl"
+    assert worker.lifecycle == "session"
+    assert worker.home_executor == "WorkerHomeExec"
+    assert worker.implements_home == "App::WorkerHome"
+    assert worker.manages_executor == "WorkerExec"
+    assert worker.component == "App::Worker"  # derived via the home
+    assert comps[1].lifecycle == "process"
+    assert worker.impl_id == "CIDL:WorkerImpl:WorkerExec"
+
+
+def test_compile_cidl_unknown_home_rejected():
+    idl = compile_idl(APP_IDL)
+    with pytest.raises(Exception) as ei:
+        compile_cidl(CIDL.replace("App::WorkerHome", "App::GhostHome"),
+                     idl)
+    assert "GhostHome" in str(ei.value)
+
+
+@pytest.mark.parametrize("bad,msg", [
+    ("", "no composition"),
+    ("composition festive X { };", "lifecycle"),
+    ("""composition session X {
+        home executor H { implements App::WorkerHome; };
+       };""", "expected"),
+])
+def test_compile_cidl_syntax_errors(bad, msg):
+    idl = compile_idl(APP_IDL)
+    with pytest.raises((CidlError, IdlParseError)) as ei:
+        compile_cidl(bad, idl)
+    assert msg in str(ei.value)
+
+
+def test_duplicate_composition_rejected():
+    idl = compile_idl(APP_IDL)
+    with pytest.raises(CidlError):
+        compile_cidl(CIDL.replace("DriverImpl", "WorkerImpl"), idl)
+
+
+def test_bind_compositions_registers_executors(impl_repository):
+    ImplementationRepository.clear()
+    idl = compile_idl(APP_IDL)
+    comps = compile_cidl(CIDL, idl)
+
+    class DriverExec(ComponentImpl):
+        pass
+
+    bound = bind_compositions(comps, {"WorkerExec": WorkerImpl,
+                                      "DriverExec": DriverExec})
+    assert bound == {"App::Worker": "CIDL:WorkerImpl:WorkerExec",
+                     "App::Driver": "CIDL:DriverImpl:DriverExec"}
+    component, factory = ImplementationRepository.lookup(
+        "CIDL:WorkerImpl:WorkerExec")
+    assert component == "App::Worker"
+    assert factory is WorkerImpl
+
+
+def test_bind_compositions_validates_executors():
+    ImplementationRepository.clear()
+    idl = compile_idl(APP_IDL)
+    comps = compile_cidl(CIDL, idl)
+    with pytest.raises(CidlError) as ei:
+        bind_compositions(comps, {"WorkerExec": WorkerImpl})
+    assert "DriverExec" in str(ei.value)
+
+    class NotAnExecutor:
+        pass
+
+    with pytest.raises(CidlError):
+        bind_compositions(comps[:1], {"WorkerExec": NotAnExecutor})
+    ImplementationRepository.clear()
+
+
+def test_cidl_to_deployment_pipeline(runtime, impl_repository):
+    """CIDL-declared implementation drives a real container home."""
+    from repro.ccm import Container
+
+    ImplementationRepository.clear()
+    idl = compile_idl(APP_IDL)
+    comps = compile_cidl(CIDL, idl)
+    bound = bind_compositions(comps, {
+        "WorkerExec": WorkerImpl,
+        "DriverExec": WorkerImpl})  # reuse for simplicity
+    container = Container(runtime.create_process("a0", "n0"),
+                          compile_idl(APP_IDL))
+    _component, factory = ImplementationRepository.lookup(
+        bound["App::Worker"])
+    inst = container.install_home("App::Worker", factory).create(gain=7.0)
+    assert inst.executor.gain == 7.0
+    ImplementationRepository.clear()

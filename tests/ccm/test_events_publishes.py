@@ -1,0 +1,101 @@
+"""CCM publishes ports: one source, many consumers."""
+
+import pytest
+
+from repro.ccm import ComponentImpl, Container
+from repro.corba import compile_idl
+from repro.net import Topology, build_cluster
+from repro.padicotm import PadicoRuntime
+
+IDL = """
+module Ev {
+    eventtype Alarm { long severity; string text; };
+    component Sensor {
+        publishes Alarm alerts;
+    };
+    home SensorHome manages Sensor {};
+    component Siren {
+        consumes Alarm alerts;
+    };
+    home SirenHome manages Siren {};
+};
+"""
+
+
+class SensorImpl(ComponentImpl):
+    def trip(self, severity, text):
+        alarm = self.context._instance.container.idl.type("Ev::Alarm")
+        self.context.push_event("alerts", alarm.make(severity=severity,
+                                                     text=text))
+
+
+class SirenImpl(ComponentImpl):
+    def __init__(self):
+        self.heard = []
+
+    def push_alerts(self, event):
+        self.heard.append((event.severity, event.text))
+
+
+@pytest.fixture()
+def rt():
+    topo = Topology()
+    build_cluster(topo, "a", 4)
+    runtime = PadicoRuntime(topo)
+    yield runtime
+    runtime.shutdown()
+
+
+def test_publishes_fans_out_to_all_subscribers(rt):
+    c0 = Container(rt.create_process("a0", "n0"), compile_idl(IDL))
+    c1 = Container(rt.create_process("a1", "n1"), compile_idl(IDL))
+    c2 = Container(rt.create_process("a2", "n2"), compile_idl(IDL))
+    sensor = c0.install_home("Ev::Sensor", SensorImpl).create()
+    siren1 = c1.install_home("Ev::Siren", SirenImpl).create()
+    siren2 = c2.install_home("Ev::Siren", SirenImpl).create()
+
+    def main(proc):
+        # publishes ports accept MANY subscribers (unlike emits)
+        sensor.ccm_ref.subscribe("alerts", siren1.sink_refs["alerts"])
+        sensor.ccm_ref.subscribe("alerts", siren2.sink_refs["alerts"])
+        sensor.executor.trip(3, "fire")
+        sensor.executor.trip(1, "smoke")
+        proc.sleep(0.001)
+
+    c0.process.spawn(main)
+    rt.run()
+    assert siren1.executor.heard == [(3, "fire"), (1, "smoke")]
+    assert siren2.executor.heard == [(3, "fire"), (1, "smoke")]
+
+
+def test_unsubscribed_publisher_is_silent(rt):
+    c0 = Container(rt.create_process("a0", "n0"), compile_idl(IDL))
+    sensor = c0.install_home("Ev::Sensor", SensorImpl).create()
+
+    def main(proc):
+        sensor.executor.trip(5, "nobody listens")
+
+    c0.process.spawn(main)
+    rt.run()  # no error, no delivery
+
+
+def test_unsubscribe_one_of_many(rt):
+    c0 = Container(rt.create_process("a0", "n0"), compile_idl(IDL))
+    c1 = Container(rt.create_process("a1", "n1"), compile_idl(IDL))
+    sensor = c0.install_home("Ev::Sensor", SensorImpl).create()
+    siren1 = c1.install_home("Ev::Siren", SirenImpl).create()
+    siren2 = c1.install_home("Ev::Siren", SirenImpl).create()
+
+    def main(proc):
+        sensor.ccm_ref.subscribe("alerts", siren1.sink_refs["alerts"])
+        sensor.ccm_ref.subscribe("alerts", siren2.sink_refs["alerts"])
+        sensor.executor.trip(1, "both")
+        proc.sleep(0.001)
+        sensor.ccm_ref.unsubscribe("alerts", siren1.sink_refs["alerts"])
+        sensor.executor.trip(2, "only two")
+        proc.sleep(0.001)
+
+    c0.process.spawn(main)
+    rt.run()
+    assert siren1.executor.heard == [(1, "both")]
+    assert siren2.executor.heard == [(1, "both"), (2, "only two")]

@@ -1,0 +1,81 @@
+"""Shared CORBA test fixtures."""
+
+import pytest
+
+from repro.net import Topology, build_cluster
+from repro.padicotm import PadicoRuntime
+
+
+@pytest.fixture()
+def runtime():
+    topo = Topology()
+    build_cluster(topo, "a", 4)
+    rt = PadicoRuntime(topo)
+    yield rt
+    rt.shutdown()
+
+
+DEMO_IDL = """
+module Demo {
+    exception Oops { string why; long code; };
+    struct Point { double x; double y; };
+    typedef sequence<double> Vector;
+
+    interface Adder {
+        long add(in long a, in long b);
+        double dot(in Vector u, in Vector v);
+        Point translate(in Point p, in double dx, in double dy);
+        void divide(in long a, in long b, out long q, out long r)
+            raises (Oops);
+        string greet(in string name);
+        oneway void notify(in string message);
+        attribute string label;
+        readonly attribute unsigned long calls;
+    };
+
+    interface Registry {
+        void register(in string name, in Adder who);
+        Adder find(in string name) raises (Oops);
+    };
+};
+"""
+
+
+def make_adder_servant(orb):
+    """An Adder implementation counting its invocations."""
+
+    class AdderImpl(orb.servant_base("Demo::Adder")):
+        def __init__(self):
+            self.label = "adder"
+            self.calls = 0
+            self.notifications = []
+
+        def add(self, a, b):
+            self.calls += 1
+            return a + b
+
+        def dot(self, u, v):
+            self.calls += 1
+            import numpy as np
+            return float(np.dot(np.asarray(u), np.asarray(v)))
+
+        def translate(self, p, dx, dy):
+            self.calls += 1
+            point = orb.idl.type("Demo::Point")
+            return point.make(x=p.x + dx, y=p.y + dy)
+
+        def divide(self, a, b):
+            self.calls += 1
+            if b == 0:
+                raise orb.idl.type("Demo::Oops").make(
+                    why="division by zero", code=-1)
+            return (a // b, a % b)
+
+        def greet(self, name):
+            self.calls += 1
+            return f"hello {name}"
+
+        def notify(self, message):
+            self.notifications.append(message)
+
+    return AdderImpl()

@@ -1,0 +1,47 @@
+"""Byte-order heterogeneity: big-endian and little-endian ORBs interop.
+
+CORBA's receiver-makes-right rule: each side sends in its native order,
+flagged in the message header; the receiver byte-swaps if needed."""
+
+import numpy as np
+import pytest
+
+from repro.corba import MICO, OMNIORB4, Orb, compile_idl
+
+from tests.corba.conftest import DEMO_IDL, make_adder_servant
+
+
+@pytest.mark.parametrize("client_le,server_le", [
+    (True, False), (False, True), (False, False),
+])
+def test_mixed_endianness_interop(runtime, client_le, server_le):
+    server = runtime.create_process("a0", "server")
+    client = runtime.create_process("a1", "client")
+    s_orb = Orb(server, OMNIORB4, compile_idl(DEMO_IDL),
+                little_endian=server_le)
+    s_orb.start()
+    c_orb = Orb(client, MICO, compile_idl(DEMO_IDL),
+                little_endian=client_le)
+    servant = make_adder_servant(s_orb)
+    url = s_orb.object_to_string(s_orb.poa.activate_object(servant))
+    out = {}
+
+    def main(proc):
+        from repro.corba.idl.types import UserExceptionBase
+
+        stub = c_orb.string_to_object(url)
+        out["sum"] = stub.add(-12345, 54321)
+        out["dot"] = stub.dot(np.array([1.5, -2.5]),
+                              np.array([4.0, 8.0]))
+        out["greet"] = stub.greet("héllo")
+        try:
+            stub.divide(1, 0)
+        except UserExceptionBase as e:
+            out["exc"] = e.why
+
+    client.spawn(main)
+    runtime.run()
+    assert out["sum"] == 41976
+    assert out["dot"] == pytest.approx(1.5 * 4.0 + (-2.5) * 8.0)
+    assert out["greet"] == "hello héllo"
+    assert out["exc"] == "division by zero"

@@ -1,0 +1,113 @@
+"""Property-based IDL compiler tests: render random type trees to IDL
+source, compile, and check the resolved model matches."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corba import compile_idl
+from repro.corba.idl.types import (
+    ArrayType,
+    PrimitiveType,
+    SequenceType,
+    StringType,
+)
+
+_PRIM_KINDS = ["short", "unsigned short", "long", "unsigned long",
+               "long long", "unsigned long long", "float", "double",
+               "boolean", "char", "octet"]
+
+
+@st.composite
+def type_trees(draw, depth=2):
+    kind = draw(st.sampled_from(
+        ["prim", "string", "bstring"] +
+        (["seq", "bseq", "array"] if depth > 0 else [])))
+    if kind == "prim":
+        return PrimitiveType(draw(st.sampled_from(_PRIM_KINDS)))
+    if kind == "string":
+        return StringType()
+    if kind == "bstring":
+        return StringType(draw(st.integers(1, 255)))
+    if kind == "seq":
+        return SequenceType(draw(type_trees(depth=depth - 1)))
+    if kind == "bseq":
+        return SequenceType(draw(type_trees(depth=depth - 1)),
+                            draw(st.integers(1, 1000)))
+    # array — arrays cannot directly contain anonymous arrays in IDL
+    inner = draw(type_trees(depth=0))
+    dims = draw(st.lists(st.integers(1, 9), min_size=1, max_size=3))
+    out = inner
+    for d in reversed(dims):
+        out = ArrayType(out, d)
+    return out
+
+
+def _render(t) -> tuple[str, str]:
+    """Render a type as (type spec text, array declarator suffix)."""
+    if isinstance(t, ArrayType):
+        dims = []
+        while isinstance(t, ArrayType):
+            dims.append(t.length)
+            t = t.element
+        spec, suffix = _render(t)
+        assert not suffix
+        return spec, "".join(f"[{d}]" for d in dims)
+    if isinstance(t, PrimitiveType):
+        return t.kind, ""
+    if isinstance(t, StringType):
+        return (f"string<{t.bound}>" if t.bound else "string"), ""
+    if isinstance(t, SequenceType):
+        inner, suffix = _render(t.element)
+        if suffix:
+            # anonymous arrays cannot appear inside sequences: lift via
+            # the equality check instead (skip by rendering a typedef)
+            raise _NeedsTypedef(t.element)
+        bound = f", {t.bound}" if t.bound else ""
+        return f"sequence<{inner}{bound}>", ""
+    raise AssertionError(t)
+
+
+class _NeedsTypedef(Exception):
+    def __init__(self, inner):
+        self.inner = inner
+
+
+@settings(max_examples=250, deadline=None)
+@given(st.lists(type_trees(), min_size=1, max_size=5))
+def test_struct_member_types_roundtrip(member_types):
+    """struct with these member types: compile(render(T)) == T."""
+    members = []
+    typedefs = []
+    for i, t in enumerate(member_types):
+        try:
+            spec, suffix = _render(t)
+        except _NeedsTypedef as need:
+            # sequence<array> needs a named element type in IDL
+            ispec, isuffix = _render(need.inner)
+            typedefs.append(f"typedef {ispec} Elem{i}{isuffix};")
+            outer = t
+            spec, suffix = f"sequence<Elem{i}" + (
+                f", {outer.bound}>" if outer.bound else ">"), ""
+        members.append(f"{spec} f{i}{suffix};")
+    source = "\n".join(typedefs) + "\nstruct S {\n" + \
+        "\n".join(members) + "\n};"
+    idl = compile_idl(source)
+    fields = dict(idl.type("S").fields)
+    for i, t in enumerate(member_types):
+        assert fields[f"f{i}"] == t, (source, i)
+
+
+@settings(max_examples=250, deadline=None)
+@given(type_trees())
+def test_typedef_roundtrip(t):
+    try:
+        spec, suffix = _render(t)
+    except _NeedsTypedef as need:
+        ispec, isuffix = _render(need.inner)
+        source = f"typedef {ispec} Inner{isuffix};\n"
+        bound = f", {t.bound}" if getattr(t, "bound", None) else ""
+        source += f"typedef sequence<Inner{bound}> T;"
+    else:
+        source = f"typedef {spec} T{suffix};"
+    idl = compile_idl(source)
+    assert idl.type("T") == t

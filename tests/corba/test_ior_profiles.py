@@ -1,0 +1,76 @@
+"""IORs and ORB cost profiles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corba import MICO, OMNIORB3, OMNIORB4, ORBACUS
+from repro.corba.ior import IOR
+from repro.corba.profiles import ALL_PROFILES, OPENCCM_JAVA
+
+_name = st.text(
+    alphabet=st.characters(blacklist_characters=":/#",
+                           blacklist_categories=("Cs", "Cc", "Zs")),
+    min_size=1, max_size=24)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_name, _name, _name, st.text(min_size=1, max_size=40).filter(
+    lambda s: "#" not in s))
+def test_ior_stringify_roundtrip(process, port, key, type_id):
+    ior = IOR(type_id, process, port, key)
+    assert IOR.destringify(ior.stringify()) == ior
+
+
+def test_ior_rejects_delimiters_in_address_fields():
+    for bad in ("a:b", "a/b", "a#b"):
+        with pytest.raises(ValueError):
+            IOR("IDL:X:1.0", bad, "port", "key")
+        with pytest.raises(ValueError):
+            IOR("IDL:X:1.0", "proc", bad, "key")
+        with pytest.raises(ValueError):
+            IOR("IDL:X:1.0", "proc", "port", bad)
+
+
+@pytest.mark.parametrize("text", [
+    "not-a-corbaloc", "corbaloc:padico:", "corbaloc:padico:p:q",
+    "corbaloc:padico:p:q/k",  # missing type anchor
+])
+def test_destringify_rejects_malformed(text):
+    with pytest.raises(ValueError):
+        IOR.destringify(text)
+
+
+def test_profile_inventory_and_keys():
+    keys = {p.key for p in ALL_PROFILES}
+    assert keys == {"omniORB-3.0.2", "omniORB-4.0.0", "Mico-2.3.7",
+                    "ORBacus-4.0.5", "OpenCCM-0.4-java"}
+
+
+def test_zero_copy_profiles_have_no_copy_cost():
+    for p in (OMNIORB3, OMNIORB4):
+        assert p.zero_copy
+        assert p.marshal_cost(1e6) == 0.0
+        assert p.unmarshal_cost(1e6) == 0.0
+
+
+def test_copying_profiles_charge_both_sides():
+    for p in (MICO, ORBACUS, OPENCCM_JAVA):
+        assert not p.zero_copy
+        assert p.marshal_cost(1e6) > 0
+        assert p.unmarshal_cost(1e6) == p.copy_cost_per_byte * 1e6
+
+
+def test_profile_latency_ordering_matches_paper():
+    def one_way(p):
+        return p.client_overhead + p.server_overhead
+
+    assert one_way(OMNIORB4) < one_way(OMNIORB3) < one_way(ORBACUS) \
+        < one_way(MICO) < one_way(OPENCCM_JAVA)
+
+
+def test_peak_bandwidth_formula():
+    """1 / (2·copy_cost + 1/240e6) reproduces the Figure-7 plateaus."""
+    for profile, paper in ((MICO, 55.0), (ORBACUS, 63.0)):
+        peak = 1 / (2 * profile.copy_cost_per_byte + 1 / 240e6) / 1e6
+        assert peak == pytest.approx(paper, rel=0.01)

@@ -1,0 +1,76 @@
+"""Naming Service over the full GIOP path."""
+
+from repro.corba import NamingContext, NamingService, Orb, OMNIORB4, compile_idl
+from repro.corba.idl.types import UserExceptionBase
+
+from tests.corba.conftest import DEMO_IDL, make_adder_servant
+
+
+def test_naming_bind_resolve_unbind_list(runtime):
+    server = runtime.create_process("a0", "ns-host")
+    client = runtime.create_process("a1", "client")
+    s_orb = Orb(server, OMNIORB4, compile_idl(DEMO_IDL))
+    s_orb.start()
+    ns = NamingService(s_orb)
+    adder_url = s_orb.object_to_string(
+        s_orb.poa.activate_object(make_adder_servant(s_orb)))
+    c_orb = Orb(client, OMNIORB4, compile_idl(DEMO_IDL))
+    out = {}
+
+    def main(proc):
+        ctx = NamingContext(c_orb, ns.url)
+        adder = c_orb.string_to_object(adder_url)
+        ctx.bind("services.adder", adder)
+        ctx.bind("services.other", adder)
+        out["list"] = ctx.list()
+        found = ctx.resolve("services.adder")
+        out["sum"] = found.add(4, 5)
+        try:
+            ctx.bind("services.adder", adder)
+        except UserExceptionBase as e:
+            out["already"] = e.name
+        ctx.rebind("services.adder", adder)  # rebind is fine
+        ctx.unbind("services.other")
+        out["list2"] = ctx.list()
+        try:
+            ctx.resolve("services.other")
+        except UserExceptionBase as e:
+            out["missing"] = e.name
+
+    client.spawn(main)
+    runtime.run()
+    assert out["list"] == ["services.adder", "services.other"]
+    assert out["sum"] == 9
+    assert out["already"] == "services.adder"
+    assert out["list2"] == ["services.adder"]
+    assert out["missing"] == "services.other"
+
+
+def test_resolved_reference_is_invocable_typed_stub(runtime):
+    server = runtime.create_process("a0", "ns-host")
+    client = runtime.create_process("a1", "client")
+    s_orb = Orb(server, OMNIORB4, compile_idl(DEMO_IDL))
+    s_orb.start()
+    ns = NamingService(s_orb)
+    servant = make_adder_servant(s_orb)
+    ref = s_orb.poa.activate_object(servant)
+    c_orb = Orb(client, OMNIORB4, compile_idl(DEMO_IDL))
+    out = {}
+
+    def server_main(proc):
+        # the server itself binds (collocated naming calls)
+        ctx = NamingContext(s_orb, ns.url)
+        ctx.bind("adder", ref)
+
+    def client_main(proc):
+        proc.sleep(0.001)
+        ctx = NamingContext(c_orb, ns.url)
+        stub = ctx.resolve("adder")
+        out["type"] = type(stub).__name__
+        out["greet"] = stub.greet("naming")
+
+    server.spawn(server_main)
+    client.spawn(client_main)
+    runtime.run()
+    assert out["type"] == "AdderStub"
+    assert out["greet"] == "hello naming"

@@ -1,0 +1,197 @@
+"""IDL discriminated unions: parsing, CDR, invocation, `any`."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corba import OMNIORB4, Orb, compile_idl
+from repro.corba.cdr import (
+    CdrInputStream,
+    CdrOutputStream,
+    decode_value,
+    encode_value,
+    read_typecode,
+    write_typecode,
+)
+from repro.corba.idl import IdlError
+from repro.corba.idl.types import ANY
+
+UNION_IDL = """
+module U {
+    enum Kind { INT, TEXT, NOTHING };
+    union Payload switch (Kind) {
+        case INT: long i;
+        case TEXT: string s;
+        default: boolean flag;
+    };
+    union Pick switch (long) {
+        case 1:
+        case 2: double small;
+        case 10: string big;
+    };
+    union OnOff switch (boolean) {
+        case TRUE: string reason;
+    };
+    interface Channel {
+        Payload echo(in Payload p);
+        Pick classify(in long n);
+    };
+};
+"""
+
+
+def _compiled():
+    return compile_idl(UNION_IDL)
+
+
+def roundtrip(t, value):
+    out = CdrOutputStream()
+    encode_value(out, t, value)
+    return decode_value(CdrInputStream(out.getvalue()), t)
+
+
+def test_union_compiles_with_enum_switch():
+    idl = _compiled()
+    payload = idl.type("U::Payload")
+    assert payload.switch_type is idl.type("U::Kind")
+    labels = [c[0] for c in payload.cases]
+    assert labels == [(0,), (1,), None]  # enum labels resolve to indices
+
+
+def test_multi_label_case():
+    idl = _compiled()
+    pick = idl.type("U::Pick")
+    assert pick.cases[0][0] == (1, 2)
+    assert pick.case_for(1)[1] == "small"
+    assert pick.case_for(2)[1] == "small"
+    assert pick.case_for(10)[1] == "big"
+    assert pick.case_for(99) is None  # no default arm
+
+
+def test_boolean_switch():
+    idl = _compiled()
+    onoff = idl.type("U::OnOff")
+    v = onoff.make(True, "because")
+    assert roundtrip(onoff, v) == v
+    off = onoff.make(False)  # selects nothing
+    assert roundtrip(onoff, off) == off
+
+
+@pytest.mark.parametrize("d,v,member", [
+    (0, 42, "i"), ("INT", 7, "i"), (1, "text", "s"), (2, True, "flag"),
+])
+def test_union_roundtrip_enum_switch(d, v, member):
+    idl = _compiled()
+    payload = idl.type("U::Payload")
+    value = payload.make(d, v)
+    assert value.member == member
+    back = roundtrip(payload, value)
+    assert back.v == v
+
+
+def test_union_typecheck_rejects_wrong_member_type():
+    idl = _compiled()
+    payload = idl.type("U::Payload")
+    with pytest.raises(IdlError):
+        roundtrip(payload, payload.make(0, "not an int"))
+    with pytest.raises(IdlError):
+        roundtrip(payload, payload.make(9, None))  # bad enum index
+
+
+def test_union_no_member_requires_none():
+    idl = _compiled()
+    pick = idl.type("U::Pick")
+    with pytest.raises(IdlError):
+        roundtrip(pick, pick.make(99, 3.14))  # 99 selects nothing
+
+
+def test_union_in_any_with_typecode():
+    idl = _compiled()
+    payload = idl.type("U::Payload")
+    value = payload.make("TEXT", "via any")
+    out = CdrOutputStream()
+    encode_value(out, ANY, (payload, value))
+    t, v = decode_value(CdrInputStream(out.getvalue()), ANY)
+    assert t == payload
+    assert v == value
+
+
+def test_union_typecode_roundtrip():
+    idl = _compiled()
+    for name in ("U::Payload", "U::Pick", "U::OnOff"):
+        t = idl.type(name)
+        out = CdrOutputStream()
+        write_typecode(out, t)
+        assert read_typecode(CdrInputStream(out.getvalue())) == t
+
+
+@pytest.mark.parametrize("bad_idl,msg", [
+    ("union U switch (double) { case 1: long x; };", "switch type"),
+    ("union U switch (string) { case 1: long x; };", "switch type"),
+    ("""union U switch (long) {
+        case 1: long x;
+        case 1: string y; };""", "duplicate case label"),
+    ("""union U switch (long) {
+        default: long x;
+        default: string y; };""", "multiple default"),
+])
+def test_union_validation(bad_idl, msg):
+    from repro.corba.idl import IdlParseError
+
+    with pytest.raises((IdlError, IdlParseError)) as ei:
+        compile_idl(bad_idl)
+    assert msg in str(ei.value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 2), st.data())
+def test_union_roundtrip_property(arm, data):
+    idl = _compiled()
+    payload = idl.type("U::Payload")
+    if arm == 0:
+        value = payload.make(0, data.draw(st.integers(-2**31, 2**31 - 1)))
+    elif arm == 1:
+        value = payload.make(1, data.draw(st.text(max_size=30)))
+    else:
+        value = payload.make(2, data.draw(st.booleans()))
+    assert roundtrip(payload, value) == value
+
+
+def test_union_through_full_invocation(runtime):
+    """Unions as operation arguments and results over GIOP."""
+    server = runtime.create_process("a0", "server")
+    client = runtime.create_process("a1", "client")
+    s_orb = Orb(server, OMNIORB4, compile_idl(UNION_IDL))
+    s_orb.start()
+    c_orb = Orb(client, OMNIORB4, compile_idl(UNION_IDL))
+    payload_t = s_orb.idl.type("U::Payload")
+    pick_t = s_orb.idl.type("U::Pick")
+
+    class Channel(s_orb.servant_base("U::Channel")):
+        def echo(self, p):
+            return p
+
+        def classify(self, n):
+            if n in (1, 2):
+                return pick_t.make(n, float(n) / 2)
+            if n == 10:
+                return pick_t.make(10, "ten")
+            return pick_t.make(99)
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(Channel()))
+    out = {}
+
+    def main(proc):
+        c_payload = c_orb.idl.type("U::Payload")
+        stub = c_orb.string_to_object(url)
+        out["echo"] = stub.echo(c_payload.make("TEXT", "hello"))
+        out["c1"] = stub.classify(1)
+        out["c10"] = stub.classify(10)
+        out["c99"] = stub.classify(99)
+
+    client.spawn(main)
+    runtime.run()
+    assert out["echo"].v == "hello"
+    assert out["c1"].v == 0.5
+    assert out["c10"].v == "ten"
+    assert out["c99"].v is None and out["c99"].d == 99

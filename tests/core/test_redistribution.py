@@ -1,0 +1,143 @@
+"""Redistribution schedules: correctness for arbitrary distribution pairs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import (
+    BlockDistribution,
+    CyclicDistribution,
+    DistributionError,
+    make_distribution,
+)
+from repro.core.redistribution import (
+    CLIENT_SIDE,
+    IN_TRANSIT,
+    SERVER_SIDE,
+    choose_redistribution_site,
+    redistribute_schedule,
+)
+
+_dist_spec = st.one_of(
+    st.tuples(st.just("block"), st.integers(1, 6)),
+    st.tuples(st.just("cyclic"), st.integers(1, 6)),
+    st.tuples(st.just("block-cyclic"), st.integers(1, 6),
+              st.integers(1, 7)),
+)
+
+
+def _make(spec, length):
+    kind, parts = spec[:2]
+    bs = spec[2] if len(spec) > 2 else None
+    return make_distribution(kind, parts, length, bs)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_dist_spec, _dist_spec, st.integers(0, 150))
+def test_redistribution_moves_every_element_once(src_spec, dst_spec, length):
+    """Applying the schedule to distributed data reproduces the exact
+    target layout of the global array — the core GridCCM invariant."""
+    src = _make(src_spec, length)
+    dst = _make(dst_spec, length)
+    plan = redistribute_schedule(src, dst)
+
+    global_data = np.arange(length, dtype="f8") * 1.5 + 3.0
+    locals_in = [global_data[src.global_indices(p)]
+                 for p in range(src.parts)]
+    locals_out = plan.apply(locals_in)
+    for p in range(dst.parts):
+        assert np.array_equal(locals_out[p],
+                              global_data[dst.global_indices(p)])
+
+    # total transferred volume equals the global length
+    assert sum(t.size for t in plan.transfers) == length
+    # no empty transfers
+    assert all(t.size > 0 for t in plan.transfers)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 200))
+def test_block_block_transfer_count(n, m, length):
+    """Block→block produces at most N+M-1 contiguous transfers."""
+    plan = redistribute_schedule(BlockDistribution(n, length),
+                                 BlockDistribution(m, length))
+    assert len(plan.transfers) <= n + m - 1
+    for t in plan.transfers:
+        # contiguous pieces on both sides
+        assert np.array_equal(np.diff(t.src_local),
+                              np.ones(t.size - 1)) or t.size <= 1
+        assert np.array_equal(np.diff(t.dst_local),
+                              np.ones(t.size - 1)) or t.size <= 1
+
+
+def test_identity_redistribution_is_node_to_node():
+    """Same block layout on both sides: rank i talks only to rank i —
+    the Figure-8 n→n experiment's communication pattern."""
+    plan = redistribute_schedule(BlockDistribution(4, 100),
+                                 BlockDistribution(4, 100))
+    assert len(plan.transfers) == 4
+    for t in plan.transfers:
+        assert t.src == t.dst
+
+
+def test_scatter_gather_patterns():
+    scatter = redistribute_schedule(BlockDistribution(1, 12),
+                                    BlockDistribution(3, 12))
+    assert [(t.src, t.dst, t.size) for t in scatter.transfers] == \
+        [(0, 0, 4), (0, 1, 4), (0, 2, 4)]
+    gather = redistribute_schedule(BlockDistribution(3, 12),
+                                   BlockDistribution(1, 12))
+    assert [(t.src, t.dst, t.size) for t in gather.transfers] == \
+        [(0, 0, 4), (1, 0, 4), (2, 0, 4)]
+
+
+def test_block_to_cyclic():
+    plan = redistribute_schedule(BlockDistribution(2, 6),
+                                 CyclicDistribution(2, 6))
+    data = np.array([10.0, 11, 12, 13, 14, 15])
+    out = plan.apply([data[:3], data[3:]])
+    assert np.array_equal(out[0], [10, 12, 14])
+    assert np.array_equal(out[1], [11, 13, 15])
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(DistributionError):
+        redistribute_schedule(BlockDistribution(2, 10),
+                              BlockDistribution(2, 11))
+
+
+def test_incoming_outgoing_views():
+    plan = redistribute_schedule(BlockDistribution(2, 10),
+                                 BlockDistribution(5, 10))
+    assert {t.dst for t in plan.outgoing(0)} == {0, 1, 2}
+    assert all(t.src == 1 for t in plan.incoming(4))
+
+
+def test_apply_validates_input_count():
+    plan = redistribute_schedule(BlockDistribution(2, 4),
+                                 BlockDistribution(2, 4))
+    with pytest.raises(DistributionError):
+        plan.apply([np.zeros(4)])
+
+
+# ---------------------------------------------------------------------------
+# §4.2.2 placement policy
+# ---------------------------------------------------------------------------
+
+def test_site_choice_prefers_faster_network_when_memory_allows():
+    assert choose_redistribution_site(
+        1e6, 1e9, 1e9, client_net_bandwidth=240e6,
+        server_net_bandwidth=11e6) == CLIENT_SIDE
+    assert choose_redistribution_site(
+        1e6, 1e9, 1e9, client_net_bandwidth=11e6,
+        server_net_bandwidth=240e6) == SERVER_SIDE
+
+
+def test_site_choice_respects_memory_feasibility():
+    assert choose_redistribution_site(
+        1e9, 2e9, 1e6, 11e6, 240e6) == CLIENT_SIDE  # server lacks memory
+    assert choose_redistribution_site(
+        1e9, 1e6, 2e9, 240e6, 11e6) == SERVER_SIDE  # client lacks memory
+    assert choose_redistribution_site(
+        1e9, 1e6, 1e6, 240e6, 240e6) == IN_TRANSIT  # neither fits

@@ -1,0 +1,99 @@
+"""Property-based end-to-end GridCCM: random group sizes, lengths and
+target distributions must always deliver exact data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ccm import ComponentImpl
+from repro.core import (
+    GridCcmCompiler,
+    ParallelClient,
+    ParallelComponent,
+    ParallelismDescriptor,
+)
+from repro.core.distribution import BlockDistribution, make_distribution
+from repro.corba import OMNIORB4, Orb, compile_idl
+from repro.mpi import create_world, spmd
+from repro.net import Topology, build_cluster
+from repro.padicotm import PadicoRuntime
+
+IDL = """
+module P {
+    typedef sequence<double> Vector;
+    interface Sum {
+        double total(in Vector values);
+    };
+    component Acc { provides Sum input; };
+    home AccHome manages Acc {};
+};
+"""
+
+XML_TEMPLATE = """
+<parallelism component="P::Acc">
+  <port name="input">
+    <operation name="total">
+      <argument name="values" distribution="{dist}"{bs}/>
+      <result policy="sum"/>
+    </operation>
+  </port>
+</parallelism>
+"""
+
+
+class AccImpl(ComponentImpl):
+    def total(self, values):
+        self.mpi.Barrier()
+        return float(np.sum(values))
+
+
+def _xml(dist: str, block_size: int | None) -> str:
+    bs = f' blocksize="{block_size}"' if block_size else ""
+    return XML_TEMPLATE.format(dist=dist, bs=bs)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n_clients=st.integers(1, 3),
+    n_servers=st.integers(1, 4),
+    total=st.integers(0, 200),
+    dist=st.sampled_from(["block", "cyclic", "block-cyclic"]),
+    block_size=st.integers(1, 8),
+    seed=st.integers(0, 2**16),
+)
+def test_gridccm_sum_exact_for_any_shape(n_clients, n_servers, total,
+                                         dist, block_size, seed):
+    xml = _xml(dist, block_size if dist == "block-cyclic" else None)
+    topo = Topology()
+    build_cluster(topo, "h", n_clients + n_servers)
+    rt = PadicoRuntime(topo)
+    servers = [rt.create_process(f"h{i}", f"s{i}") for i in range(n_servers)]
+    comp = ParallelComponent.create(rt, "acc", servers, IDL, xml, AccImpl,
+                                    profile=OMNIORB4)
+    url = comp.proxy_url("input")
+    clients = [rt.create_process(f"h{n_servers + i}", f"c{i}")
+               for i in range(n_clients)]
+    world = create_world(rt, "cw", clients)
+
+    rng = np.random.default_rng(seed)
+    full = rng.normal(size=total)
+    results = []
+
+    def body(proc, comm):
+        idl = compile_idl(IDL)
+        plan = GridCcmCompiler(
+            idl, ParallelismDescriptor.parse(xml)).compile()
+        orb = Orb(clients[comm.rank], OMNIORB4, idl)
+        pc = ParallelClient.attach(orb, plan, "input", url, comm=comm)
+        d = BlockDistribution(comm.size, total)
+        local = full[d.start(comm.rank):d.end(comm.rank)]
+        results.append(pc.total(local))
+
+    spmd(world, body)
+    rt.run()
+    rt.shutdown()
+    expected = float(np.sum(full))
+    assert len(results) == n_clients
+    for r in results:
+        assert r == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,31 @@
+"""Shared fixtures for deployment tests."""
+
+import pytest
+
+from repro.ccm import ImplementationRepository
+from repro.net import Topology, build_cluster
+from repro.padicotm import PadicoRuntime
+
+from tests.ccm.conftest import DriverImpl, MonitorImpl, WorkerImpl
+
+
+@pytest.fixture()
+def runtime():
+    topo = Topology()
+    build_cluster(topo, "a", 4)
+    rt = PadicoRuntime(topo)
+    yield rt
+    rt.shutdown()
+
+
+@pytest.fixture()
+def impl_repository():
+    ImplementationRepository.clear()
+    ImplementationRepository.register("DCE:worker-1", "App::Worker",
+                                      WorkerImpl)
+    ImplementationRepository.register("DCE:driver-1", "App::Driver",
+                                      DriverImpl)
+    ImplementationRepository.register("DCE:monitor-1", "App::Monitor",
+                                      MonitorImpl)
+    yield ImplementationRepository
+    ImplementationRepository.clear()

@@ -1,0 +1,108 @@
+"""Grid-wide authentication for component servers (§6 future work)."""
+
+import pytest
+
+from repro.ccm import ComponentServer, Container
+from repro.corba import NamingContext, NamingService, OMNIORB4, Orb, compile_idl
+from repro.corba.idl.types import UserExceptionBase
+from repro.deploy import (
+    AccessPolicy,
+    AuthenticationError,
+    GridCredential,
+    grant_credentials,
+)
+from repro.net import Topology, build_cluster
+from repro.padicotm import PadicoRuntime
+
+from tests.ccm.conftest import APP_IDL
+
+
+def test_credential_token_roundtrip():
+    cred = GridCredential("alice@site-a")
+    assert cred.token == "grid-ca:alice@site-a"
+    assert GridCredential.parse(cred.token) == cred
+    with pytest.raises(AuthenticationError):
+        GridCredential.parse("no-colon")
+    with pytest.raises(AuthenticationError):
+        GridCredential.parse(":missing-issuer")
+
+
+def test_access_policy_rules():
+    policy = AccessPolicy(subjects=["alice"], issuers=["grid-ca"])
+    assert policy.permits("grid-ca:alice")
+    assert not policy.permits("grid-ca:mallory")
+    assert not policy.permits("rogue-ca:alice")
+    assert not policy.permits("")
+    # empty subject list = any subject from a trusted issuer
+    open_policy = AccessPolicy()
+    assert open_policy.permits("grid-ca:anyone")
+    assert not open_policy.permits("rogue-ca:anyone")
+
+
+def test_component_server_enforces_acl(runtime, impl_repository):
+    container = Container(runtime.create_process("a0", "node0"),
+                          compile_idl(APP_IDL))
+    naming = NamingService(container.orb)
+    policy = AccessPolicy(subjects=["deployer@hq"])
+    server = ComponentServer(container,
+                             NamingContext(container.orb, naming.url),
+                             access_policy=policy)
+    client_proc = runtime.create_process("a1", "deployer")
+    c_orb = Orb(client_proc, OMNIORB4, compile_idl(APP_IDL))
+    from repro.ccm.idl import COMPONENTS_IDL
+    c_orb.idl.merge(compile_idl(COMPONENTS_IDL))
+    url = container.orb.object_to_string(server.ref)
+    out = {}
+
+    def main(proc):
+        cs = c_orb.narrow(c_orb.string_to_object(url),
+                          "Components::ComponentServer")
+        # anonymous: refused
+        with pytest.raises(UserExceptionBase) as ei:
+            cs.install_home("App::Worker", "DCE:worker-1")
+        out["anon"] = ei.value.why
+        # wrong identity: refused
+        grant_credentials(c_orb, GridCredential("mallory@nowhere"))
+        with pytest.raises(UserExceptionBase) as ei:
+            cs.install_home("App::Worker", "DCE:worker-1")
+        out["mallory"] = ei.value.why
+        # authorised identity: succeeds
+        grant_credentials(c_orb, GridCredential("deployer@hq"))
+        home = cs.install_home("App::Worker", "DCE:worker-1")
+        out["home"] = home is not None
+        out["installed"] = cs.installed_homes()
+
+    client_proc.spawn(main)
+    runtime.run()
+    assert "anonymous" in out["anon"]
+    assert "not authorised" in out["mallory"]
+    assert out["home"]
+    assert len(out["installed"]) == 1
+
+
+def test_servant_sees_caller_principal(runtime):
+    """Any servant can read the authenticated caller's identity."""
+    server_p = runtime.create_process("a0", "server")
+    client_p = runtime.create_process("a1", "client")
+    idl_src = "interface WhoAmI { string whoami(); };"
+    s_orb = Orb(server_p, OMNIORB4, compile_idl(idl_src))
+    s_orb.start()
+    c_orb = Orb(client_p, OMNIORB4, compile_idl(idl_src))
+
+    class Servant(s_orb.servant_base("WhoAmI")):
+        def whoami(self):
+            return s_orb.caller_principal()
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(Servant()))
+    out = {}
+
+    def main(proc):
+        stub = c_orb.string_to_object(url)
+        out["anon"] = stub.whoami()
+        grant_credentials(c_orb, GridCredential("bob@site-b"))
+        out["bob"] = stub.whoami()
+
+    client_p.spawn(main)
+    runtime.run()
+    assert out["anon"] == ""
+    assert out["bob"] == "grid-ca:bob@site-b"

@@ -1,0 +1,150 @@
+"""Discovery registry and the deployment planner (§2 scenarios)."""
+
+import pytest
+
+from repro.ccm import AssemblyDescriptor
+from repro.deploy import (
+    DeploymentPlanner,
+    DiscoveryError,
+    MachineRegistry,
+    PlanningError,
+)
+from repro.net import Topology, build_cluster, build_two_site_grid
+
+
+@pytest.fixture()
+def grid():
+    topo, a_hosts, b_hosts = build_two_site_grid(n_per_site=2)
+    reg = MachineRegistry(topo)
+    for h in a_hosts:
+        reg.advertise(h.name, f"cs-{h.name}", labels=["company-x"])
+    for h in b_hosts:
+        reg.advertise(h.name, f"cs-{h.name}")
+    return topo, reg
+
+
+def test_advertise_fills_topology_facts(grid):
+    topo, reg = grid
+    m = reg.machine("cs-a0")
+    assert m.site == "site-a"
+    assert m.cpus == 2
+    assert {"a-san", "a-lan", "wan"} <= set(m.fabrics)
+    assert "company-x" in m.labels
+
+
+def test_advertise_validation(grid):
+    topo, reg = grid
+    with pytest.raises(ValueError):
+        reg.advertise("a0", "cs-a0")  # duplicate process
+    with pytest.raises(ValueError):
+        reg.advertise("ghost-host", "cs-x")
+
+
+def test_discover_by_label_site_fabric(grid):
+    topo, reg = grid
+    assert len(reg.discover(labels=["company-x"])) == 2
+    assert {m.host for m in reg.discover(site="site-b")} == {"b0", "b1"}
+    assert {m.host for m in reg.discover(fabric="a-san")} == {"a0", "a1"}
+    with pytest.raises(DiscoveryError):
+        reg.discover(labels=["nonexistent"])
+    assert reg.discover(labels=["nonexistent"], require=False) == []
+
+
+def test_withdraw(grid):
+    topo, reg = grid
+    reg.withdraw("cs-a0")
+    with pytest.raises(DiscoveryError):
+        reg.machine("cs-a0")
+
+
+ASM = AssemblyDescriptor.parse("""
+<componentassembly id="coupling">
+  <componentfiles>
+    <componentfile id="chem" softpkg="chemistry"/>
+    <componentfile id="trans" softpkg="transport"/>
+  </componentfiles>
+  <instance id="chem0" componentfile="chem">
+    <constraint label="company-x"/>
+  </instance>
+  <instance id="trans0" componentfile="trans"/>
+  <connection>
+    <uses instance="trans0" port="density"/>
+    <provides instance="chem0" port="densities"/>
+  </connection>
+</componentassembly>""")
+
+
+def test_planner_honours_localization_constraint(grid):
+    """§2: the patented chemistry code must stay on company machines."""
+    topo, reg = grid
+    placement = DeploymentPlanner(reg, topo).plan(ASM)
+    chem_host = reg.machine(placement["chem0"]).host
+    assert chem_host in ("a0", "a1")  # company-x machines
+
+
+def test_planner_colocates_coupled_codes_on_fast_network(grid):
+    """§2 'communication flexibility': the transport code follows the
+    chemistry code onto the same SAN rather than sitting across the WAN."""
+    topo, reg = grid
+    placement = DeploymentPlanner(reg, topo).plan(ASM)
+    chem = reg.machine(placement["chem0"])
+    trans = reg.machine(placement["trans0"])
+    # both at site-a: they share the Myrinet SAN
+    assert chem.site == trans.site == "site-a"
+
+
+def test_planner_capacity_cap_forces_spread(grid):
+    topo, reg = grid
+    placement = DeploymentPlanner(reg, topo).plan(
+        ASM, instances_per_machine=1)
+    assert placement["chem0"] != placement["trans0"]
+
+
+def test_planner_respects_explicit_destination(grid):
+    topo, reg = grid
+    asm = AssemblyDescriptor.parse("""
+    <componentassembly id="x">
+      <componentfiles><componentfile id="c" softpkg="p"/></componentfiles>
+      <instance id="i0" componentfile="c" destination="cs-b1"/>
+    </componentassembly>""")
+    placement = DeploymentPlanner(reg, topo).plan(asm)
+    assert placement == {"i0": "cs-b1"}
+
+
+def test_planner_rejects_pinned_machine_without_label(grid):
+    topo, reg = grid
+    asm = AssemblyDescriptor.parse("""
+    <componentassembly id="x">
+      <componentfiles><componentfile id="c" softpkg="p"/></componentfiles>
+      <instance id="i0" componentfile="c" destination="cs-b0">
+        <constraint label="company-x"/>
+      </instance>
+    </componentassembly>""")
+    with pytest.raises(PlanningError):
+        DeploymentPlanner(reg, topo).plan(asm)
+
+
+def test_planner_unsatisfiable_constraint(grid):
+    topo, reg = grid
+    asm = AssemblyDescriptor.parse("""
+    <componentassembly id="x">
+      <componentfiles><componentfile id="c" softpkg="p"/></componentfiles>
+      <instance id="i0" componentfile="c">
+        <constraint label="gpu"/>
+      </instance>
+    </componentassembly>""")
+    with pytest.raises(PlanningError):
+        DeploymentPlanner(reg, topo).plan(asm)
+
+
+def test_planner_single_site_when_cluster_is_big_enough():
+    """The paper's two deployment configurations: one big cluster hosts
+    both codes; the planner never reaches for the WAN."""
+    topo = Topology()
+    hosts = build_cluster(topo, "big", 4)
+    reg = MachineRegistry(topo)
+    for h in hosts:
+        reg.advertise(h.name, f"cs-{h.name}", labels=["company-x"])
+    placement = DeploymentPlanner(reg, topo).plan(ASM)
+    hosts_used = {reg.machine(p).host for p in placement.values()}
+    assert hosts_used <= {h.name for h in hosts}

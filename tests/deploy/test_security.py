@@ -1,0 +1,121 @@
+"""Per-link security policy (§2 / §6)."""
+
+import pytest
+
+from repro.deploy import GridSecurityPolicy, secure_process
+from repro.net import Topology, build_two_site_grid
+from repro.padicotm import PadicoRuntime, VLink
+
+
+@pytest.fixture()
+def grid_rt():
+    topo, a_hosts, b_hosts = build_two_site_grid(n_per_site=2)
+    rt = PadicoRuntime(topo)
+    yield rt, a_hosts, b_hosts
+    rt.shutdown()
+
+
+def test_policy_modes():
+    wan_only = GridSecurityPolicy("wan-only")
+    assert wan_only.should_encrypt("wan", secure_wire=False)
+    assert not wan_only.should_encrypt("a-san", secure_wire=True)
+    assert GridSecurityPolicy("always").should_encrypt("a-san", True)
+    assert not GridSecurityPolicy("never").should_encrypt("wan", False)
+    with pytest.raises(ValueError):
+        GridSecurityPolicy("sometimes")
+
+
+def test_cost_zero_when_not_encrypting():
+    p = GridSecurityPolicy("wan-only")
+    assert p.transform_cost(1e6, "a-san", True) == 0.0
+    assert p.transform_cost(1e6, "wan", False) > 0.05  # 20 MB/s cipher
+
+
+def _transfer(rt, src_proc, dst_proc, nbytes, out):
+    listener = VLink.listen(dst_proc, "sec")
+
+    def srv(proc):
+        ep = listener.accept(proc)
+        ep.recv(proc)
+
+    def cli(proc):
+        ep = VLink.connect(proc, src_proc, dst_proc.name, "sec")
+        t0 = rt.kernel.now
+        ep.send(proc, b"payload", nbytes)
+        out["elapsed"] = rt.kernel.now - t0
+        out["encrypted"] = ep.encrypted_bytes
+        out["fabric"] = ep.fabric_name
+
+    dst_proc.spawn(srv)
+    src_proc.spawn(cli)
+    rt.run()
+
+
+def test_wan_traffic_encrypted_san_traffic_not(grid_rt):
+    """§6 optimisation: same policy, cipher only on the untrusted wire."""
+    rt, a_hosts, b_hosts = grid_rt
+    policy = GridSecurityPolicy("wan-only")
+    pa = rt.create_process(a_hosts[0], "pa")
+    pa2 = rt.create_process(a_hosts[1], "pa2")
+    pb = rt.create_process(b_hosts[0], "pb")
+    for p in (pa, pa2, pb):
+        secure_process(p, policy)
+
+    out_wan = {}
+    _transfer(rt, pa, pb, 1_000_000, out_wan)
+    assert out_wan["fabric"] == "wan"
+    assert out_wan["encrypted"] == 1_000_000
+
+    out_san = {}
+    _transfer(rt, pa, pa2, 1_000_000, out_san)
+    assert out_san["fabric"] == "a-san"
+    assert out_san["encrypted"] == 0
+    # SAN transfer is untouched by the cipher: ~240 MB/s
+    assert 1_000_000 / out_san["elapsed"] > 200e6
+
+
+def test_always_mode_cripples_the_san(grid_rt):
+    """The coarse-grained baseline the paper criticises: encrypting
+    inside the parallel machine throttles Myrinet to cipher speed."""
+    rt, a_hosts, _ = grid_rt
+    pa = rt.create_process(a_hosts[0], "pa")
+    pa2 = rt.create_process(a_hosts[1], "pa2")
+    for p in (pa, pa2):
+        secure_process(p, GridSecurityPolicy("always"))
+    out = {}
+    _transfer(rt, pa, pa2, 1_000_000, out)
+    assert out["encrypted"] == 1_000_000
+    bw = 1_000_000 / out["elapsed"]
+    assert bw < 25e6  # cipher-bound, not network-bound
+
+
+def test_wan_encryption_nearly_free(grid_rt):
+    """On a 4 MB/s WAN the 20 MB/s cipher costs little extra time."""
+    rt, a_hosts, b_hosts = grid_rt
+    pa = rt.create_process(a_hosts[0], "pa")
+    pb = rt.create_process(b_hosts[0], "pb")
+    out_plain = {}
+    _transfer(rt, pa, pb, 1_000_000, out_plain)
+
+    topo2, a2, b2 = build_two_site_grid(n_per_site=2)
+    rt2 = PadicoRuntime(topo2)
+    pa2 = rt2.create_process(a2[0].name, "pa")
+    pb2 = rt2.create_process(b2[0].name, "pb")
+    secure_process(pa2, GridSecurityPolicy("wan-only"))
+    secure_process(pb2, GridSecurityPolicy("wan-only"))
+    out_enc = {}
+    _transfer(rt2, pa2, pb2, 1_000_000, out_enc)
+    rt2.shutdown()
+
+    overhead = out_enc["elapsed"] / out_plain["elapsed"]
+    assert overhead < 1.35  # ≤ 35% on the slow wire
+
+
+def test_policy_applies_to_future_endpoints_only(grid_rt):
+    rt, a_hosts, b_hosts = grid_rt
+    pa = rt.create_process(a_hosts[0], "pa")
+    pb = rt.create_process(b_hosts[0], "pb")
+    out = {}
+    # no policy installed: nothing encrypted
+    _transfer(rt, pa, pb, 10_000, out)
+    assert out["encrypted"] == 0

@@ -1,0 +1,198 @@
+"""Full-stack integration: middleware cohabitation on PadicoTM.
+
+The paper's central systems claim (§4.3): CORBA and MPI run in the same
+process, share the same Myrinet NIC cooperatively, and each reaches the
+performance it would get alone — with fair sharing under concurrency."""
+
+import numpy as np
+import pytest
+
+from repro.corba import MICO, OMNIORB4, Orb, compile_idl
+from repro.mpi import create_world, spmd
+from repro.net import Topology, build_cluster
+from repro.padicotm import ArbitrationConflictError, PadicoRuntime
+from repro.soap import SoapClient, SoapServer
+
+IDL = """
+module Bench {
+    typedef sequence<octet> Blob;
+    interface Sink { void push(in Blob data); };
+};
+"""
+
+
+@pytest.fixture()
+def rt():
+    topo = Topology()
+    build_cluster(topo, "a", 2)
+    runtime = PadicoRuntime(topo)
+    yield runtime
+    runtime.shutdown()
+
+
+def test_corba_and_mpi_share_myrinet_fairly(rt):
+    """§4.4: 'Concurrent benchmarks (CORBA and MPI at the same time)
+    show the bandwidth is efficiently shared: each gets 120 MB/s.'
+
+    One process per machine; each process runs both middleware systems;
+    both transfer 24 MB at the same instant over the same NIC."""
+    p0 = rt.create_process("a0", "p0")
+    p1 = rt.create_process("a1", "p1")
+
+    # CORBA side
+    idl = compile_idl(IDL)
+    s_orb = Orb(p1, OMNIORB4, compile_idl(IDL))
+    s_orb.start()
+    c_orb = Orb(p0, OMNIORB4, idl)
+
+    class Sink(s_orb.servant_base("Bench::Sink")):
+        def push(self, data):
+            pass
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(Sink()))
+
+    # MPI side (same two processes!)
+    world = create_world(rt, "w", [p0, p1])
+
+    size = 24_000_000
+    results = {}
+    start_gate = 0.001  # synchronised start
+
+    def corba_main(proc):
+        stub = c_orb.string_to_object(url)
+        stub.push(b"")  # warm up connection
+        proc.sleep(start_gate - rt.kernel.now)
+        t0 = rt.kernel.now
+        stub.push(bytes(size))
+        results["corba"] = size / (rt.kernel.now - t0)
+
+    def mpi_main(proc, comm):
+        comm.bind(proc)
+        if comm.rank == 0:
+            proc.sleep(start_gate - rt.kernel.now)
+            t0 = rt.kernel.now
+            comm.Send(np.zeros(size, dtype="u1"), dest=1)
+            results["mpi"] = size / (rt.kernel.now - t0)
+        else:
+            buf = np.empty(size, dtype="u1")
+            comm.Recv(buf, source=0)
+
+    p0.spawn(corba_main)
+    spmd(world, mpi_main)
+    rt.run()
+
+    # both loaded in one process, both ~120 MB/s
+    assert p0.modules.is_loaded("mpi")
+    assert p0.modules.is_loaded("corba/omniORB-4.0.0")
+    assert results["mpi"] / 1e6 == pytest.approx(120, rel=0.05)
+    assert results["corba"] / 1e6 == pytest.approx(120, rel=0.05)
+
+
+def test_alone_each_middleware_gets_full_bandwidth(rt):
+    """Control for the sharing test: alone, each reaches ~240 MB/s."""
+    p0 = rt.create_process("a0", "p0")
+    p1 = rt.create_process("a1", "p1")
+    world = create_world(rt, "w", [p0, p1])
+    size = 24_000_000
+    results = {}
+
+    def mpi_main(proc, comm):
+        if comm.rank == 0:
+            t0 = comm.Wtime()
+            comm.Send(np.zeros(size, dtype="u1"), dest=1)
+            results["mpi"] = size / (comm.Wtime() - t0)
+        else:
+            buf = np.empty(size, dtype="u1")
+            comm.Recv(buf, source=0)
+
+    spmd(world, mpi_main)
+    rt.run()
+    assert results["mpi"] / 1e6 == pytest.approx(240, rel=0.02)
+
+
+def test_three_middleware_systems_one_process(rt):
+    """MPI + CORBA + SOAP coexist in one PadicoTM process — 'any
+    combination of them may be used at the same time' (§4.3.4)."""
+    p0 = rt.create_process("a0", "p0")
+    p1 = rt.create_process("a1", "p1")
+    world = create_world(rt, "w", [p0, p1])
+    s_orb = Orb(p1, MICO, compile_idl(IDL))
+    s_orb.start()
+    c_orb = Orb(p0, MICO, compile_idl(IDL))
+
+    class Sink(s_orb.servant_base("Bench::Sink")):
+        received = 0
+
+        def push(self, data):
+            Sink.received += len(data)
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(Sink()))
+    soap_server = SoapServer(p1)
+    soap_server.register("ping", lambda: {"pong": True})
+    out = {}
+
+    def main(proc, comm):
+        comm.bind(proc)
+        if comm.rank == 0:
+            out["mpi"] = comm.sendrecv("hello", dest=1, source=1)
+            c_orb.string_to_object(url).push(b"xyz")
+            client = SoapClient(p0, soap_server.url)
+            out["soap"] = client.call(proc, "ping")["pong"]
+        else:
+            comm.sendrecv("world", dest=0, source=0)
+
+    spmd(world, main)
+    rt.run()
+    assert out["mpi"] == "world"
+    assert out["soap"] is True
+    assert Sink.received == 3
+    assert sorted(n for n in p0.modules.names()) == [
+        "corba/Mico-2.3.7", "mpi", "soap/gsoap-2.x"]
+    # one coherent thread policy despite three pthread-based middlewares
+    assert p0.arbitration.thread_policy == "marcel"
+
+
+def test_legacy_middleware_conflicts_without_padico(rt):
+    """The motivating failure: a legacy MPI grabbing Myrinet through BIP
+    directly prevents a second middleware from using the NIC at all."""
+    p0 = rt.create_process("a0", "p0")
+    p0.arbitration.claim_nic("a-san", "BIP", "legacy-mpich-bip",
+                             cooperative=False)
+    with pytest.raises(ArbitrationConflictError):
+        p0.arbitration.claim_nic("a-san", "GM", "legacy-orb-gm",
+                                 cooperative=False)
+
+
+def test_dynamic_module_reload(rt):
+    """Middleware modules load, unload and reload at runtime."""
+    from repro.mpi import MpiModule
+
+    p0 = rt.create_process("a0", "p0")
+    p0.modules.load(MpiModule())
+    assert p0.modules.is_loaded("mpi")
+    p0.modules.unload("mpi")
+    assert not p0.modules.is_loaded("mpi")
+    p0.modules.load(MpiModule())  # reload works
+    assert p0.modules.is_loaded("mpi")
+
+
+def test_ported_middleware_inventory(rt):
+    """§4.3.4 name-drops the ports; represent them as modules and check
+    they can all be loaded together."""
+    from repro.padicotm import PadicoModule
+
+    class Kaffe(PadicoModule):
+        name = "jvm/kaffe-1.0"
+        thread_policy = "java-threads"
+
+    class Certi(PadicoModule):
+        name = "hla/certi-3.0"
+        thread_policy = "pthread"
+
+    p0 = rt.create_process("a0", "p0")
+    from repro.mpi import MpiModule
+    from repro.soap import SoapModule
+    for m in (MpiModule(), SoapModule(), Kaffe(), Certi()):
+        p0.modules.load(m)
+    assert len(p0.modules.names()) == 4
+    assert p0.arbitration.thread_policy == "marcel"

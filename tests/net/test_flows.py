@@ -1,0 +1,214 @@
+"""Unit tests for the flow-level transfer engine."""
+
+import pytest
+
+from repro.net import FlowNetwork, Topology, TransferError, build_cluster
+from repro.sim import SimKernel
+
+
+@pytest.fixture()
+def grid():
+    kernel = SimKernel()
+    topo = Topology()
+    build_cluster(topo, "a", 4)
+    net = FlowNetwork(kernel, topo)
+    yield kernel, topo, net
+    kernel.shutdown()
+
+
+def test_single_transfer_latency_plus_fluid_time(grid):
+    kernel, topo, net = grid
+
+    def proc(p):
+        return net.transfer(p, "a0", "a1", 1_000_000, "a-san")
+
+    pr = kernel.spawn(proc)
+    kernel.run()
+    expected = 9e-6 + 1_000_000 / 240e6
+    assert pr.result == pytest.approx(expected, rel=1e-9)
+
+
+def test_zero_byte_transfer_costs_only_latency(grid):
+    kernel, topo, net = grid
+
+    def proc(p):
+        return net.transfer(p, "a0", "a1", 0, "a-san")
+
+    pr = kernel.spawn(proc)
+    kernel.run()
+    assert pr.result == pytest.approx(9e-6)
+
+
+def test_two_flows_same_route_share_half_each(grid):
+    """The paper's concurrency result: two streams on one Myrinet path
+    each get 120 MB/s."""
+    kernel, topo, net = grid
+    done = []
+
+    def proc(p, name):
+        elapsed = net.transfer(p, "a0", "a1", 1_200_000, "a-san")
+        done.append((name, elapsed))
+
+    kernel.spawn(proc, "corba")
+    kernel.spawn(proc, "mpi")
+    kernel.run()
+    # both run concurrently at 120 MB/s
+    expected = 9e-6 + 1_200_000 / 120e6
+    for _name, elapsed in done:
+        assert elapsed == pytest.approx(expected, rel=1e-6)
+
+
+def test_disjoint_pairs_do_not_contend(grid):
+    kernel, topo, net = grid
+    done = []
+
+    def proc(p, src, dst):
+        done.append(net.transfer(p, src, dst, 2_400_000, "a-san"))
+
+    kernel.spawn(proc, "a0", "a1")
+    kernel.spawn(proc, "a2", "a3")
+    kernel.run()
+    expected = 9e-6 + 2_400_000 / 240e6
+    assert all(e == pytest.approx(expected, rel=1e-6) for e in done)
+
+
+def test_late_flow_slows_down_early_flow(grid):
+    kernel, topo, net = grid
+    results = {}
+
+    def early(p):
+        results["early"] = net.transfer(p, "a0", "a1", 2_400_000, "a-san")
+
+    def late(p):
+        p.sleep(0.005)  # early flow is half done (10ms total alone)
+        results["late"] = net.transfer(p, "a0", "a1", 1_200_000, "a-san")
+
+    kernel.spawn(early)
+    kernel.spawn(late)
+    kernel.run()
+    # early: ~5ms alone at 240 + remaining 1.2MB shared at 120 = ~10ms + lat
+    assert results["early"] == pytest.approx(9e-6 + 0.005 + 0.01, rel=1e-3)
+
+
+def test_link_bytes_accounting(grid):
+    kernel, topo, net = grid
+
+    def proc(p):
+        net.transfer(p, "a0", "a1", 500_000, "a-san")
+
+    kernel.spawn(proc)
+    kernel.run()
+    uplink = topo.fabrics["a-san"].link("a0", "a-san-sw")
+    downlink = topo.fabrics["a-san"].link("a-san-sw", "a1")
+    assert net.link_bytes[uplink] == pytest.approx(500_000)
+    assert net.link_bytes[downlink] == pytest.approx(500_000)
+    assert net.completed_flows == 1
+
+
+def test_link_failure_aborts_inflight_transfer(grid):
+    kernel, topo, net = grid
+    caught = []
+
+    def sender(p):
+        try:
+            net.transfer(p, "a0", "a1", 240_000_000, "a-san")  # 1s alone
+        except TransferError as e:
+            caught.append((kernel.now, str(e)))
+
+    def chaos(p):
+        p.sleep(0.1)
+        link = topo.fabrics["a-san"].link("a0", "a-san-sw")
+        net.fail_link(link)
+
+    kernel.spawn(sender)
+    kernel.spawn(chaos)
+    kernel.run()
+    assert len(caught) == 1
+    assert caught[0][0] == pytest.approx(0.1)
+    assert "down" in caught[0][1]
+
+
+def test_transfer_on_downed_link_raises_immediately(grid):
+    kernel, topo, net = grid
+    topo.set_link_state("a-san", "a0", "a-san-sw", up=False)
+    errors = []
+
+    def sender(p):
+        try:
+            net.transfer(p, "a0", "a1", 1000, "a-san")
+        except Exception as e:  # noqa: BLE001
+            errors.append(type(e).__name__)
+
+    kernel.spawn(sender)
+    kernel.run()
+    # routing already fails: NoRouteError
+    assert errors == ["NoRouteError"]
+
+
+def test_surviving_flow_speeds_up_after_other_completes(grid):
+    kernel, topo, net = grid
+    results = {}
+
+    def small(p):
+        results["small"] = net.transfer(p, "a0", "a1", 1_200_000, "a-san")
+
+    def big(p):
+        results["big"] = net.transfer(p, "a0", "a1", 3_600_000, "a-san")
+
+    kernel.spawn(small)
+    kernel.spawn(big)
+    kernel.run()
+    # both at 120 until small's 1.2MB completes (t=10ms); big then has
+    # 2.4MB left at 240 → 10ms more.
+    assert results["small"] == pytest.approx(9e-6 + 0.01, rel=1e-6)
+    assert results["big"] == pytest.approx(9e-6 + 0.02, rel=1e-6)
+
+
+def test_interrupted_sender_cancels_flow(grid):
+    kernel, topo, net = grid
+    outcome = []
+
+    def sender(p):
+        try:
+            net.transfer(p, "a0", "a1", 240_000_000, "a-san")
+        except Exception as e:  # noqa: BLE001
+            outcome.append(type(e).__name__)
+        p.suspend()
+
+    def other(p):
+        # starts later; should get full bandwidth once sender is killed
+        p.sleep(0.2)
+        t0 = kernel.now
+        net.transfer(p, "a0", "a1", 2_400_000, "a-san")
+        outcome.append(kernel.now - t0)
+
+    s = kernel.spawn(sender, daemon=True)
+
+    def killer(p):
+        p.sleep(0.1)
+        s.interrupt("chaos")
+
+    kernel.spawn(other)
+    kernel.spawn(killer)
+    kernel.run()
+    assert outcome[0] == "SimInterrupt"
+    assert outcome[1] == pytest.approx(9e-6 + 0.01, rel=1e-6)
+
+
+def test_start_flow_callback_api(grid):
+    kernel, topo, net = grid
+    fired = []
+    route = topo.route("a0", "a1", "a-san")
+    net.start_flow(route, 240_000, lambda f: fired.append((kernel.now, f.error)))
+    kernel.run()
+    assert len(fired) == 1
+    t, err = fired[0]
+    assert err is None
+    assert t == pytest.approx(240_000 / 240e6)
+
+
+def test_start_flow_rejects_empty_size(grid):
+    kernel, topo, net = grid
+    route = topo.route("a0", "a1", "a-san")
+    with pytest.raises(ValueError):
+        net.start_flow(route, 0, lambda f: None)

@@ -1,0 +1,94 @@
+"""Property-based tests for the max-min fair allocator."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flows import Flow, maxmin_rates
+from repro.net.topology import Fabric, Link
+from repro.net.devices import ETHERNET_100
+
+
+def _mklink(i: int, bandwidth: float) -> Link:
+    fab = Fabric.__new__(Fabric)  # bare fabric shell; routing not needed
+    fab.name = "t"
+    fab.technology = ETHERNET_100
+    return Link(f"l{i}", f"s{i}", f"d{i}", fab, bandwidth, 0.0)
+
+
+def _mkflow(route):
+    return Flow(route, 1.0, None, None, 0.0)
+
+
+@st.composite
+def scenarios(draw):
+    n_links = draw(st.integers(1, 6))
+    links = [_mklink(i, draw(st.floats(1.0, 1000.0))) for i in range(n_links)]
+    n_flows = draw(st.integers(1, 8))
+    flows = []
+    for _ in range(n_flows):
+        idx = draw(st.lists(st.integers(0, n_links - 1), min_size=1,
+                            max_size=n_links, unique=True))
+        flows.append(_mkflow([links[i] for i in idx]))
+    return links, flows
+
+
+@settings(max_examples=200, deadline=None)
+@given(scenarios())
+def test_maxmin_feasible_and_fair(scenario):
+    links, flows = scenario
+    rates = maxmin_rates(flows)
+
+    # every flow got a positive, finite rate
+    for f in flows:
+        assert rates[f] > 0
+        assert math.isfinite(rates[f])
+
+    # feasibility: no link oversubscribed
+    for link in links:
+        load = sum(rates[f] for f in flows if link in f.route)
+        assert load <= link.bandwidth * (1 + 1e-9)
+
+    # max-min property: every flow has a bottleneck link that is
+    # saturated and on which it has the maximal rate
+    for f in flows:
+        has_bottleneck = False
+        for link in f.route:
+            users = [g for g in flows if link in g.route]
+            load = sum(rates[g] for g in users)
+            saturated = load >= link.bandwidth * (1 - 1e-9)
+            is_max = rates[f] >= max(rates[g] for g in users) - 1e-9
+            if saturated and is_max:
+                has_bottleneck = True
+                break
+        assert has_bottleneck, f"flow {f} has no bottleneck"
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 20), st.floats(1.0, 1e9))
+def test_equal_share_on_single_link(n_flows, bandwidth):
+    link = _mklink(0, bandwidth)
+    flows = [_mkflow([link]) for _ in range(n_flows)]
+    rates = maxmin_rates(flows)
+    for f in flows:
+        assert abs(rates[f] - bandwidth / n_flows) <= bandwidth * 1e-9
+
+
+def test_empty_route_gets_infinite_rate():
+    f = _mkflow([])
+    assert maxmin_rates([f])[f] == float("inf")
+
+
+def test_textbook_example():
+    """Classic 3-flow example: f1 on l1, f2 on l1+l2, f3 on l2.
+
+    l1 cap 10, l2 cap 20 → f1=f2=5 (l1 bottleneck), f3 = 15.
+    """
+    l1 = _mklink(1, 10.0)
+    l2 = _mklink(2, 20.0)
+    f1, f2, f3 = _mkflow([l1]), _mkflow([l1, l2]), _mkflow([l2])
+    rates = maxmin_rates([f1, f2, f3])
+    assert rates[f1] == 5.0
+    assert rates[f2] == 5.0
+    assert rates[f3] == 15.0

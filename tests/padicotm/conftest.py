@@ -1,0 +1,25 @@
+"""Shared fixtures for PadicoTM tests."""
+
+import pytest
+
+from repro.net import Topology, build_cluster, build_two_site_grid
+from repro.padicotm import PadicoRuntime
+
+
+@pytest.fixture()
+def cluster_runtime():
+    """A 4-node dual-CPU Myrinet+Ethernet cluster runtime."""
+    topo = Topology()
+    build_cluster(topo, "a", 4)
+    rt = PadicoRuntime(topo)
+    yield rt
+    rt.shutdown()
+
+
+@pytest.fixture()
+def grid_runtime():
+    """Two 4-node clusters joined by a WAN."""
+    topo, a_hosts, b_hosts = build_two_site_grid(n_per_site=4)
+    rt = PadicoRuntime(topo)
+    yield rt, a_hosts, b_hosts
+    rt.shutdown()

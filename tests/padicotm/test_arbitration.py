@@ -1,0 +1,158 @@
+"""Arbitration layer: NIC claims, driver conflicts, thread policies."""
+
+import pytest
+
+from repro.padicotm import (
+    ArbitrationConflictError,
+    ModuleError,
+    PadicoModule,
+    ThreadPolicyError,
+)
+
+
+def test_cooperative_claims_coexist(cluster_runtime):
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    p.arbitration.claim_nic("a-san", "BIP", "PadicoTM/madeleine",
+                            cooperative=True)
+    # second middleware through the multiplexer: fine (the point of PadicoTM)
+    p.arbitration.claim_nic("a-san", "BIP", "PadicoTM/sockets",
+                            cooperative=True)
+    assert len(p.arbitration.claims) == 2
+
+
+def test_direct_exclusive_claim_conflicts(cluster_runtime):
+    """Paper §4.3.1: 'hardware with exclusive access (e.g. Myrinet
+    through BIP)'."""
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    p.arbitration.claim_nic("a-san", "BIP", "legacy-mpi", cooperative=False)
+    with pytest.raises(ArbitrationConflictError):
+        p.arbitration.claim_nic("a-san", "BIP", "legacy-corba",
+                                cooperative=False)
+    # even a cooperative claim cannot share with a direct exclusive one
+    with pytest.raises(ArbitrationConflictError):
+        p.arbitration.claim_nic("a-san", "BIP", "PadicoTM/madeleine",
+                                cooperative=True)
+
+
+def test_incompatible_drivers_conflict(cluster_runtime):
+    """Paper §4.3.1: 'incompatible drivers (e.g. BIP or GM on Myrinet)'."""
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    p.arbitration.claim_nic("a-san", "BIP", "mw1", cooperative=False)
+    with pytest.raises(ArbitrationConflictError):
+        p.arbitration.claim_nic("a-san", "GM", "mw2", cooperative=True)
+
+
+def test_nonexclusive_driver_shared_on_lan(cluster_runtime):
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    p.arbitration.claim_nic("a-lan", "tcp", "mw1", cooperative=False)
+    p.arbitration.claim_nic("a-lan", "tcp", "mw2", cooperative=False)
+    assert len(p.arbitration.claims) == 2
+
+
+def test_claim_requires_nic_on_host(cluster_runtime):
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    with pytest.raises(ValueError):
+        p.arbitration.claim_nic("no-such-fabric", "tcp", "x", True)
+
+
+def test_release_claims(cluster_runtime):
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    p.arbitration.claim_nic("a-san", "BIP", "mw1", cooperative=True)
+    assert p.arbitration.release_claims("mw1") == 1
+    # now a direct claim succeeds
+    p.arbitration.claim_nic("a-san", "BIP", "mw2", cooperative=False)
+
+
+def test_thread_policy_adaptation_and_conflict(cluster_runtime):
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    # via PadicoTM: everyone is adapted to Marcel
+    assert p.arbitration.install_thread_policy(
+        "pthread-fifo", "mpi", via_padico=True) == "marcel"
+    assert p.arbitration.install_thread_policy(
+        "java-threads", "kaffe", via_padico=True) == "marcel"
+    # a direct second policy conflicts
+    with pytest.raises(ThreadPolicyError):
+        p.arbitration.install_thread_policy(
+            "green-threads", "legacy", via_padico=False)
+
+
+def test_direct_policy_first_then_adapted(cluster_runtime):
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    assert p.arbitration.install_thread_policy(
+        "pthread-fifo", "legacy", via_padico=False) == "pthread-fifo"
+    # cooperative middleware adapts to whatever is resident
+    assert p.arbitration.install_thread_policy(
+        "whatever", "mpi", via_padico=True) == "pthread-fifo"
+
+
+class _FakeMw(PadicoModule):
+    name = "fake-mw"
+    thread_policy = "pthread-fifo"
+
+    def __init__(self):
+        self.loaded = 0
+        self.unloaded = 0
+
+    def on_load(self, process):
+        self.loaded += 1
+
+    def on_unload(self, process):
+        self.unloaded += 1
+
+
+class _Dependent(PadicoModule):
+    name = "dependent"
+    requires = ("fake-mw",)
+
+
+def test_module_lifecycle(cluster_runtime):
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    mw = _FakeMw()
+    p.modules.load(mw)
+    assert mw.loaded == 1
+    assert p.modules.is_loaded("fake-mw")
+    assert p.arbitration.thread_policy == "marcel"
+
+    with pytest.raises(ModuleError):
+        p.modules.load(_FakeMw())  # duplicate
+
+    dep = _Dependent()
+    p.modules.load(dep)
+    with pytest.raises(ModuleError):
+        p.modules.unload("fake-mw")  # dependent still loaded
+    p.modules.unload("dependent")
+    p.modules.unload("fake-mw")
+    assert mw.unloaded == 1
+    assert not p.modules.is_loaded("fake-mw")
+
+
+def test_module_missing_dependency(cluster_runtime):
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    with pytest.raises(ModuleError):
+        p.modules.load(_Dependent())
+
+
+def test_module_get_unknown(cluster_runtime):
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    with pytest.raises(ModuleError):
+        p.modules.get("ghost")
+
+
+def test_duplicate_process_and_unknown_host(cluster_runtime):
+    rt = cluster_runtime
+    rt.create_process("a0", "p0")
+    with pytest.raises(ValueError):
+        rt.create_process("a0", "p0")
+    with pytest.raises(ValueError):
+        rt.create_process("nowhere", "p1")

@@ -1,0 +1,198 @@
+"""Madeleine channels and the socket subsystem."""
+
+import pytest
+
+from repro.padicotm.arbitration.madeleine import open_channel
+from repro.padicotm.arbitration.sockets import ConnectionRefusedError
+
+
+def test_madeleine_pingpong_latency_is_11us(cluster_runtime):
+    """Calibration check: 1 µs send + 9 µs wire + 1 µs recv = 11 µs
+    one-way, the paper's MPI latency over PadicoTM/Myrinet."""
+    rt = cluster_runtime
+    p0 = rt.create_process("a0", "p0")
+    p1 = rt.create_process("a1", "p1")
+    ch = open_channel(rt, "ch", [p0, p1], "a-san")
+    result = {}
+
+    def client(proc):
+        t0 = rt.kernel.now
+        ch.send(proc, 0, 1, b"x", 0)
+        ch.recv(proc, 0)
+        result["rtt"] = rt.kernel.now - t0
+
+    def server(proc):
+        ch.recv(proc, 1)
+        ch.send(proc, 1, 0, b"x", 0)
+
+    p0.spawn(client)
+    p1.spawn(server)
+    rt.run()
+    assert result["rtt"] / 2 == pytest.approx(11e-6, rel=1e-6)
+
+
+def test_madeleine_bandwidth_reaches_240(cluster_runtime):
+    rt = cluster_runtime
+    p0 = rt.create_process("a0", "p0")
+    p1 = rt.create_process("a1", "p1")
+    ch = open_channel(rt, "ch", [p0, p1], "a-san")
+    size = 8_000_000
+    result = {}
+
+    def sender(proc):
+        t0 = rt.kernel.now
+        ch.send(proc, 0, 1, b"big", size)
+        result["elapsed"] = rt.kernel.now - t0
+
+    def receiver(proc):
+        ch.recv(proc, 1)
+
+    p0.spawn(sender)
+    p1.spawn(receiver)
+    rt.run()
+    bw = size / result["elapsed"]
+    assert bw == pytest.approx(240e6, rel=0.01)
+
+
+def test_madeleine_channel_requires_parallel_fabric(cluster_runtime):
+    rt = cluster_runtime
+    p0 = rt.create_process("a0", "p0")
+    p1 = rt.create_process("a1", "p1")
+    with pytest.raises(ValueError):
+        open_channel(rt, "bad", [p0, p1], "a-lan")
+
+
+def test_madeleine_channel_claims_bip_cooperatively(cluster_runtime):
+    rt = cluster_runtime
+    p0 = rt.create_process("a0", "p0")
+    p1 = rt.create_process("a1", "p1")
+    open_channel(rt, "ch", [p0, p1], "a-san")
+    claims = p0.arbitration.claims
+    assert len(claims) == 1
+    assert claims[0].driver == "BIP"
+    assert claims[0].cooperative
+
+
+def test_madeleine_selective_receive(cluster_runtime):
+    rt = cluster_runtime
+    procs = [rt.create_process(f"a{i}", f"p{i}") for i in range(3)]
+    ch = open_channel(rt, "ch", procs, "a-san")
+    got = []
+
+    def sender(proc, rank, delay):
+        proc.sleep(delay)
+        ch.send(proc, rank, 0, f"from{rank}", 10)
+
+    def receiver(proc):
+        # deliberately receive rank 2 first even though rank 1 arrives first
+        got.append(ch.recv(proc, 0, source=2)[1])
+        got.append(ch.recv(proc, 0, source=1)[1])
+
+    procs[1].spawn(sender, 1, 0.0)
+    procs[2].spawn(sender, 2, 0.001)
+    procs[0].spawn(receiver)
+    rt.run()
+    assert got == ["from2", "from1"]
+
+
+def test_madeleine_same_channel_id_returns_same_channel(cluster_runtime):
+    rt = cluster_runtime
+    p0 = rt.create_process("a0", "p0")
+    p1 = rt.create_process("a1", "p1")
+    c1 = open_channel(rt, "ch", [p0, p1], "a-san")
+    c2 = open_channel(rt, "ch", [p0, p1], "a-san")
+    assert c1 is c2
+    with pytest.raises(ValueError):
+        open_channel(rt, "ch", [p1, p0], "a-san")  # different member order
+
+
+def test_socket_connect_accept_send_recv(cluster_runtime):
+    rt = cluster_runtime
+    server = rt.create_process("a0", "server")
+    client = rt.create_process("a1", "client")
+    listener = server.arbitration.sockets().listen("5000")
+    got = []
+
+    def srv(proc):
+        conn = listener.accept(proc)
+        item = conn.recv(proc)
+        got.append(item)
+        conn.send(proc, b"pong", 4)
+        assert conn.recv(proc) is None  # client closed
+
+    def cli(proc):
+        conn = client.arbitration.sockets().connect(proc, "server", "5000")
+        conn.send(proc, b"ping", 4)
+        got.append(conn.recv(proc))
+        conn.close()
+
+    server.spawn(srv)
+    client.spawn(cli)
+    rt.run()
+    assert got == [(b"ping", 4), (b"pong", 4)]
+
+
+def test_socket_connect_refused(cluster_runtime):
+    rt = cluster_runtime
+    rt.create_process("a0", "server")
+    client = rt.create_process("a1", "client")
+    errors = []
+
+    def cli(proc):
+        try:
+            client.arbitration.sockets().connect(proc, "server", "9999")
+        except ConnectionRefusedError:
+            errors.append("refused")
+
+    client.spawn(cli)
+    rt.run()
+    assert errors == ["refused"]
+
+
+def test_socket_picks_distributed_fabric(cluster_runtime):
+    rt = cluster_runtime
+    server = rt.create_process("a0", "server")
+    client = rt.create_process("a1", "client")
+    server.arbitration.sockets().listen("80")
+    conns = []
+
+    def cli(proc):
+        conn = client.arbitration.sockets().connect(proc, "server", "80")
+        conns.append(conn)
+
+    client.spawn(cli)
+    rt.run()
+    # sockets never drive the SAN: the LAN fabric must be chosen
+    assert conns[-1].fabric == "a-lan"
+
+
+def test_socket_port_collision(cluster_runtime):
+    rt = cluster_runtime
+    p = rt.create_process("a0", "p0")
+    p.arbitration.sockets().listen("80")
+    with pytest.raises(OSError):
+        p.arbitration.sockets().listen("80")
+
+
+def test_socket_same_host_uses_loopback(cluster_runtime):
+    rt = cluster_runtime
+    server = rt.create_process("a0", "server")
+    client = rt.create_process("a0", "client")  # same host
+    listener = server.arbitration.sockets().listen("80")
+    result = {}
+
+    def srv(proc):
+        conn = listener.accept(proc)
+        conn.recv(proc)
+
+    def cli(proc):
+        conn = client.arbitration.sockets().connect(proc, "server", "80")
+        t0 = rt.kernel.now
+        conn.send(proc, b"x", 1_000_000)
+        result["elapsed"] = rt.kernel.now - t0
+
+    server.spawn(srv)
+    client.spawn(cli)
+    rt.run()
+    # loopback at 800 MB/s: far faster than the 11.2 MB/s LAN
+    assert result["elapsed"] < 1_000_000 / 100e6

@@ -1,0 +1,304 @@
+"""Unit tests for simulation synchronisation primitives."""
+
+import pytest
+
+from repro.sim import (
+    Mailbox,
+    SimBarrier,
+    SimCondition,
+    SimEvent,
+    SimInterrupt,
+    SimKernel,
+    SimLock,
+    SimSemaphore,
+)
+
+
+def test_mailbox_fifo_order():
+    with SimKernel() as k:
+        box = Mailbox(k)
+        got = []
+
+        def producer(p):
+            for i in range(5):
+                box.put(p, i)
+                p.sleep(0.1)
+
+        def consumer(p):
+            for _ in range(5):
+                got.append(box.get(p))
+
+        k.spawn(producer)
+        k.spawn(consumer)
+        k.run()
+        assert got == [0, 1, 2, 3, 4]
+
+
+def test_mailbox_get_blocks_until_put():
+    with SimKernel() as k:
+        box = Mailbox(k)
+        when = []
+
+        def consumer(p):
+            box.get(p)
+            when.append(k.now)
+
+        def producer(p):
+            p.sleep(3.0)
+            box.put(p, "msg")
+
+        k.spawn(consumer)
+        k.spawn(producer)
+        k.run()
+        assert when == [3.0]
+
+
+def test_mailbox_capacity_blocks_put():
+    with SimKernel() as k:
+        box = Mailbox(k, capacity=2)
+        log = []
+
+        def producer(p):
+            for i in range(4):
+                box.put(p, i)
+                log.append(("put", i, k.now))
+
+        def consumer(p):
+            p.sleep(1.0)
+            for _ in range(4):
+                box.get(p)
+                p.sleep(1.0)
+
+        k.spawn(producer)
+        k.spawn(consumer)
+        k.run()
+        # first two puts immediate, then blocked until consumer drains
+        assert log[0] == ("put", 0, 0.0)
+        assert log[1] == ("put", 1, 0.0)
+        assert log[2][2] >= 1.0
+        assert log[3][2] >= 2.0
+
+
+def test_mailbox_two_consumers_each_get_one():
+    with SimKernel() as k:
+        box = Mailbox(k)
+        got = []
+
+        def consumer(p, name):
+            got.append((name, box.get(p)))
+
+        def producer(p):
+            p.sleep(1.0)
+            box.put(p, "x")
+            box.put(p, "y")
+
+        k.spawn(consumer, "c1")
+        k.spawn(consumer, "c2")
+        k.spawn(producer)
+        k.run()
+        assert sorted(got) == [("c1", "x"), ("c2", "y")]
+
+
+def test_mailbox_nowait_paths():
+    with SimKernel() as k:
+        box = Mailbox(k, capacity=1)
+        box.put_nowait(1)
+        with pytest.raises(OverflowError):
+            box.put_nowait(2)
+        assert box.peek() == 1
+        assert box.get_nowait() == 1
+        with pytest.raises(LookupError):
+            box.get_nowait()
+        with pytest.raises(LookupError):
+            box.peek()
+
+
+def test_interrupted_consumer_does_not_lose_message():
+    """Failure injection: a consumer killed while blocked must not eat
+    a message destined for the surviving consumer."""
+    with SimKernel() as k:
+        box = Mailbox(k)
+        got = []
+
+        def victim(p):
+            try:
+                box.get(p)
+            except SimInterrupt:
+                pass
+            p.suspend()  # stay out of the way
+
+        def survivor(p):
+            p.sleep(0.5)
+            got.append(box.get(p))
+
+        v = k.spawn(victim, daemon=True)
+
+        def killer(p):
+            p.sleep(0.2)
+            v.interrupt()
+            p.sleep(0.6)
+            box.put(p, "payload")
+
+        k.spawn(survivor)
+        k.spawn(killer)
+        k.run()
+        assert got == ["payload"]
+
+
+def test_event_set_releases_all_waiters():
+    with SimKernel() as k:
+        ev = SimEvent(k)
+        woken = []
+
+        def waiter(p, name):
+            val = ev.wait(p)
+            woken.append((name, val, k.now))
+
+        def setter(p):
+            p.sleep(2.0)
+            ev.set("go")
+
+        k.spawn(waiter, "w1")
+        k.spawn(waiter, "w2")
+        k.spawn(setter)
+        k.run()
+        assert woken == [("w1", "go", 2.0), ("w2", "go", 2.0)]
+
+
+def test_event_wait_after_set_returns_immediately():
+    with SimKernel() as k:
+        ev = SimEvent(k)
+        ev.set(123)
+
+        def waiter(p):
+            return ev.wait(p)
+
+        pr = k.spawn(waiter)
+        k.run()
+        assert pr.result == 123
+        assert k.now == 0.0
+
+
+def test_semaphore_limits_concurrency():
+    with SimKernel() as k:
+        sem = SimSemaphore(k, 2)
+        active = [0]
+        peak = [0]
+
+        def worker(p, i):
+            sem.acquire(p)
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            p.sleep(1.0)
+            active[0] -= 1
+            sem.release()
+
+        for i in range(6):
+            k.spawn(worker, i)
+        k.run()
+        assert peak[0] == 2
+        assert k.now == 3.0  # 6 workers, 2 at a time, 1s each
+
+
+def test_lock_mutual_exclusion_and_errors():
+    with SimKernel() as k:
+        lock = SimLock(k)
+        order = []
+
+        def worker(p, name):
+            lock.acquire(p)
+            order.append((name, "in", k.now))
+            p.sleep(1.0)
+            order.append((name, "out", k.now))
+            lock.release(p)
+
+        k.spawn(worker, "a")
+        k.spawn(worker, "b")
+        k.run()
+        assert order == [("a", "in", 0.0), ("a", "out", 1.0),
+                         ("b", "in", 1.0), ("b", "out", 2.0)]
+
+        def bad_release(p):
+            with pytest.raises(RuntimeError):
+                lock.release(p)
+
+        k2 = SimKernel()
+        with k2:
+            lock2 = SimLock(k2)
+            k2.run_until_complete(k2.spawn(
+                lambda p: (lock2.acquire(p),
+                           pytest.raises(RuntimeError, lock2.acquire, p),
+                           lock2.release(p))))
+
+
+def test_condition_notify_wakes_in_fifo_order():
+    with SimKernel() as k:
+        lock = SimLock(k)
+        cond = SimCondition(k, lock)
+        shared = []
+        woken = []
+
+        def waiter(p, name):
+            lock.acquire(p)
+            while not shared:
+                cond.wait(p)
+            woken.append(name)
+            lock.release(p)
+
+        def notifier(p):
+            p.sleep(1.0)
+            lock.acquire(p)
+            shared.append("data")
+            cond.notify_all()
+            lock.release(p)
+
+        k.spawn(waiter, "w1")
+        k.spawn(waiter, "w2")
+        k.spawn(notifier)
+        k.run()
+        assert woken == ["w1", "w2"]
+
+
+def test_barrier_synchronises_parties():
+    with SimKernel() as k:
+        bar = SimBarrier(k, 3)
+        crossing = []
+
+        def worker(p, i):
+            p.sleep(float(i))
+            bar.wait(p)
+            crossing.append((i, k.now))
+
+        for i in range(3):
+            k.spawn(worker, i)
+        k.run()
+        # everyone crosses when the slowest (i=2) arrives
+        assert all(t == 2.0 for _, t in crossing)
+
+
+def test_barrier_is_reusable():
+    with SimKernel() as k:
+        bar = SimBarrier(k, 2)
+        log = []
+
+        def worker(p, name, delays):
+            for d in delays:
+                p.sleep(d)
+                bar.wait(p)
+                log.append((name, k.now))
+
+        k.spawn(worker, "a", [1.0, 1.0])
+        k.spawn(worker, "b", [2.0, 2.0])
+        k.run()
+        times = sorted(set(t for _, t in log))
+        assert times == [2.0, 4.0]
+
+
+def test_barrier_validation():
+    with SimKernel() as k:
+        with pytest.raises(ValueError):
+            SimBarrier(k, 0)
+        with pytest.raises(ValueError):
+            Mailbox(k, capacity=0)
+        with pytest.raises(ValueError):
+            SimSemaphore(k, -1)

@@ -1,0 +1,205 @@
+"""Assorted edge cases across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.corba import OMNIORB4, Orb, compile_idl
+from repro.net import Topology, build_cluster
+from repro.padicotm import Circuit, PadicoRuntime, VLink
+from repro.sim import SimKernel
+
+
+# ---------------------------------------------------------------------------
+# kernel
+# ---------------------------------------------------------------------------
+
+def test_kernel_rejects_reentrant_run():
+    with SimKernel() as k:
+        def proc(p):
+            with pytest.raises(RuntimeError):
+                k.run()  # already running
+
+        k.spawn(proc)
+        k.run()
+
+
+def test_kernel_schedule_negative_delay_rejected():
+    with SimKernel() as k:
+        with pytest.raises(ValueError):
+            k.schedule(-1.0, lambda: None)
+
+
+def test_spawn_during_run():
+    with SimKernel() as k:
+        log = []
+
+        def child(p):
+            log.append(("child", k.now))
+
+        def parent(p):
+            p.sleep(1.0)
+            k.spawn(child)
+            p.sleep(1.0)
+
+        k.spawn(parent)
+        k.run()
+        assert log == [("child", 1.0)]
+
+
+def test_run_until_before_first_event():
+    with SimKernel() as k:
+        fired = []
+        k.schedule(5.0, fired.append, 1)
+        k.run(until=1.0)
+        assert k.now == 1.0 and fired == []
+        k.run()  # resume
+        assert fired == [1] and k.now == 5.0
+
+
+# ---------------------------------------------------------------------------
+# padicotm
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def rt():
+    topo = Topology()
+    build_cluster(topo, "a", 4)
+    runtime = PadicoRuntime(topo)
+    yield runtime
+    runtime.shutdown()
+
+
+def test_circuit_deliver_nowait(rt):
+    procs = [rt.create_process(f"a{i}", f"p{i}") for i in range(2)]
+    circuit = Circuit.establish(rt, "c", procs)
+    got = []
+
+    def receiver(proc):
+        got.append(circuit.recv(proc, 1))
+
+    procs[1].spawn(receiver)
+    # kernel-context delivery (e.g. from a timer callback)
+    rt.kernel.schedule(0.5, circuit.deliver_nowait, 1, 0, "timer-msg", 9)
+    rt.run()
+    assert got == [(0, "timer-msg", 9)]
+
+
+def test_vlink_listener_poll_and_close(rt):
+    server = rt.create_process("a0", "server")
+    client = rt.create_process("a1", "client")
+    listener = VLink.listen(server, "p")
+    states = {}
+
+    def cli(proc):
+        VLink.connect(proc, client, "server", "p")
+        states["polled"] = listener.poll()
+        listener.close()
+        from repro.padicotm.abstraction.vlink import ConnectionRefusedError
+        try:
+            VLink.connect(proc, client, "server", "p")
+        except ConnectionRefusedError:
+            states["refused_after_close"] = True
+
+    client.spawn(cli)
+    rt.run()
+    assert states == {"polled": True, "refused_after_close": True}
+
+
+def test_vlink_endpoint_poll(rt):
+    server = rt.create_process("a0", "server")
+    client = rt.create_process("a1", "client")
+    listener = VLink.listen(server, "p")
+    out = {}
+
+    def srv(proc):
+        ep = listener.accept(proc)
+        proc.sleep(0.01)  # let the message land
+        out["polled"] = ep.poll()
+        out["msg"] = ep.recv(proc)
+        out["polled_after"] = ep.poll()
+
+    def cli(proc):
+        ep = VLink.connect(proc, client, "server", "p")
+        ep.send(proc, "x", 1)
+
+    server.spawn(srv)
+    client.spawn(cli)
+    rt.run()
+    assert out["polled"] is True
+    assert out["msg"] == ("x", 1)
+    assert out["polled_after"] is False
+
+
+def test_runtime_process_lookup_errors(rt):
+    with pytest.raises(ValueError):
+        rt.process("ghost")
+
+
+# ---------------------------------------------------------------------------
+# orb odds and ends
+# ---------------------------------------------------------------------------
+
+def test_orb_restart_after_shutdown(rt):
+    server = rt.create_process("a0", "server")
+    client = rt.create_process("a1", "client")
+    idl_src = "interface E { long f(); };"
+    s_orb = Orb(server, OMNIORB4, compile_idl(idl_src))
+    s_orb.start()
+    c_orb = Orb(client, OMNIORB4, compile_idl(idl_src))
+
+    class E(s_orb.servant_base("E")):
+        def f(self):
+            return 7
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(E()))
+    out = {}
+
+    def main(proc):
+        stub = c_orb.string_to_object(url)
+        out["first"] = stub.f()
+        s_orb.shutdown()
+        s_orb.start()  # rebind the listener
+        proc.sleep(0.001)
+        out["second"] = stub.f()  # client reconnects transparently? no —
+        # its cached connection died; invoke() recreates it
+
+    client.spawn(main)
+    rt.run()
+    assert out == {"first": 7, "second": 7}
+
+
+def test_stub_repr_and_equality(rt):
+    p = rt.create_process("a0", "p")
+    orb = Orb(p, OMNIORB4, compile_idl("interface E { void f(); };"))
+    orb.start()
+
+    class E(orb.servant_base("E")):
+        def f(self):
+            pass
+
+    ref = orb.poa.activate_object(E())
+    again = orb.string_to_object(orb.object_to_string(ref))
+    assert ref == again
+    assert hash(ref) == hash(again)
+    assert "corbaloc:padico:" in repr(ref)
+
+
+def test_oneway_through_collocation(rt):
+    p = rt.create_process("a0", "p")
+    orb = Orb(p, OMNIORB4, compile_idl(
+        "interface E { oneway void fire(in string m); };"))
+    orb.start()
+    seen = []
+
+    class E(orb.servant_base("E")):
+        def fire(self, m):
+            seen.append(m)
+
+    ref = orb.poa.activate_object(E())
+
+    def main(proc):
+        ref.fire("local oneway")
+
+    p.spawn(main)
+    rt.run()
+    assert seen == ["local oneway"]

@@ -1,0 +1,43 @@
+"""netbench CLI tool."""
+
+import pytest
+
+from repro.tools import netbench
+
+
+def test_parse_size():
+    assert netbench.parse_size("100") == 100
+    assert netbench.parse_size("32K") == 32 * 1024
+    assert netbench.parse_size("8M") == 8 * 1024 * 1024
+    assert netbench.parse_size("1.5k") == 1536
+    with pytest.raises(Exception):
+        netbench.parse_size("lots")
+
+
+def test_corba_probe_matches_paper(capsys):
+    assert netbench.main(["--middleware", "Mico", "--size", "4M"]) == 0
+    out = capsys.readouterr().out
+    assert "Mico-2.3.7" in out
+    assert "62.6 us" in out
+    assert "55.0 MB/s" in out
+
+
+def test_mpi_latency_probe(capsys):
+    assert netbench.main(["--middleware", "mpi", "--latency"]) == 0
+    out = capsys.readouterr().out
+    assert "11.0 us" in out
+    assert "bandwidth" not in out
+
+
+def test_lan_probe(capsys):
+    assert netbench.main(["--middleware", "omniORB4", "--lan",
+                          "--size", "1M"]) == 0
+    out = capsys.readouterr().out
+    assert "Fast-Ethernet" in out
+    assert "11.2 MB/s" in out
+
+
+def test_esiop_probe(capsys):
+    assert netbench.main(["--middleware", "omniORB4",
+                          "--protocol", "esiop", "--latency"]) == 0
+    assert "esiop" in capsys.readouterr().out
