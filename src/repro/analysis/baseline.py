@@ -1,0 +1,56 @@
+"""Committed-baseline support.
+
+A baseline file records fingerprints of findings that are accepted for
+now, so ``repro-lint`` can gate *new* findings in CI while legacy ones
+are burned down.  Format — one finding per line, ``#`` comments::
+
+    # fingerprint  rule            location (informational)
+    0a1b2c3d4e5f   det-set-order   src/foo.py:87  # why this is OK
+
+Only the first token (the fingerprint) is significant; the rest keeps
+the file reviewable.  Fingerprints are content-addressed (see
+:class:`~repro.analysis.findings.Finding.fingerprint`), so moving a
+line does not invalidate its entry, while editing it does.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline"
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Fingerprints accepted by the committed baseline."""
+    fingerprints: set[str] = set()
+    if not path.exists():
+        return fingerprints
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            fingerprints.add(line.split()[0])
+    return fingerprints
+
+
+def apply_baseline(findings: list[Finding],
+                   fingerprints: set[str]) -> tuple[list[Finding],
+                                                    set[str]]:
+    """(non-baselined findings, unused fingerprints)."""
+    fresh = [f for f in findings if f.fingerprint not in fingerprints]
+    used = {f.fingerprint for f in findings} & fingerprints
+    return fresh, fingerprints - used
+
+
+def format_baseline(findings: list[Finding]) -> str:
+    """Render findings as a baseline file body (for --update-baseline)."""
+    lines = [
+        "# repro-lint baseline — accepted findings, keyed by content",
+        "# fingerprint; regenerate with: repro-lint --update-baseline",
+        "# Keep this minimal: fix findings instead of baselining them,",
+        "# and justify every entry with a trailing comment.",
+    ]
+    for f in sorted(findings, key=Finding.sort_key):
+        lines.append(f"{f.fingerprint}  {f.rule}  {f.path}:{f.line}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,110 @@
+"""Analysis engine: file discovery, checker dispatch, filtering.
+
+The engine walks the given roots for ``*.py`` and ``*.idl`` sources,
+builds a :class:`ModuleContext` per file, runs every registered checker,
+then filters findings through inline suppressions and the config-level
+file allowlist.  Baseline filtering is the caller's concern (CLI and
+the tier-1 gate test both layer it on top via :mod:`.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.base import ModuleContext, all_checkers
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.suppress import Suppressions
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", "build", "dist", "node_modules"}
+
+
+def find_project_root(start: Path) -> Path:
+    """Nearest ancestor holding pyproject.toml (else ``start`` itself)."""
+    start = start.resolve()
+    probe = start if start.is_dir() else start.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return probe
+
+
+def collect_files(roots: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in (".py", ".idl"):
+                continue
+            parts = set(path.parts)
+            if parts & _SKIP_DIRS or any(p.endswith(".egg-info")
+                                         for p in path.parts):
+                continue
+            files.append(path)
+    return files
+
+
+def module_name_for(relpath: str) -> tuple[str | None, bool]:
+    """(dotted module, is_package) for a project-relative posix path.
+
+    Only files under ``src/`` get a module name — which is exactly the
+    set of files the layering checker applies to.
+    """
+    if not relpath.startswith("src/") or not relpath.endswith(".py"):
+        return None, False
+    parts = relpath[len("src/"):-len(".py")].split("/")
+    if parts[-1] == "__init__":
+        return ".".join(parts[:-1]), True
+    return ".".join(parts), False
+
+
+def build_context(path: Path, project_root: Path) -> ModuleContext:
+    relpath = path.resolve().relative_to(project_root).as_posix()
+    source = path.read_text(encoding="utf-8", errors="replace")
+    if path.suffix == ".idl":
+        return ModuleContext(relpath, source, tree=None)
+    module, is_package = module_name_for(relpath)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        ctx = ModuleContext(relpath, source, tree=None)
+        ctx.parse_error = exc  # type: ignore[attr-defined]
+        return ctx
+    return ModuleContext(relpath, source, tree, module, is_package,
+                         Suppressions.scan(source))
+
+
+def run_analysis(roots: list[Path],
+                 config: AnalysisConfig = DEFAULT_CONFIG,
+                 project_root: Path | None = None) -> list[Finding]:
+    """Run every registered checker over the roots; returns findings
+    that survive inline suppressions and the config allowlist."""
+    if project_root is None:
+        project_root = find_project_root(roots[0] if roots else Path("."))
+    project_root = project_root.resolve()
+    checkers = [cls() for cls in all_checkers()]
+    findings: list[Finding] = []
+    for path in collect_files(roots):
+        ctx = build_context(path, project_root)
+        if ctx.tree is None and path.suffix == ".py":
+            exc = getattr(ctx, "parse_error", None)
+            findings.append(Finding(
+                "parse-error", f"file does not parse: {exc}", ctx.path,
+                getattr(exc, "lineno", 0) or 0))
+            continue
+        for checker in checkers:
+            if not checker.applicable(ctx):
+                continue
+            for finding in checker.check(ctx, config):
+                if finding.rule in config.disabled_rules:
+                    continue
+                if ctx.suppressions.is_suppressed(finding.rule,
+                                                  finding.line):
+                    continue
+                if config.is_allowed(finding.path, finding.rule):
+                    continue
+                findings.append(finding)
+    return sort_findings(findings)

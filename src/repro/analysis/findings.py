@@ -1,0 +1,55 @@
+"""Finding and severity model for ``repro-lint``.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.fingerprint` is content-addressed (file, rule, source
+line text) rather than line-number-addressed, so a committed baseline
+survives unrelated edits that merely shift line numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity; the CLI exit code keys off ERROR findings."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error" in CLI output
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str                 # stable rule id, e.g. "det-wallclock"
+    message: str
+    path: str                 # project-relative, forward slashes
+    line: int                 # 1-based; 0 for whole-file findings
+    col: int = 0
+    severity: Severity = Severity.ERROR
+    source_line: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash used by the baseline mechanism."""
+        normalized = " ".join(self.source_line.split())
+        blob = f"{self.path}|{self.rule}|{normalized}".encode()
+        return hashlib.sha1(blob).hexdigest()[:12]
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.severity}: {self.message}")
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,262 @@
+"""IDL / parallelism-spec semantic lint (rule family ``idl-*``).
+
+The GridCCM toolchain compiles IDL units and pairs them with XML
+parallelism descriptors (paper Figure 5).  Three mistakes survive the
+existing compilers silently or fail only deep inside a deployment run;
+this checker catches them at lint time:
+
+``idl-dup-op``
+    An interface inherits the *same operation name from two different
+    bases*.  The IDL compiler's flattening dict silently keeps the last
+    base's signature — a classic diamond hazard.
+``idl-unknown-name``
+    A parallelism spec naming a component, port, operation or argument
+    that the accompanying IDL does not declare.
+``idl-bad-redistribution``
+    A distributed argument whose IDL type is not a sequence/array: the
+    redistribution layer can only split indexable element containers.
+``idl-parse``
+    An IDL string passed to ``compile_idl`` that does not compile.
+
+Sources are found two ways: standalone ``*.idl`` files, and — because
+this codebase embeds its IDL in Python literals — module-level string
+constants that are passed to ``compile_idl(...)`` or whose name
+contains ``IDL``, plus any literal containing a ``<parallelism>``
+element.  All IDL literals of one Python module are compiled and merged
+so a descriptor can reference components declared in a sibling literal.
+"""
+
+from __future__ import annotations
+
+import ast
+import xml.etree.ElementTree as ET
+from typing import Iterator
+
+from repro.analysis.base import Checker, ModuleContext, register_checker
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.corba.idl.compiler import CompiledIdl, InterfaceDef, compile_idl
+from repro.corba.idl.errors import IdlError, IdlParseError
+from repro.corba.idl.types import ArrayType, SequenceType
+from repro.core.parallelism import DISTRIBUTION_KINDS
+
+
+# ---------------------------------------------------------------------------
+# semantic checks on compiled IDL (programmatic API, used by the checker
+# and directly by tools/tests)
+# ---------------------------------------------------------------------------
+def lint_compiled_idl(idl: CompiledIdl, path: str = "<idl>",
+                      line: int = 0) -> list[Finding]:
+    """Post-compile semantic findings for one (merged) IDL unit."""
+    findings: list[Finding] = []
+    for iface in idl.interfaces.values():
+        findings.extend(_diamond_collisions(idl, iface, path, line))
+    return findings
+
+
+def _diamond_collisions(idl: CompiledIdl, iface: InterfaceDef, path: str,
+                        line: int) -> Iterator[Finding]:
+    if len(iface.bases) < 2:
+        return
+    seen: dict[str, tuple[str, object]] = {}  # op name -> (base, def)
+    for base_name in iface.bases:
+        base = idl.interfaces.get(base_name)
+        if base is None:
+            continue
+        for op_name, op in base.operations.items():
+            prev = seen.get(op_name)
+            if prev is None:
+                seen[op_name] = (base_name, op)
+            elif prev[1] is not op:
+                # same object means a shared grandparent, which is fine;
+                # two distinct definitions is the silent-override hazard
+                yield Finding(
+                    "idl-dup-op",
+                    f"interface {iface.scoped_name}: operation "
+                    f"{op_name!r} is inherited from both {prev[0]!r} and "
+                    f"{base_name!r}; the flattened signature silently "
+                    f"uses the latter", path, line)
+    return
+
+
+def lint_parallelism_element(idl: CompiledIdl | None, elem: ET.Element,
+                             path: str = "<parallelism>",
+                             line: int = 0) -> list[Finding]:
+    """Check one ``<parallelism>`` element against compiled IDL.
+
+    With ``idl=None`` only the spec-internal checks run (distribution
+    kinds); with IDL available, names and argument types are verified.
+    """
+    findings: list[Finding] = []
+
+    def bad(rule: str, message: str) -> None:
+        findings.append(Finding(rule, message, path, line))
+
+    component = elem.get("component") or ""
+    for arg_el in elem.iter("argument"):
+        dist = arg_el.get("distribution", "block")
+        if dist not in DISTRIBUTION_KINDS:
+            bad("idl-unknown-name",
+                f"parallelism spec for {component!r}: unknown "
+                f"distribution {dist!r} (one of {DISTRIBUTION_KINDS})")
+    if idl is None:
+        return findings
+
+    cdef = idl.components.get(component)
+    if cdef is None:
+        bad("idl-unknown-name",
+            f"parallelism spec names component {component!r} which the "
+            f"IDL does not declare (known: {sorted(idl.components)})")
+        return findings
+    for port_el in elem.findall("port"):
+        port = port_el.get("name") or ""
+        iface_name = cdef.provides.get(port)
+        if iface_name is None:
+            bad("idl-unknown-name",
+                f"component {component!r} has no provides port {port!r} "
+                f"(provides: {sorted(cdef.provides)})")
+            continue
+        iface = idl.interfaces.get(iface_name)
+        if iface is None:
+            continue  # dangling interface: the compiler already rejects
+        for op_el in port_el.findall("operation"):
+            op_name = op_el.get("name") or ""
+            op = iface.operations.get(op_name)
+            if op is None:
+                bad("idl-unknown-name",
+                    f"interface {iface.scoped_name} (port {port!r}) has "
+                    f"no operation {op_name!r}")
+                continue
+            params = {n: t for n, d, t in op.params if d in ("in", "inout")}
+            for arg_el in op_el.findall("argument"):
+                arg = arg_el.get("name") or ""
+                if arg not in params:
+                    bad("idl-unknown-name",
+                        f"operation {op_name!r} has no in/inout "
+                        f"parameter {arg!r} (has: {sorted(params)})")
+                elif not isinstance(params[arg],
+                                    (SequenceType, ArrayType)):
+                    bad("idl-bad-redistribution",
+                        f"parallel component {component!r}: distributed "
+                        f"argument {arg!r} of {op_name!r} has "
+                        f"non-array type "
+                        f"{params[arg].typename()}; only sequences and "
+                        f"arrays can be block/cyclic-distributed")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# harvesting IDL / parallelism literals out of Python modules
+# ---------------------------------------------------------------------------
+def _module_literals(tree: ast.AST) -> tuple[dict[str, tuple[str, int]],
+                                             list[tuple[str, int]]]:
+    """(name -> (string, line)) for module-level constants, plus
+    (string, line) for string literals passed directly to compile_idl."""
+    consts: dict[str, tuple[str, int]] = {}
+    direct: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str):
+            consts[node.targets[0].id] = (node.value.value, node.lineno)
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            fname = fn.id if isinstance(fn, ast.Name) else \
+                fn.attr if isinstance(fn, ast.Attribute) else ""
+            if fname == "compile_idl" and node.args \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                direct.append((node.args[0].value, node.args[0].lineno))
+    return consts, direct
+
+
+def _compile_idl_names(tree: ast.AST) -> set[str]:
+    """Names of constants that flow into compile_idl(...) calls."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            fn = node.func
+            fname = fn.id if isinstance(fn, ast.Name) else \
+                fn.attr if isinstance(fn, ast.Attribute) else ""
+            if fname == "compile_idl" and node.args \
+                    and isinstance(node.args[0], ast.Name):
+                names.add(node.args[0].id)
+    return names
+
+
+def _parallelism_elements(text: str) -> list[ET.Element]:
+    """Every <parallelism> element in an XML-looking literal (top level
+    or nested, e.g. inside a <softpkg> document)."""
+    if "<parallelism" not in text:
+        return []
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError:
+        return []
+    if root.tag == "parallelism":
+        return [root]
+    return list(root.iter("parallelism"))
+
+
+@register_checker
+class IdlLintChecker(Checker):
+    name = "idl-lint"
+    handles_idl = True
+    rules = {
+        "idl-parse": "embedded IDL unit fails to compile",
+        "idl-dup-op": "operation inherited from two different bases",
+        "idl-unknown-name": "parallelism spec names an undeclared "
+                            "component/port/operation/argument",
+        "idl-bad-redistribution": "distributed argument is not a "
+                                  "sequence/array type",
+    }
+
+    def applicable(self, ctx: ModuleContext) -> bool:
+        return ctx.tree is not None or ctx.path.endswith(".idl")
+
+    def check(self, ctx: ModuleContext,
+              config: AnalysisConfig) -> Iterator[Finding]:
+        if ctx.tree is None:  # standalone .idl file
+            yield from self._check_idl_source(ctx, ctx.source, 1,
+                                              definitely_idl=True)
+            return
+        consts, direct = _module_literals(ctx.tree)
+        used_names = _compile_idl_names(ctx.tree)
+        merged: CompiledIdl | None = None
+        idl_sources: list[tuple[str, int, bool]] = \
+            [(s, ln, True) for s, ln in direct]
+        for name, (text, ln) in consts.items():
+            if name in used_names or "IDL" in name.upper().split("_"):
+                idl_sources.append((text, ln, name in used_names))
+        for text, ln, definitely in idl_sources:
+            compiled, findings = self._compile(ctx, text, ln, definitely)
+            yield from findings
+            if compiled is not None:
+                try:
+                    merged = compiled if merged is None \
+                        else merged.merge(compiled)
+                except IdlError:
+                    pass  # duplicate definitions across literals: each
+                    #       unit was still linted on its own above
+        for text, ln in list(consts.values()) + direct:
+            for elem in _parallelism_elements(text):
+                yield from lint_parallelism_element(
+                    merged, elem, ctx.path, ln)
+
+    def _compile(self, ctx: ModuleContext, text: str, line: int,
+                 definitely_idl: bool):
+        try:
+            compiled = compile_idl(text)
+        except (IdlParseError, IdlError) as exc:
+            if definitely_idl:
+                return None, [ctx.finding(
+                    "idl-parse", f"embedded IDL does not compile: {exc}",
+                    line=line)]
+            return None, []  # name merely *looked* like IDL; stay quiet
+        return compiled, lint_compiled_idl(compiled, ctx.path, line)
+
+    def _check_idl_source(self, ctx: ModuleContext, text: str, line: int,
+                          definitely_idl: bool) -> Iterator[Finding]:
+        compiled, findings = self._compile(ctx, text, line, definitely_idl)
+        yield from findings

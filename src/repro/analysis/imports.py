@@ -1,0 +1,80 @@
+"""Import-alias resolution shared by the AST checkers.
+
+Maps local names to the dotted path they were imported as, so a checker
+asking "is this call ``time.time()``?" also catches ``import time as t;
+t.time()`` and ``from time import time as now; now()``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportMap:
+    """Local name -> dotted origin, built from a module's import nodes."""
+
+    def __init__(self) -> None:
+        self._names: dict[str, str] = {}
+
+    @classmethod
+    def build(cls, tree: ast.AST, module: str | None = None,
+              is_package: bool = False) -> "ImportMap":
+        imap = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    imap._names[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                base = resolve_from(node, module, is_package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imap._names[local] = f"{base}.{alias.name}"
+        return imap
+
+    def qualify(self, node: ast.expr) -> str | None:
+        """Dotted origin of a Name/Attribute chain, if import-derived.
+
+        ``t.time`` with ``import time as t`` -> ``"time.time"``; a chain
+        whose root is not an imported name resolves to ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self._names.get(node.id)
+        if origin is None:
+            return None
+        return ".".join([origin] + list(reversed(parts)))
+
+
+def resolve_from(node: ast.ImportFrom, module: str | None,
+                 is_package: bool = False) -> str | None:
+    """Absolute module named by a ``from X import ...`` node.
+
+    Relative imports are resolved against ``module`` (the dotted name of
+    the file being analysed); if that is unknown they resolve to None.
+    For a package ``__init__`` the package itself is level-1's anchor.
+    """
+    if node.level == 0:
+        return node.module
+    if module is None:
+        return None
+    parts = module.split(".")
+    # level=1 strips the leaf (the current module); each extra level one
+    # more — except in a package __init__, where the leaf is the package.
+    strip = node.level - 1 if is_package else node.level
+    if strip > len(parts):
+        return None
+    base = parts[:len(parts) - strip] if strip else parts
+    if node.module:
+        base.append(node.module)
+    return ".".join(base) if base else None

@@ -1,0 +1,57 @@
+"""Per-line and per-file suppression comments.
+
+Two forms, mirroring classic linters::
+
+    x = time.time()        # repro-lint: disable=det-wallclock
+    # repro-lint: disable-file=ker-thread
+
+``disable=`` silences the named rules (comma-separated) on the line the
+comment sits on.  ``disable-file=`` silences them for the whole file and
+may appear on any line (conventionally near the top, with a
+justification).  ``disable=all`` / ``disable-file=all`` silence every
+rule.  Suppressions are extracted with :mod:`tokenize` so that ``#``
+characters inside string literals are never misread as comments.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\-\s]+)")
+
+
+class Suppressions:
+    """Suppressed rules per line (and file-wide) for one source file."""
+
+    def __init__(self) -> None:
+        self.by_line: dict[int, set[str]] = {}
+        self.file_wide: set[str] = set()
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        sup = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                m = _PRAGMA.search(tok.string)
+                if not m:
+                    continue
+                rules = {r.strip() for r in m.group(2).split(",") if r.strip()}
+                if m.group(1) == "disable-file":
+                    sup.file_wide |= rules
+                else:
+                    sup.by_line.setdefault(tok.start[0], set()).update(rules)
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            pass  # unparsable file: no suppressions; checkers report instead
+        return sup
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        for active in (self.file_wide, self.by_line.get(line, ())):
+            if rule in active or "all" in active:
+                return True
+        return False

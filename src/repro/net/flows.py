@@ -70,7 +70,9 @@ def maxmin_rates(flows: Sequence[Flow]) -> dict[Flow, float]:
     capacity = {link: link.bandwidth for link in link_flows}
     unfixed_count = {link: len(fl) for link, fl in link_flows.items()}
     rates: dict[Flow, float] = {}
-    unfixed = set(flows)
+    # insertion-ordered dict as a set: iteration below must not depend
+    # on hash order, or the rates dict's order varies across runs
+    unfixed = dict.fromkeys(flows)
 
     while unfixed:
         # bottleneck link: smallest equal-share among links with demand
@@ -91,7 +93,7 @@ def maxmin_rates(flows: Sequence[Flow]) -> dict[Flow, float]:
             if f not in unfixed:
                 continue
             rates[f] = best_share
-            unfixed.discard(f)
+            unfixed.pop(f, None)
             for link in f.route:
                 capacity[link] -= best_share
                 unfixed_count[link] -= 1

@@ -1,0 +1,89 @@
+"""Determinism checker family: true positives and true negatives."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.analysis.conftest import lint_text
+
+DET_RULES = {"det-wallclock", "det-random", "det-entropy", "det-set-order"}
+
+
+def det(source: str) -> list[str]:
+    return [f.rule for f in lint_text(source, rules=DET_RULES)]
+
+
+# ---------------------------------------------------------------------------
+# true positives
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("source,rule", [
+    ("import time\nt = time.time()", "det-wallclock"),
+    ("import time as clk\nt = clk.monotonic()", "det-wallclock"),
+    ("from time import perf_counter\nt = perf_counter()", "det-wallclock"),
+    ("from datetime import datetime\nd = datetime.now()", "det-wallclock"),
+    ("import datetime\nd = datetime.datetime.utcnow()", "det-wallclock"),
+    ("import random\nx = random.random()", "det-random"),
+    ("import random\nrandom.shuffle([1, 2])", "det-random"),
+    ("import random\nrandom.seed(7)", "det-random"),
+    ("from random import choice\nx = choice([1])", "det-random"),
+    ("import os\nkey = os.urandom(16)", "det-entropy"),
+    ("import uuid\nu = uuid.uuid4()", "det-entropy"),
+    ("import secrets\ntok = secrets.token_hex()", "det-entropy"),
+    ("import random\nr = random.SystemRandom()", "det-entropy"),
+], ids=lambda v: v.replace("\n", "; ") if isinstance(v, str) else v)
+def test_true_positive(source, rule):
+    assert det(source) == [rule]
+
+
+@pytest.mark.parametrize("source", [
+    "for x in {1, 2, 3}:\n    print(x)",
+    "for x in set([3, 1]):\n    print(x)",
+    "s = frozenset((1, 2))\nfor x in s:\n    print(x)",
+    "def f(a, b):\n    s = set(a) & set(b)\n    return list(s)",
+    "def f(a):\n    s = set(a)\n    return [x + 1 for x in s]",
+    "def f(a, b):\n    s = set(a)\n    t = s.union(b)\n    return tuple(t)",
+    "s = {'b', 'a'}\nout = ','.join(s)",
+    "def f(a):\n    s = set(a)\n    return next(iter(s))",
+], ids=["set-literal", "set-call", "frozenset", "set-algebra",
+        "comprehension", "union-method", "str-join", "next-iter"])
+def test_set_order_true_positive(source):
+    assert det(source) == ["det-set-order"]
+
+
+def test_set_iteration_tracked_through_assignment():
+    findings = lint_text("""
+        def allocate_ids(nodes):
+            pending = set(nodes)
+            out = {}
+            for i, n in enumerate(pending):
+                out[n] = i
+            return out
+    """, rules=DET_RULES)
+    assert [f.rule for f in findings] == ["det-set-order"]
+    assert findings[0].line == 5
+
+
+# ---------------------------------------------------------------------------
+# true negatives
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("source", [
+    # virtual clock, seeded instance RNG, deterministic uuid5
+    "def f(proc):\n    return proc.kernel.now",
+    "import random\nrng = random.Random(42)\nx = rng.random()",
+    "import uuid\nu = uuid.uuid5(uuid.NAMESPACE_DNS, 'padico')",
+    # sorted() launders set order; membership/len/min/max are order-free
+    "s = {3, 1, 2}\nout = sorted(s)",
+    "def f(a, b):\n    return sorted(set(a) - set(b))",
+    "s = {1, 2}\nok = 1 in s\nn = len(s)\nm = max(s)",
+    # dicts and lists are insertion-ordered: fine
+    "d = {'a': 1}\nfor k in d:\n    print(k)",
+    "for x in [3, 1, 2]:\n    print(x)",
+    # a reassigned name stops being a set
+    "def f(a):\n    s = set(a)\n    s = sorted(s)\n    return [x for x in s]",
+    # building a set in a comprehension is fine (result is unordered too)
+    "s = {x * 2 for x in range(5)}\nok = 4 in s",
+], ids=["virtual-clock", "seeded-rng", "uuid5", "sorted-set",
+        "sorted-algebra", "order-free-ops", "dict-iter", "list-iter",
+        "reassigned", "setcomp-build"])
+def test_true_negative(source):
+    assert det(source) == []

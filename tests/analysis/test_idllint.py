@@ -1,0 +1,173 @@
+"""IDL / parallelism-spec lint family."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis import lint_compiled_idl, lint_parallelism_element
+from repro.corba.idl.compiler import compile_idl
+from tests.analysis.conftest import lint_text
+
+IDL_RULES = {"idl-parse", "idl-dup-op", "idl-unknown-name",
+             "idl-bad-redistribution"}
+
+_GOOD_IDL = """
+module App {
+    typedef sequence<double> Vec;
+    interface Solver {
+        Vec scale(in Vec v, in double factor);
+        double norm(in Vec v);
+    };
+    component SolverComp { provides Solver input; };
+    home SolverHome manages SolverComp {};
+};
+"""
+
+
+def _par(xml: str) -> ET.Element:
+    return ET.fromstring(xml)
+
+
+# ---------------------------------------------------------------------------
+# programmatic API
+# ---------------------------------------------------------------------------
+def test_clean_idl_and_spec():
+    idl = compile_idl(_GOOD_IDL)
+    assert lint_compiled_idl(idl) == []
+    spec = _par("""
+        <parallelism component="App::SolverComp">
+          <port name="input">
+            <operation name="scale">
+              <argument name="v" distribution="block"/>
+            </operation>
+          </port>
+        </parallelism>""")
+    assert lint_parallelism_element(idl, spec) == []
+
+
+def test_diamond_duplicate_operation():
+    idl = compile_idl("""
+        module M {
+            interface A { void ping(); };
+            interface B { void ping(in long n); };
+            interface AB : A, B {};
+        };""")
+    findings = lint_compiled_idl(idl)
+    assert [f.rule for f in findings] == ["idl-dup-op"]
+    assert "ping" in findings[0].message
+
+
+def test_shared_grandparent_is_not_a_duplicate():
+    idl = compile_idl("""
+        module M {
+            interface Root { void ping(); };
+            interface A : Root {};
+            interface B : Root {};
+            interface AB : A, B {};
+        };""")
+    assert lint_compiled_idl(idl) == []
+
+
+@pytest.mark.parametrize("spec,needle", [
+    ('<parallelism component="App::Nope"><port name="input"/></parallelism>',
+     "component 'App::Nope'"),
+    ('<parallelism component="App::SolverComp"><port name="ghost"/>'
+     '</parallelism>', "port 'ghost'"),
+    ('<parallelism component="App::SolverComp"><port name="input">'
+     '<operation name="nosuch"/></port></parallelism>',
+     "operation 'nosuch'"),
+    ('<parallelism component="App::SolverComp"><port name="input">'
+     '<operation name="scale"><argument name="bogus"/></operation>'
+     '</port></parallelism>', "parameter 'bogus'"),
+    ('<parallelism component="App::SolverComp"><port name="input">'
+     '<operation name="scale"><argument name="v" distribution="magic"/>'
+     '</operation></port></parallelism>', "distribution 'magic'"),
+], ids=["component", "port", "operation", "argument", "distribution"])
+def test_unknown_names(spec, needle):
+    idl = compile_idl(_GOOD_IDL)
+    findings = lint_parallelism_element(idl, _par(spec))
+    assert [f.rule for f in findings] == ["idl-unknown-name"]
+    assert needle in findings[0].message
+
+
+def test_non_array_redistribution():
+    idl = compile_idl(_GOOD_IDL)
+    spec = _par("""
+        <parallelism component="App::SolverComp">
+          <port name="input">
+            <operation name="scale">
+              <argument name="factor" distribution="block"/>
+            </operation>
+          </port>
+        </parallelism>""")
+    findings = lint_parallelism_element(idl, spec)
+    assert [f.rule for f in findings] == ["idl-bad-redistribution"]
+    assert "factor" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# harvesting from Python modules (how the CLI sees examples/)
+# ---------------------------------------------------------------------------
+def test_idl_and_spec_harvested_from_python_literals():
+    findings = lint_text('''
+        IDL = """
+        module App {
+            interface I { void op(in double x); };
+            component C { provides I p; };
+            home H manages C {};
+        };
+        """
+        PAR = """
+        <parallelism component="App::C">
+          <port name="p">
+            <operation name="op">
+              <argument name="x" distribution="block"/>
+            </operation>
+          </port>
+        </parallelism>
+        """
+    ''', rules=IDL_RULES)
+    assert [f.rule for f in findings] == ["idl-bad-redistribution"]
+
+
+def test_parallelism_inside_softpkg_documents():
+    findings = lint_text('''
+        APP_IDL = """
+        module App {
+            interface I { void op(); };
+            component C { provides I p; };
+            home H manages C {};
+        };
+        """
+        PKG = """
+        <softpkg name="s" version="1.0">
+          <implementation id="DCE:x">
+            <component>App::Missing</component>
+            <parallelism component="App::Missing">
+              <port name="p"/>
+            </parallelism>
+          </implementation>
+        </softpkg>
+        """
+    ''', rules=IDL_RULES)
+    assert [f.rule for f in findings] == ["idl-unknown-name"]
+
+
+def test_broken_idl_passed_to_compile_idl_is_reported():
+    findings = lint_text('''
+        from repro.corba.idl.compiler import compile_idl
+        BAD_IDL = "module { nope"
+        unit = compile_idl(BAD_IDL)
+    ''', rules=IDL_RULES)
+    assert [f.rule for f in findings] == ["idl-parse"]
+
+
+def test_idl_looking_string_that_is_not_idl_stays_quiet():
+    # a docstring-ish constant whose name mentions IDL but which is
+    # never compiled must not produce noise
+    findings = lint_text(
+        'IDL_NOTES = "reminder: write the IDL for the solver"\n',
+        rules=IDL_RULES)
+    assert findings == []
