@@ -1,0 +1,25 @@
+# Developer gates.  `make check` is what CI runs: the static lint, the
+# tier-1 test suite, and the seeded schedule-exploration smoke.
+# Everything goes through PYTHONPATH=src so no install step is needed.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: check lint test schedule-smoke sarif
+
+check: lint test schedule-smoke
+
+lint:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis.cli src examples
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+schedule-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.sanitizer --seeds 5
+
+# SARIF findings for CI/PR annotation (exit status intentionally ignored:
+# the gating run is `lint`, this one only produces the report artifact)
+sarif:
+	-PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis.cli \
+		--format sarif src examples > repro-lint.sarif

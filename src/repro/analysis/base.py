@@ -93,7 +93,13 @@ def register_checker(cls: type[Checker]) -> type[Checker]:
 def all_checkers() -> list[type[Checker]]:
     """Registered checker classes, in registration order."""
     # import for side effect: built-in families self-register
-    from repro.analysis import blocking, determinism, idllint, layering  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        blocking,
+        determinism,
+        idllint,
+        layering,
+        typestate,
+    )
     return list(_REGISTRY)
 
 

@@ -5,7 +5,8 @@ Examples::
     repro-lint src examples              # gate: exit 1 on any finding
     repro-lint --list-rules              # what can fire and why
     repro-lint --update-baseline src     # accept current findings
-    repro-lint --json src | jq .         # machine-readable output
+    repro-lint --format json src | jq .  # machine-readable output
+    repro-lint --format sarif src        # SARIF 2.1.0 for CI annotation
 
 Exit codes: 0 clean (after baseline), 1 findings, 2 usage error.
 """
@@ -44,8 +45,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--update-baseline", action="store_true",
                         help="write current findings to the baseline "
                              "file and exit 0")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default=None,
+                        help="output format (default: text)")
     parser.add_argument("--json", action="store_true",
-                        help="emit findings as a JSON array")
+                        help="alias for --format json")
     parser.add_argument("--list-rules", action="store_true",
                         help="list every rule id and exit")
     parser.add_argument("--list-exceptions", action="store_true",
@@ -92,12 +96,16 @@ def main(argv: list[str] | None = None) -> int:
         findings, stale = apply_baseline(findings,
                                          load_baseline(baseline_path))
 
-    if args.json:
+    fmt = args.format or ("json" if args.json else "text")
+    if fmt == "json":
         print(json.dumps([{
             "rule": f.rule, "message": f.message, "path": f.path,
             "line": f.line, "col": f.col, "severity": str(f.severity),
             "fingerprint": f.fingerprint,
         } for f in findings], indent=2))
+    elif fmt == "sarif":
+        from repro.analysis.sarif import to_sarif
+        print(json.dumps(to_sarif(findings), indent=2))
     else:
         for f in findings:
             print(f.render())

@@ -16,6 +16,9 @@ from dataclasses import dataclass, field
 #: any layer below it.
 DEFAULT_LAYERS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("sim",         ("repro.sim",)),
+    # sim-san instruments the kernel/sync layer only; it must never see
+    # the stack above it (the runtime notifies its duck-typed monitor)
+    ("sanitizer",   ("repro.sanitizer",)),
     ("net",         ("repro.net",)),
     ("arbitration", ("repro.padicotm.arbitration",)),
     ("abstraction", ("repro.padicotm.abstraction",)),
@@ -80,6 +83,9 @@ DEFAULT_FILE_ALLOW: dict[tuple[str, str], str] = {
     # The cooperative kernel's semaphore handshake is the one place real
     # threading primitives are legal: each SimProcess parks on its own
     # semaphore and the kernel serialises execution (kernel.py docstring).
+    # Re-audited with the sim-san instrumentation PR: the tracer/seed
+    # hooks added there are pure-Python bookkeeping and introduce no new
+    # threading primitives, so this remains the single exemption.
     ("src/repro/sim/kernel.py", "ker-thread"):
         "the kernel's own one-at-a-time semaphore handshake",
 }

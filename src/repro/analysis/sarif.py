@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 serialisation for ``repro-lint`` findings.
+
+SARIF (Static Analysis Results Interchange Format) is the format CI
+platforms ingest to annotate pull requests with findings.  One run, one
+tool, one result per finding; the content-addressed fingerprint rides
+along in ``partialFingerprints`` so downstream dedup survives line
+drift for the same reason the baseline does.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {
+    Severity.NOTE: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def _rule_descriptors(findings: list[Finding]) -> list[dict]:
+    from repro.analysis.base import all_rules
+
+    descriptions = all_rules()
+    seen = sorted({f.rule for f in findings})
+    return [{
+        "id": rule,
+        "shortDescription": {
+            "text": descriptions.get(rule, rule),
+        },
+    } for rule in seen]
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    region: dict = {}
+    if finding.line:
+        region["startLine"] = finding.line
+        # SARIF columns are 1-based; AST col_offset is 0-based
+        region["startColumn"] = finding.col + 1
+    if finding.source_line:
+        region["snippet"] = {"text": finding.source_line}
+    location = {
+        "physicalLocation": {
+            "artifactLocation": {
+                "uri": finding.path,
+                "uriBaseId": "SRCROOT",
+            },
+        },
+    }
+    if region:
+        location["physicalLocation"]["region"] = region
+    return {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [location],
+        "partialFingerprints": {
+            "reproLintFingerprint/v1": finding.fingerprint,
+        },
+    }
+
+
+def to_sarif(findings: list[Finding]) -> dict:
+    """The findings of one analysis run as a SARIF 2.1.0 log object."""
+    rules = _rule_descriptors(findings)
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "file:docs/ANALYSIS.md",
+                    "rules": rules,
+                },
+            },
+            "results": [_result(f, rule_index) for f in findings],
+        }],
+    }

@@ -1,0 +1,291 @@
+"""Protocol-lifecycle checkers (rule family ``tys-*``).
+
+The static twin of :mod:`repro.sanitizer.monitors`: the VLink/Circuit
+lifecycle DFA (paper §4.3.2 — establish, use, close) enforced over the
+AST, so the obvious misuses fail in ``repro-lint`` before any scenario
+runs.  The analysis is deliberately linear and local — one function at
+a time, statement by statement — tracking only variables whose origin
+is syntactically certain:
+
+``tys-send-before-connect``
+    ``send``/``recv`` on a :class:`VLinkEndpoint` constructed directly
+    (still RAW) — an established stream comes from ``VLink.connect``,
+    ``VLinkEndpoint.make_pair`` or ``listener.accept``.
+``tys-use-after-close``
+    Traffic on a VLink endpoint or Circuit after ``close()`` in the
+    same straight-line block.
+``tys-double-bind``
+    Two ``VLink.listen`` calls binding the same (process, port) with no
+    intervening close of the first listener.
+``tys-unreleased-claim``
+    A *direct* NIC claim (``claim_nic(..., cooperative=False)``) in a
+    function that never calls ``release_claims`` — the static analogue
+    of :meth:`TypestateMonitor.unreleased_claims`.  Cooperative claims
+    are multiplexed by PadicoTM and may live for the process lifetime.
+
+Conditional paths are scanned with a non-propagating copy of the state,
+so a close inside ``if``/``try`` never poisons the fall-through path —
+the family prefers missed reports over false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Checker, ModuleContext, register_checker
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding, Severity
+
+_RAW = "raw"
+_CONNECTED = "connected"
+_CLOSED = "closed"
+
+#: dotted-origin suffixes that create a tracked value, longest first
+_CREATORS: tuple[tuple[str, tuple[str, str]], ...] = (
+    (".VLinkEndpoint.make_pair", ("pair", _CONNECTED)),
+    (".VLink.connect", ("vlink", _CONNECTED)),
+    (".VLinkEndpoint", ("vlink", _RAW)),
+    (".Circuit.establish", ("circuit", _CONNECTED)),
+)
+
+_USES = {
+    "vlink": {"send", "recv", "poll"},
+    "circuit": {"send", "recv", "poll", "wait_message"},
+}
+
+
+def _creator(qual: str | None) -> tuple[str, str] | None:
+    if qual is None:
+        return None
+    for suffix, kind_state in _CREATORS:
+        if qual.endswith(suffix) or qual == suffix[1:]:
+            return kind_state
+    return None
+
+
+def _listen_key(call: ast.Call) -> tuple[str, str] | None:
+    """Syntactic (process, port) identity of a ``VLink.listen`` call,
+    or None when either argument is not comparable across calls."""
+    args = list(call.args)
+    for kw in call.keywords:
+        if kw.arg == "port":
+            args = args[:1] + [kw.value]
+    if len(args) != 2:
+        return None
+    port = args[1]
+    if not (isinstance(port, ast.Constant) and isinstance(port.value, str)):
+        return None
+    try:
+        proc_key = ast.dump(args[0])
+    except Exception:  # pragma: no cover - dump never fails on exprs
+        return None
+    return proc_key, port.value
+
+
+class _Scope:
+    """Linear per-function state: tracked variables and bound ports."""
+
+    def __init__(self) -> None:
+        #: var name -> (kind, lifecycle state)
+        self.vars: dict[str, tuple[str, str]] = {}
+        #: listen key -> (listener var name or None, first lineno)
+        self.bound: dict[tuple[str, str], tuple[str | None, int]] = {}
+
+    def copy(self) -> "_Scope":
+        child = _Scope()
+        child.vars = dict(self.vars)
+        child.bound = dict(self.bound)
+        return child
+
+
+def _calls_in(stmt: ast.stmt):
+    """Call nodes in ``stmt``'s own expressions — the header of a
+    compound statement, not its nested blocks (those are scanned with
+    their own scope copy) and not nested lambdas."""
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if node is not stmt and isinstance(node, (ast.stmt, ast.Lambda)):
+            continue  # nested statements/scopes are scanned separately
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _TypestateVisitor:
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+        self.imap = ctx.import_map
+        self.findings: list[Finding] = []
+
+    # ------------------------------------------------------------------
+    def run(self, tree: ast.Module) -> None:
+        self._scan_block(tree.body, _Scope())
+
+    def _scan_block(self, body: list[ast.stmt], scope: _Scope) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(stmt)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                self._scan_block(stmt.body, _Scope())
+                continue
+            self._scan_statement(stmt, scope)
+            for nested in self._nested_blocks(stmt):
+                self._scan_block(nested, scope.copy())
+
+    def _scan_function(self, fn: ast.FunctionDef) -> None:
+        self._scan_block(fn.body, _Scope())
+        self._check_claim_balance(fn)
+
+    @staticmethod
+    def _nested_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        blocks: list[list[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, attr, None)
+            if isinstance(nested, list) and nested and \
+                    isinstance(nested[0], ast.stmt):
+                blocks.append(nested)
+        for handler in getattr(stmt, "handlers", []) or []:
+            blocks.append(handler.body)
+        return blocks
+
+    # ------------------------------------------------------------------
+    def _scan_statement(self, stmt: ast.stmt, scope: _Scope) -> None:
+        closes: list[str] = []
+        for node in _calls_in(stmt):
+            self._check_listen(node, scope)
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)):
+                continue
+            var, method = func.value.id, func.attr
+            if method == "close":
+                if var in scope.vars or any(
+                        v == var for v, _ in scope.bound.values()):
+                    closes.append(var)
+                continue
+            tracked = scope.vars.get(var)
+            if tracked is None:
+                continue
+            kind, state = tracked
+            if method not in _USES.get(kind, ()):
+                continue
+            if state == _RAW:
+                self.findings.append(self.ctx.finding(
+                    "tys-send-before-connect",
+                    f"{method}() on {var!r}, a VLinkEndpoint that was "
+                    f"constructed but never connected; establish it via "
+                    f"VLink.connect / make_pair / listener.accept first",
+                    node))
+            elif state == _CLOSED:
+                self.findings.append(self.ctx.finding(
+                    "tys-use-after-close",
+                    f"{method}() on {var!r} after close(); a closed "
+                    f"{kind} endpoint must not carry traffic", node))
+        for var in closes:
+            if var in scope.vars:
+                kind, _ = scope.vars[var]
+                scope.vars[var] = (kind, _CLOSED)
+            for key, (lvar, _line) in list(scope.bound.items()):
+                if lvar == var:
+                    del scope.bound[key]
+        self._track_assignment(stmt, scope)
+
+    # ------------------------------------------------------------------
+    def _check_listen(self, call: ast.Call, scope: _Scope) -> None:
+        qual = self.imap.qualify(call.func)
+        if qual is None or not qual.endswith(".VLink.listen"):
+            return
+        key = _listen_key(call)
+        if key is None:
+            return
+        if key in scope.bound:
+            _lvar, line = scope.bound[key]
+            self.findings.append(self.ctx.finding(
+                "tys-double-bind",
+                f"port {key[1]!r} is already bound on this process "
+                f"(first bind at line {line}); close the first listener "
+                f"before rebinding", call))
+            return
+        scope.bound[key] = (None, call.lineno)
+
+    def _track_assignment(self, stmt: ast.stmt, scope: _Scope) -> None:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        value = stmt.value
+        if not isinstance(value, ast.Call):
+            if isinstance(target, ast.Name):
+                scope.vars.pop(target.id, None)
+            return
+        qual = self.imap.qualify(value.func)
+        created = _creator(qual)
+        if created is None and isinstance(value.func, ast.Attribute) \
+                and value.func.attr == "accept":
+            created = ("vlink", _CONNECTED)  # listener.accept → established
+        if created is not None:
+            kind, state = created
+            if kind == "pair" and isinstance(target, ast.Tuple):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        scope.vars[elt.id] = ("vlink", state)
+            elif kind != "pair" and isinstance(target, ast.Name):
+                scope.vars[target.id] = (kind, state)
+            return
+        if qual is not None and qual.endswith(".VLink.listen") \
+                and isinstance(target, ast.Name):
+            key = _listen_key(value)
+            if key is not None and key in scope.bound:
+                scope.bound[key] = (target.id, scope.bound[key][1])
+            return
+        if isinstance(target, ast.Name):
+            scope.vars.pop(target.id, None)
+
+    # ------------------------------------------------------------------
+    def _check_claim_balance(self, fn: ast.FunctionDef) -> None:
+        direct_claims: list[ast.Call] = []
+        releases = False
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute):
+                if node.func.attr == "release_claims":
+                    releases = True
+                elif node.func.attr == "claim_nic" and any(
+                        kw.arg == "cooperative"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False
+                        for kw in node.keywords):
+                    direct_claims.append(node)
+        if releases:
+            return
+        for call in direct_claims:
+            self.findings.append(self.ctx.finding(
+                "tys-unreleased-claim",
+                f"direct NIC claim (cooperative=False) in "
+                f"{fn.name!r} with no release_claims() on any path; "
+                f"legacy middleware must balance open/close on the "
+                f"arbitration driver", call,
+                severity=Severity.WARNING))
+
+
+@register_checker
+class TypestateChecker(Checker):
+    name = "typestate"
+    rules = {
+        "tys-send-before-connect":
+            "traffic on a VLink endpoint that was never connected",
+        "tys-use-after-close":
+            "traffic on a VLink endpoint or Circuit after close()",
+        "tys-double-bind":
+            "VLink.listen on a (process, port) that is already bound",
+        "tys-unreleased-claim":
+            "direct NIC claim with no matching release_claims",
+    }
+
+    def check(self, ctx: ModuleContext,
+              config: AnalysisConfig) -> Iterator[Finding]:
+        visitor = _TypestateVisitor(ctx)
+        visitor.run(ctx.tree)
+        yield from visitor.findings

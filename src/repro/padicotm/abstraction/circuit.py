@@ -57,6 +57,15 @@ class Circuit:
         self.name = name
         self._backend = backend
         self.choice = choice
+        self.closed = False
+
+    def _check_open(self, op: str) -> None:
+        monitor = self.runtime.monitor
+        if monitor is not None:
+            monitor.on_circuit(self, op)
+        if self.closed:
+            raise RuntimeError(
+                f"Circuit {self.name!r} is closed ({op} after close)")
 
     # ------------------------------------------------------------------
     # establishment
@@ -79,7 +88,10 @@ class Circuit:
                 runtime, f"circuit:{name}", members, choice.fabric.name)
         else:
             backend = _SocketMesh(runtime, members, choice.fabric_name)
-        return cls(name, backend, choice)
+        circuit = cls(name, backend, choice)
+        if runtime.monitor is not None:
+            runtime.monitor.on_circuit(circuit, "establish")
+        return circuit
 
     # ------------------------------------------------------------------
     # paradigm API
@@ -111,6 +123,7 @@ class Circuit:
     def send(self, proc: SimProcess, my_rank: int, dst_rank: int,
              payload: Any, nbytes: float) -> None:
         """Send a framed message to ``dst_rank`` (blocking, timed)."""
+        self._check_open("send")
         self._backend.send(proc, my_rank, dst_rank, payload, nbytes)
 
     def recv(self, proc: SimProcess, my_rank: int,
@@ -118,17 +131,27 @@ class Circuit:
         """Blocking selective receive → ``(src_rank, payload, nbytes)``.
 
         ``where`` optionally filters on the payload (tag matching)."""
+        self._check_open("recv")
         return self._backend.recv(proc, my_rank, source, where)
 
     def poll(self, my_rank: int, source: int = ANY_SOURCE,
              where=None) -> bool:
+        self._check_open("poll")
         return self._backend.poll(my_rank, source, where)
 
     def wait_message(self, proc: SimProcess, my_rank: int,
                      source: int = ANY_SOURCE,
                      where=None) -> tuple[int, Any, float]:
         """Blocking probe: peek at the next matching message."""
+        self._check_open("probe")
         return self._backend.wait_message(proc, my_rank, source, where)
+
+    def close(self) -> None:
+        """Retire the circuit: any further traffic is a lifecycle error."""
+        monitor = self.runtime.monitor
+        if monitor is not None:
+            monitor.on_circuit(self, "close")
+        self.closed = True
 
     def deliver_nowait(self, dst_rank: int, src_rank: int, payload: Any,
                        nbytes: float) -> None:

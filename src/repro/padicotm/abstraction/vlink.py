@@ -80,6 +80,9 @@ class VLinkListener:
         self.closed = True
         key = (self.process.name, self.port)
         self.process.runtime.vlink_listeners.pop(key, None)
+        monitor = self.process.runtime.monitor
+        if monitor is not None:
+            monitor.on_unbind(self.process.name, self.port)
 
 
 class VLinkEndpoint:
@@ -108,6 +111,8 @@ class VLinkEndpoint:
         #: bytes this end sent through an encrypting policy (telemetry)
         self.encrypted_bytes: float = 0.0
         self.sent_bytes: float = 0.0
+        if runtime.monitor is not None:
+            runtime.monitor.on_vlink(self, "create")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -117,6 +122,9 @@ class VLinkEndpoint:
         ea = cls(runtime, a, b, choice)
         eb = cls(runtime, b, a, choice)
         ea.peer, eb.peer = eb, ea
+        if runtime.monitor is not None:
+            runtime.monitor.on_vlink(ea, "connect")
+            runtime.monitor.on_vlink(eb, "connect")
         return ea, eb
 
     @property
@@ -137,6 +145,8 @@ class VLinkEndpoint:
     # ------------------------------------------------------------------
     def send(self, proc: SimProcess, payload: Any, nbytes: float) -> None:
         """Send one message down the stream (blocking, timed)."""
+        if self.runtime.monitor is not None:
+            self.runtime.monitor.on_vlink(self, "send")
         if self.closed:
             raise BrokenPipeError("VLink endpoint is closed")
         extra = 0.0
@@ -162,6 +172,8 @@ class VLinkEndpoint:
         """Blocking receive → ``(payload, nbytes)``, or None on EOF.
 
         With ``timeout``, raises :class:`repro.sim.sync.SimTimeout`."""
+        if self.runtime.monitor is not None:
+            self.runtime.monitor.on_vlink(self, "recv")
         item = self._inbox.get(proc, timeout=timeout)
         if item is _EOF:
             return None
@@ -171,10 +183,14 @@ class VLinkEndpoint:
         return payload, nbytes
 
     def poll(self) -> bool:
+        if self.runtime.monitor is not None:
+            self.runtime.monitor.on_vlink(self, "poll")
         return not self._inbox.empty
 
     def close(self) -> None:
         """Close: signal EOF to the peer and to local readers."""
+        if self.runtime.monitor is not None:
+            self.runtime.monitor.on_vlink(self, "close")
         if not self.closed:
             self.closed = True
             if self.peer is not None:
@@ -200,6 +216,8 @@ class VLink:
                           f"{process.name!r}")
         listener = VLinkListener(process, port)
         runtime.vlink_listeners[key] = listener
+        if runtime.monitor is not None:
+            runtime.monitor.on_bind(process.name, port, listener)
         return listener
 
     @staticmethod

@@ -95,6 +95,9 @@ class ArbitrationCore:
                     f"{fabric!r} but it is already claimed by {prior.owner!r}")
         claim = NicClaim(fabric, driver, owner, cooperative)
         self.claims.append(claim)
+        monitor = self.process.runtime.monitor
+        if monitor is not None:
+            monitor.on_claim(self.process.name, claim)
         return claim
 
     def release_claims(self, owner: str) -> int:
@@ -102,6 +105,9 @@ class ArbitrationCore:
         kept = [c for c in self.claims if c.owner != owner]
         dropped = len(self.claims) - len(kept)
         self.claims = kept
+        monitor = self.process.runtime.monitor
+        if monitor is not None and dropped:
+            monitor.on_release(self.process.name, owner, dropped)
         return dropped
 
     # ------------------------------------------------------------------

@@ -37,6 +37,10 @@ class PadicoRuntime:
         self.socket_listeners: dict[tuple[str, str], Any] = {}
         #: VLink listener registry: (process_name, port) -> VLinkListener
         self.vlink_listeners: dict[tuple[str, str], Any] = {}
+        #: optional typestate monitor (see repro.sanitizer.monitors); the
+        #: abstraction/arbitration layers notify it through duck-typed
+        #: hooks guarded by `is not None`, so the default costs nothing
+        self.monitor: Any = None
 
     def create_process(self, host: str | Host, name: str) -> "PadicoProcess":
         """Boot a PadicoTM process on ``host`` under a unique ``name``."""

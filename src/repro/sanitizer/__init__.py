@@ -1,0 +1,57 @@
+"""``repro.sanitizer`` — sim-san: a dynamic sanitizer for the
+cooperative kernel and the PadicoTM abstraction layer.
+
+Three tools, all opt-in and all zero-overhead when not installed
+(see ``docs/SANITIZER.md``):
+
+* **Happens-before race detection** — vector clocks per
+  :class:`~repro.sim.kernel.SimProcess`, edges from the scheduler and
+  every :mod:`repro.sim.sync` primitive, plus :func:`tracked` proxies
+  that flag unsynchronised read/write pairs on shared state with *both*
+  access sites reported.
+* **Typestate monitoring** — the VLink/Circuit lifecycle DFA (no
+  send-before-connect, no use-after-close, no double-bind, balanced
+  claims on arbitration drivers), enforced at the violating call.  The
+  static twin is the ``tys-*`` rule family in ``repro-lint``.
+* **Seeded schedule exploration** — ``SimKernel(seed=N)`` permutes
+  same-instant event order deterministically;
+  :func:`explore_schedules` / :func:`assert_schedule_deterministic`
+  rerun a scenario under N seeds and diff results bit-for-bit, turning
+  latent interleaving bugs into seed-stamped, replayable failures.
+
+:class:`Sanitizer` wires the first two onto a kernel/runtime pair.
+"""
+
+from repro.sanitizer.api import Sanitizer
+from repro.sanitizer.clocks import VectorClock
+from repro.sanitizer.explore import (
+    ScheduleDivergenceError,
+    ScheduleReport,
+    ScheduleRun,
+    assert_schedule_deterministic,
+    explore_schedules,
+    run_scenario,
+)
+from repro.sanitizer.monitors import TypestateError, TypestateMonitor
+from repro.sanitizer.races import Access, RaceDetector, RaceError, RaceReport
+from repro.sanitizer.report import render_summary
+from repro.sanitizer.tracked import tracked
+
+__all__ = [
+    "Access",
+    "RaceDetector",
+    "RaceError",
+    "RaceReport",
+    "Sanitizer",
+    "ScheduleDivergenceError",
+    "ScheduleReport",
+    "ScheduleRun",
+    "TypestateError",
+    "TypestateMonitor",
+    "VectorClock",
+    "assert_schedule_deterministic",
+    "explore_schedules",
+    "render_summary",
+    "run_scenario",
+    "tracked",
+]

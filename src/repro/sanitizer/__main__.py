@@ -1,0 +1,11 @@
+"""``python -m repro.sanitizer`` — the schedule-exploration smoke gate.
+
+Delegates to :func:`repro.sanitizer.explore.main` (this entry point
+avoids the runpy double-import warning that ``-m repro.sanitizer.explore``
+triggers, since the package ``__init__`` already imports ``explore``).
+"""
+
+from repro.sanitizer.explore import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""The ``Sanitizer`` facade: one object that wires everything up.
+
+::
+
+    from repro.sanitizer import Sanitizer
+
+    kernel = SimKernel()
+    with Sanitizer(kernel) as san:
+        shared = san.tracked({}, label="shared-state")
+        ... spawn processes, kernel.run() ...
+    # __exit__ raises RaceError if anything raced
+
+Attach to a :class:`~repro.padicotm.runtime.PadicoRuntime` instead to
+get the VLink/Circuit typestate monitor as well::
+
+    runtime = PadicoRuntime(topology)
+    san = Sanitizer(runtime=runtime)
+
+Everything uninstalls cleanly (:meth:`uninstall`), restoring the
+zero-overhead configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sanitizer.monitors import TypestateMonitor
+from repro.sanitizer.races import RaceDetector
+from repro.sanitizer.report import render_summary
+from repro.sanitizer.tracked import tracked as _tracked
+
+
+class Sanitizer:
+    """Installs the race detector on a kernel (and, when given a
+    runtime, the typestate monitor too); collects all findings."""
+
+    def __init__(self, kernel: Any = None, runtime: Any = None,
+                 on_race: str = "record"):
+        if kernel is None and runtime is None:
+            raise ValueError("pass a SimKernel and/or a PadicoRuntime")
+        if kernel is None:
+            kernel = runtime.kernel
+        self.kernel = kernel
+        self.runtime = runtime
+        self.detector = RaceDetector(kernel, on_race=on_race)
+        kernel.tracer = self.detector
+        self.monitor: TypestateMonitor | None = None
+        if runtime is not None:
+            self.monitor = TypestateMonitor()
+            runtime.monitor = self.monitor
+
+    # ------------------------------------------------------------------
+    def tracked(self, obj: Any, label: str | None = None) -> Any:
+        """Wrap ``obj`` so every access feeds the race detector."""
+        return _tracked(obj, self.detector, label)
+
+    @property
+    def races(self) -> list:
+        return self.detector.races
+
+    def check(self) -> None:
+        """Raise :class:`~repro.sanitizer.races.RaceError` on any race."""
+        self.detector.check()
+
+    def report(self) -> str:
+        return render_summary(self.detector, self.monitor)
+
+    def uninstall(self) -> None:
+        """Detach all hooks; the kernel/runtime run uninstrumented again."""
+        if self.kernel.tracer is self.detector:
+            self.kernel.tracer = None
+        if self.runtime is not None and \
+                getattr(self.runtime, "monitor", None) is self.monitor:
+            self.runtime.monitor = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Sanitizer":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.uninstall()
+        if exc_type is None:
+            self.check()

@@ -1,0 +1,48 @@
+"""Vector clocks for the happens-before race detector.
+
+A clock maps an execution-context id (a small integer assigned by the
+detector: 0 is the kernel context, processes get 1, 2, ... in spawn
+order) to a logical timestamp.  Missing components are implicitly 0, so
+clocks stay sparse even in simulations with thousands of processes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class VectorClock:
+    """Sparse vector clock over integer context ids."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, items: Iterable[tuple[int, int]] | None = None):
+        self._c: dict[int, int] = dict(items or ())
+
+    def copy(self) -> "VectorClock":
+        clone = VectorClock()
+        clone._c = dict(self._c)
+        return clone
+
+    def get(self, cid: int) -> int:
+        return self._c.get(cid, 0)
+
+    def tick(self, cid: int) -> None:
+        """Advance this context's own component (start a new segment)."""
+        self._c[cid] = self._c.get(cid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Componentwise maximum, in place (the happens-before merge)."""
+        mine = self._c
+        for cid, t in other._c.items():
+            if t > mine.get(cid, 0):
+                mine[cid] = t
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True iff ``other <= self`` componentwise (other is visible)."""
+        mine = self._c
+        return all(t <= mine.get(cid, 0) for cid, t in other._c.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{c}:{t}" for c, t in sorted(self._c.items()))
+        return f"<VC {inner}>"

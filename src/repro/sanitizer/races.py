@@ -1,0 +1,218 @@
+"""Happens-before race detection for the cooperative kernel.
+
+:class:`RaceDetector` is a kernel *tracer*: installed on
+``SimKernel.tracer`` it receives every scheduling event and maintains a
+vector clock per execution context (context 0 is the kernel event loop;
+each :class:`~repro.sim.kernel.SimProcess` gets its own id).  Edges come
+from three sources:
+
+1. **the scheduler** — every scheduled event carries the scheduling
+   context's clock to the instant it fires (``on_schedule``/``on_fire``),
+   which covers spawn, wake, sleep, interrupt and join ordering without
+   any knowledge of the primitives built on top;
+2. **sync primitives** — ``repro.sim.sync`` reports release-style and
+   acquire-style operations (``hb_release``/``hb_acquire``), covering
+   the data paths that never block (a mailbox ``get`` finding an item
+   already queued must still order the getter after the putter);
+3. **joins** — ``SimProcess.join`` reports the join edge directly.
+
+Shared-state accesses are reported by the :mod:`~repro.sanitizer.tracked`
+proxies; two accesses to the same cell from different contexts, at least
+one a write, with neither ordered before the other, are a race.  Both
+access sites (file, line, function) are kept and reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sanitizer.clocks import VectorClock
+
+#: context id of the kernel event loop (timer callbacks, main thread)
+KERNEL_CTX = 0
+
+
+@dataclass(frozen=True)
+class Access:
+    """One observed read or write of a tracked cell."""
+
+    ctx: int                    # context id
+    ctx_name: str               # process name, or "<kernel>"
+    write: bool
+    site: tuple[str, int, str]  # (filename, line, function)
+    clock: VectorClock
+
+    @property
+    def kind(self) -> str:
+        return "write" if self.write else "read"
+
+    def render(self) -> str:
+        filename, line, function = self.site
+        return (f"{self.kind} by {self.ctx_name!r} at "
+                f"{filename}:{line} in {function}")
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two unsynchronised accesses, at least one a write."""
+
+    label: str                  # tracked object label
+    key: Any                    # dict key / attribute / index
+    prior: Access
+    current: Access
+
+    def render(self) -> str:
+        return (f"data race on {self.label}[{self.key!r}]:\n"
+                f"    {self.prior.render()}\n"
+                f"    {self.current.render()}\n"
+                f"    (no happens-before edge between the two accesses)")
+
+
+class RaceError(AssertionError):
+    """Raised for (or on :meth:`RaceDetector.check` after) a data race."""
+
+    def __init__(self, races: list[RaceReport]):
+        self.races = races
+        plural = "s" if len(races) != 1 else ""
+        super().__init__(
+            f"{len(races)} data race{plural} detected:\n"
+            + "\n".join(r.render() for r in races))
+
+
+class RaceDetector:
+    """Kernel tracer + access checker (see module docstring).
+
+    ``on_race="record"`` (default) accumulates :attr:`races` for a later
+    :meth:`check`; ``"raise"`` raises :class:`RaceError` at the racing
+    access, inside the guilty process.
+    """
+
+    def __init__(self, kernel: Any, on_race: str = "record"):
+        if on_race not in ("record", "raise"):
+            raise ValueError(f"on_race must be 'record' or 'raise', "
+                             f"not {on_race!r}")
+        self.kernel = kernel
+        self.on_race = on_race
+        self.races: list[RaceReport] = []
+        self._ctx_ids: dict[Any, int] = {}    # SimProcess -> context id
+        self._proc_clocks: dict[Any, VectorClock] = {}
+        self._kernel_clock = VectorClock()
+        self._obj_clocks: dict[Any, VectorClock] = {}
+        #: (label, key) -> {(ctx, write): Access} — last access per kind
+        self._cells: dict[tuple, dict[tuple[int, bool], Access]] = {}
+        self._seen: set[tuple] = set()        # race dedup fingerprints
+
+    # ------------------------------------------------------------------
+    # context bookkeeping
+    # ------------------------------------------------------------------
+    def _ctx_of(self, proc: Any) -> int:
+        cid = self._ctx_ids.get(proc)
+        if cid is None:
+            cid = len(self._ctx_ids) + 1  # 0 is the kernel context
+            self._ctx_ids[proc] = cid
+        return cid
+
+    def _current(self) -> tuple[int, str, VectorClock]:
+        """(context id, name, clock) of whoever is executing right now."""
+        proc = self.kernel._current
+        if proc is None:
+            return KERNEL_CTX, "<kernel>", self._kernel_clock
+        cid = self._ctx_of(proc)
+        clock = self._proc_clocks.get(proc)
+        if clock is None:
+            clock = self._proc_clocks[proc] = VectorClock()
+        return cid, proc.name, clock
+
+    # ------------------------------------------------------------------
+    # kernel tracer protocol
+    # ------------------------------------------------------------------
+    def on_schedule(self, timer: Any) -> None:
+        cid, _name, clock = self._current()
+        timer.trace_clock = clock.copy()
+        clock.tick(cid)  # later actions are not ordered before the event
+
+    def on_fire(self, timer: Any) -> None:
+        snapshot = timer.trace_clock
+        self._kernel_clock = snapshot if snapshot is not None \
+            else VectorClock()
+        self._kernel_clock.tick(KERNEL_CTX)
+
+    def on_switch(self, proc: Any) -> None:
+        # called before the kernel hands over the run token, so
+        # _current() still names the dispatching context
+        cid = self._ctx_of(proc)
+        _eid, _name, edge = self._current()
+        clock = self._proc_clocks.get(proc)
+        if clock is None:
+            clock = self._proc_clocks[proc] = VectorClock()
+        clock.join(edge)
+        clock.tick(cid)
+
+    def on_exit(self, proc: Any) -> None:
+        # the exit edge to joiners flows through the wake-up timers the
+        # kernel schedules while the exiting process is still current
+        pass
+
+    def on_join(self, joiner: Any, target: Any) -> None:
+        final = self._proc_clocks.get(target)
+        if final is not None:
+            _cid, _name, clock = self._current()
+            clock.join(final)
+
+    # ------------------------------------------------------------------
+    # sync-primitive edges
+    # ------------------------------------------------------------------
+    def hb_release(self, obj: Any) -> None:
+        cid, _name, clock = self._current()
+        oc = self._obj_clocks.get(obj)
+        if oc is None:
+            oc = self._obj_clocks[obj] = VectorClock()
+        oc.join(clock)
+        clock.tick(cid)  # post-release actions are a new segment
+
+    def hb_acquire(self, obj: Any) -> None:
+        oc = self._obj_clocks.get(obj)
+        if oc is not None:
+            _cid, _name, clock = self._current()
+            clock.join(oc)
+
+    # ------------------------------------------------------------------
+    # shared-state accesses (called by the tracked() proxies)
+    # ------------------------------------------------------------------
+    def on_access(self, label: str, key: Any, write: bool,
+                  site: tuple[str, int, str]) -> None:
+        cid, name, clock = self._current()
+        access = Access(cid, name, write, site, clock.copy())
+        try:
+            cell = (label, key)
+            history = self._cells.setdefault(cell, {})
+        except TypeError:  # unhashable key: fall back to its repr
+            cell = (label, repr(key))
+            history = self._cells.setdefault(cell, {})
+        for prior in history.values():
+            if prior.ctx == cid:
+                continue
+            if not (write or prior.write):
+                continue  # two reads never race
+            if clock.get(prior.ctx) >= prior.clock.get(prior.ctx):
+                continue  # prior access happens-before this one
+            self._report(RaceReport(label, key, prior, access))
+        history[(cid, write)] = access
+
+    def _report(self, race: RaceReport) -> None:
+        fingerprint = (race.label, repr(race.key),
+                       race.prior.site, race.prior.write,
+                       race.current.site, race.current.write)
+        if fingerprint in self._seen:
+            return
+        self._seen.add(fingerprint)
+        self.races.append(race)
+        if self.on_race == "raise":
+            raise RaceError([race])
+
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Raise :class:`RaceError` if any race was recorded."""
+        if self.races:
+            raise RaceError(list(self.races))

@@ -1,0 +1,166 @@
+"""``tracked()`` — opt-in shared-state proxies for the race detector.
+
+Wrap any object shared between simulated processes::
+
+    shared = san.tracked({}, label="routing-table")
+
+Every read and write through the proxy reports the access site to the
+:class:`~repro.sanitizer.races.RaceDetector`, which flags pairs of
+accesses (at least one a write) from different processes with no
+happens-before edge between them — i.e. state shared across a yield
+point with no lock, event, mailbox or other ordering primitive.
+
+Container-shape operations (iteration, ``len``, ``append``) are modelled
+as accesses to a synthetic ``"<structure>"`` cell so that, say, one
+process iterating a dict races with another inserting a new key, while
+two processes writing *different* keys do not falsely collide.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterator, MutableMapping, MutableSequence
+
+#: synthetic cell for container-shape reads/writes
+STRUCTURE = "<structure>"
+
+
+def _site() -> tuple[str, int, str]:
+    """(filename, line, function) of the first caller outside this file."""
+    frame = sys._getframe(1)
+    here = __file__
+    while frame is not None and frame.f_code.co_filename == here:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - unreachable in practice
+        return ("<unknown>", 0, "<unknown>")
+    return (frame.f_code.co_filename, frame.f_lineno,
+            frame.f_code.co_name)
+
+
+class TrackedDict(MutableMapping):
+    """Dict proxy reporting per-key accesses to the race detector."""
+
+    __slots__ = ("_target", "_detector", "_label")
+
+    def __init__(self, target: dict, detector: Any, label: str):
+        self._target = target
+        self._detector = detector
+        self._label = label
+
+    def __getitem__(self, key: Any) -> Any:
+        self._detector.on_access(self._label, key, False, _site())
+        return self._target[key]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        site = _site()
+        if key not in self._target:
+            self._detector.on_access(self._label, STRUCTURE, True, site)
+        self._detector.on_access(self._label, key, True, site)
+        self._target[key] = value
+
+    def __delitem__(self, key: Any) -> None:
+        site = _site()
+        self._detector.on_access(self._label, key, True, site)
+        self._detector.on_access(self._label, STRUCTURE, True, site)
+        del self._target[key]
+
+    def __contains__(self, key: Any) -> bool:
+        self._detector.on_access(self._label, key, False, _site())
+        return key in self._target
+
+    def __iter__(self) -> Iterator:
+        self._detector.on_access(self._label, STRUCTURE, False, _site())
+        return iter(self._target)
+
+    def __len__(self) -> int:
+        self._detector.on_access(self._label, STRUCTURE, False, _site())
+        return len(self._target)
+
+    def __repr__(self) -> str:
+        return f"<tracked {self._label} {self._target!r}>"
+
+
+class TrackedList(MutableSequence):
+    """List proxy reporting per-index accesses to the race detector."""
+
+    __slots__ = ("_target", "_detector", "_label")
+
+    def __init__(self, target: list, detector: Any, label: str):
+        self._target = target
+        self._detector = detector
+        self._label = label
+
+    def _key(self, index: Any) -> Any:
+        return STRUCTURE if isinstance(index, slice) else index
+
+    def __getitem__(self, index: Any) -> Any:
+        self._detector.on_access(self._label, self._key(index), False,
+                                 _site())
+        return self._target[index]
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        self._detector.on_access(self._label, self._key(index), True,
+                                 _site())
+        self._target[index] = value
+
+    def __delitem__(self, index: Any) -> None:
+        site = _site()
+        self._detector.on_access(self._label, self._key(index), True, site)
+        self._detector.on_access(self._label, STRUCTURE, True, site)
+        del self._target[index]
+
+    def insert(self, index: int, value: Any) -> None:
+        self._detector.on_access(self._label, STRUCTURE, True, _site())
+        self._target.insert(index, value)
+
+    def __len__(self) -> int:
+        self._detector.on_access(self._label, STRUCTURE, False, _site())
+        return len(self._target)
+
+    def __repr__(self) -> str:
+        return f"<tracked {self._label} {self._target!r}>"
+
+
+class TrackedObject:
+    """Attribute proxy: every attribute read/write is an access."""
+
+    __slots__ = ("_target", "_detector", "_label")
+
+    def __init__(self, target: Any, detector: Any, label: str):
+        object.__setattr__(self, "_target", target)
+        object.__setattr__(self, "_detector", detector)
+        object.__setattr__(self, "_label", label)
+
+    def __getattr__(self, name: str) -> Any:
+        detector = object.__getattribute__(self, "_detector")
+        label = object.__getattribute__(self, "_label")
+        detector.on_access(label, name, False, _site())
+        return getattr(object.__getattribute__(self, "_target"), name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        detector = object.__getattribute__(self, "_detector")
+        label = object.__getattribute__(self, "_label")
+        detector.on_access(label, name, True, _site())
+        setattr(object.__getattribute__(self, "_target"), name, value)
+
+    def __repr__(self) -> str:
+        label = object.__getattribute__(self, "_label")
+        target = object.__getattribute__(self, "_target")
+        return f"<tracked {label} {target!r}>"
+
+
+def tracked(obj: Any, detector: Any, label: str | None = None) -> Any:
+    """Wrap ``obj`` in the matching tracked proxy.
+
+    Dicts and lists get container proxies with per-key/per-index cells;
+    anything else gets an attribute proxy.  ``label`` names the object
+    in race reports (defaults to the type name + a counter-free id-ish
+    tag is deliberately avoided: pass a meaningful label).
+    """
+    if label is None:
+        label = type(obj).__name__
+    if isinstance(obj, dict):
+        return TrackedDict(obj, detector, label)
+    if isinstance(obj, list):
+        return TrackedList(obj, detector, label)
+    return TrackedObject(obj, detector, label)

@@ -41,6 +41,7 @@ from repro.sim.sync import (
     SimSemaphore,
     WaitQueue,
 )
+from repro.sim.waitgraph import format_wait_graph, wait_edges
 
 __all__ = [
     "SimKernel",
@@ -59,4 +60,6 @@ __all__ = [
     "SimCondition",
     "SimBarrier",
     "WaitQueue",
+    "format_wait_graph",
+    "wait_edges",
 ]

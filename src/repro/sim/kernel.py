@@ -13,6 +13,19 @@ process owns a semaphore (``_go``); the kernel owns one (``_control``).
 Resuming a process is ``proc._go.release(); kernel._control.acquire()``;
 yielding is the mirror image.  No other locking is needed because the
 run token serialises every access to kernel data structures.
+
+Two opt-in hooks support the dynamic sanitizer (:mod:`repro.sanitizer`);
+both are free when unused:
+
+- :attr:`SimKernel.tracer` — when set, the kernel reports scheduling
+  events to it (``on_schedule``/``on_fire``/``on_switch``/``on_exit``),
+  which is enough for a happens-before race detector to maintain
+  per-process vector clocks.  Every call site is guarded by an
+  ``is not None`` test, so the disabled cost is one attribute load.
+- ``SimKernel(seed=...)`` — deterministically permutes the pop order of
+  same-instant events (schedule exploration).  With ``seed=None`` (the
+  default) the event order is exactly the historical ``(time, seq)``
+  order, bit for bit.
 """
 
 from __future__ import annotations
@@ -52,24 +65,49 @@ class SimProcessError(RuntimeError):
         self.exc = exc
 
 
+def _mix(seed: int, seq: int) -> int:
+    """Deterministic 32-bit scramble of ``seq`` under ``seed``.
+
+    Used to permute the pop order of same-instant events during seeded
+    schedule exploration; plain integer arithmetic, so the permutation
+    is identical on every run and every platform.
+    """
+    x = (seq * 0x9E3779B9 + (seed + 1) * 0x85EBCA6B) & 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x45D9F3B) & 0xFFFFFFFF
+    x ^= x >> 16
+    return x
+
+
 class Timer:
-    """Handle for a scheduled event; supports :meth:`cancel`."""
+    """Handle for a scheduled event; supports :meth:`cancel`.
 
-    __slots__ = ("time", "seq", "_fn", "_args", "cancelled")
+    ``shuffle`` is 0 in normal runs; under a seeded kernel it carries
+    the schedule-exploration permutation key.  ``trace_clock`` is only
+    assigned when a tracer is installed (it carries the scheduler's
+    vector clock to the instant the event fires).
+    """
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    __slots__ = ("time", "seq", "shuffle", "_fn", "_args", "cancelled",
+                 "trace_clock")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple,
+                 shuffle: int = 0):
         self.time = time
         self.seq = seq
+        self.shuffle = shuffle
         self._fn = fn
         self._args = args
         self.cancelled = False
+        self.trace_clock = None
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
         self.cancelled = True
 
     def __lt__(self, other: "Timer") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.shuffle, self.seq) < \
+            (other.time, other.shuffle, other.seq)
 
 
 class SimProcess:
@@ -102,6 +140,9 @@ class SimProcess:
         self._pending_exc: BaseException | None = None
         self._wake_token = 0  # invalidates stale scheduled wake-ups
         self._joiners: list[SimProcess] = []
+        #: what this process is blocked on (a sync primitive or a
+        #: SimProcess being joined); drives the deadlock wait-for graph
+        self._waiting_on: Any = None
         self._thread = threading.Thread(
             target=self._run, name=f"sim:{name}", daemon=True)
         self._thread.start()
@@ -170,7 +211,14 @@ class SimProcess:
         self.kernel._check_current(self)
         if target.alive:
             target._joiners.append(self)
-            self.suspend()
+            self._waiting_on = target
+            try:
+                self.suspend()
+            finally:
+                self._waiting_on = None
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.on_join(self, target)
         if target.exc is not None:
             raise SimProcessError(target, target.exc)
         return target.result
@@ -220,7 +268,7 @@ class SimKernel:
             k.run()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, seed: int | None = None) -> None:
         self.now: float = 0.0
         self._heap: list[Timer] = []
         self._seq = 0
@@ -229,6 +277,12 @@ class SimKernel:
         self._current: SimProcess | None = None
         self._running = False
         self._shutdown = False
+        #: schedule-exploration seed; None keeps the canonical order
+        self.seed = seed
+        #: sanitizer hook (duck-typed; see repro.sanitizer.races)
+        self.tracer: Any = None
+        #: events popped and fired by :meth:`run` (cancelled ones excluded)
+        self.events_processed = 0
 
     # ------------------------------------------------------------------
     # spawning and scheduling
@@ -263,7 +317,10 @@ class SimKernel:
 
     def _schedule(self, delay: float, fn: Callable, *args: Any) -> Timer:
         self._seq += 1
-        timer = Timer(self.now + delay, self._seq, fn, args)
+        shuffle = 0 if self.seed is None else _mix(self.seed, self._seq)
+        timer = Timer(self.now + delay, self._seq, fn, args, shuffle)
+        if self.tracer is not None:
+            self.tracer.on_schedule(timer)
         heapq.heappush(self._heap, timer)
         return timer
 
@@ -287,6 +344,8 @@ class SimKernel:
 
     def _dispatch(self, proc: SimProcess) -> None:
         """Hand the run token to ``proc`` and wait for it to yield."""
+        if self.tracer is not None:
+            self.tracer.on_switch(proc)
         prev = self._current
         self._current = proc
         proc._go.release()
@@ -297,6 +356,8 @@ class SimKernel:
             raise SimProcessError(proc, proc.exc)
 
     def _on_process_exit(self, proc: SimProcess) -> None:
+        if self.tracer is not None:
+            self.tracer.on_exit(proc)
         for joiner in proc._joiners:
             if joiner.alive:
                 token = joiner._wake_token
@@ -338,6 +399,9 @@ class SimKernel:
                     break
                 heapq.heappop(self._heap)
                 self.now = timer.time
+                self.events_processed += 1
+                if self.tracer is not None:
+                    self.tracer.on_fire(timer)
                 timer._fn(*timer._args)
             else:
                 if until is not None and until > self.now:
@@ -351,10 +415,11 @@ class SimKernel:
         """Run the simulation until ``proc`` finishes; return its result."""
         self.run(until=until)
         if proc.alive:
+            from repro.sim.waitgraph import format_wait_graph
             raise SimDeadlockError(
                 f"process {proc.name!r} did not complete by "
-                f"t={self.now} (state={proc.state}); blocked processes: "
-                f"{[p.name for p in self.blocked_processes()]}")
+                f"t={self.now} (state={proc.state})\n"
+                + format_wait_graph(self))
         if proc.exc is not None:
             raise SimProcessError(proc, proc.exc)
         return proc.result
@@ -388,13 +453,16 @@ class SimKernel:
 def run_processes(fns: Iterable[Callable], until: float | None = None,
                   args: tuple = ()) -> list[Any]:
     """Convenience: run ``fns`` as processes to completion, return results."""
+    from repro.sim.waitgraph import format_wait_graph
     with SimKernel() as kernel:
         procs = [kernel.spawn(fn, *args, name=getattr(fn, "__name__", None))
                  for fn in fns]
         kernel.run(until=until)
         for p in procs:
             if p.alive:
-                raise SimDeadlockError(f"process {p.name!r} never finished")
+                raise SimDeadlockError(
+                    f"process {p.name!r} never finished\n"
+                    + format_wait_graph(kernel))
             if p.exc is not None:
                 raise SimProcessError(p, p.exc)
         return [p.result for p in procs]

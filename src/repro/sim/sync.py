@@ -9,6 +9,16 @@ state stays consistent).
 Because the kernel serialises execution, none of these classes needs
 real locking; a "critical section" is simply any stretch of code with no
 blocking primitive inside.
+
+Sanitizer integration (all free when disabled): every primitive reports
+release-style operations (``put``/``release``/``set``/``notify``) and
+acquire-style operations (``get``/``acquire``/``wait`` return) to
+``kernel.tracer`` when one is installed, which lets the happens-before
+race detector thread vector clocks through the data paths that do *not*
+go through a kernel wake-up (e.g. a mailbox ``get`` that finds an item
+already queued).  Each blocked process also records *what* it is blocked
+on (``proc._waiting_on``), which the kernel renders into a wait-for
+graph on deadlock.
 """
 
 from __future__ import annotations
@@ -24,10 +34,18 @@ class SimTimeout(Exception):
 
 
 class WaitQueue:
-    """FIFO queue of blocked processes; the low-level building block."""
+    """FIFO queue of blocked processes; the low-level building block.
 
-    def __init__(self, kernel: SimKernel):
+    ``owner`` names the primitive this queue belongs to (for deadlock
+    reports); ``role`` distinguishes multiple queues of one primitive
+    (a bounded mailbox has a getter queue and a putter queue).
+    """
+
+    def __init__(self, kernel: SimKernel, owner: Any = None,
+                 role: str | None = None):
         self.kernel = kernel
+        self.owner = owner
+        self.role = role
         self._waiters: list[list] = []  # entries: [proc, woken_flag]
 
     def __len__(self) -> int:
@@ -35,28 +53,43 @@ class WaitQueue:
 
     def wait(self, proc: SimProcess, timeout: float | None = None) -> Any:
         """Block ``proc`` until woken; raises :class:`SimTimeout` if
-        ``timeout`` seconds elapse first."""
+        ``timeout`` seconds elapse first.
+
+        The expiry wake-up is bound to the wake token armed *here*, so a
+        timeout that fires after the process was interrupted (or woken
+        by any other means) is stale and cannot overwrite the pending
+        wake-up — a lost-interrupt race the previous implementation had.
+        """
+        self.kernel._check_current(proc)
         entry = [proc, False]
         self._waiters.append(entry)
+        token = proc._arm()
         timer = None
         if timeout is not None:
-            def expire() -> None:
-                if not entry[1] and entry in self._waiters:
-                    self._waiters.remove(entry)
-                    proc._pending_exc = SimTimeout(
-                        f"timed out after {timeout} s")
-                    self.kernel._wake(proc, proc._wake_token)
-
-            timer = self.kernel.schedule(timeout, expire)
+            timer = self.kernel._schedule(
+                timeout, self._expire, entry, token, timeout)
+        proc._waiting_on = self
         try:
-            return proc.suspend()
+            return proc._yield()
         except BaseException:
             if not entry[1] and entry in self._waiters:
                 self._waiters.remove(entry)
             raise
         finally:
+            proc._waiting_on = None
             if timer is not None:
                 timer.cancel()
+
+    def _expire(self, entry: list, token: int, timeout: float) -> None:
+        """Kernel callback: deliver :class:`SimTimeout` if still queued."""
+        proc = entry[0]
+        if entry[1] or entry not in self._waiters:
+            return  # already woken (the timer lost the race)
+        self._waiters.remove(entry)
+        # _wake drops the exception if ``token`` is stale, so an
+        # interrupt armed after us always wins over the timeout
+        self.kernel._wake(proc, token, None,
+                          SimTimeout(f"timed out after {timeout} s"))
 
     def wake_one(self, value: Any = None) -> bool:
         """Wake the longest-waiting process.  Returns False if empty."""
@@ -82,7 +115,7 @@ class SimEvent:
         self.kernel = kernel
         self._flag = False
         self._value: Any = None
-        self._queue = WaitQueue(kernel)
+        self._queue = WaitQueue(kernel, owner=self)
 
     @property
     def is_set(self) -> bool:
@@ -90,6 +123,9 @@ class SimEvent:
 
     def set(self, value: Any = None) -> None:
         """Set the flag and release every waiter."""
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_release(self)
         self._flag = True
         self._value = value
         self._queue.wake_all()
@@ -107,18 +143,27 @@ class SimEvent:
             remaining = None if deadline is None else \
                 max(deadline - self.kernel.now, 0.0)
             self._queue.wait(proc, timeout=remaining)
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_acquire(self)
         return self._value
 
 
 class SimSemaphore:
-    """Counting semaphore with FIFO wake order."""
+    """Counting semaphore with FIFO wake order.
 
-    def __init__(self, kernel: SimKernel, value: int = 1):
+    ``owner`` redirects deadlock reports to an enclosing primitive
+    (:class:`SimLock` builds on a semaphore but waiters conceptually
+    block on the lock).
+    """
+
+    def __init__(self, kernel: SimKernel, value: int = 1,
+                 owner: Any = None):
         if value < 0:
             raise ValueError("initial semaphore value must be >= 0")
         self.kernel = kernel
         self._value = value
-        self._queue = WaitQueue(kernel)
+        self._queue = WaitQueue(kernel, owner=owner or self)
 
     @property
     def value(self) -> int:
@@ -128,8 +173,14 @@ class SimSemaphore:
         while self._value == 0:
             self._queue.wait(proc)
         self._value -= 1
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_acquire(self)
 
     def release(self) -> None:
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_release(self)
         self._value += 1
         self._queue.wake_one()
 
@@ -138,7 +189,7 @@ class SimLock:
     """Mutual exclusion for simulated processes (non-reentrant)."""
 
     def __init__(self, kernel: SimKernel):
-        self._sem = SimSemaphore(kernel, 1)
+        self._sem = SimSemaphore(kernel, 1, owner=self)
         self._owner: SimProcess | None = None
 
     @property
@@ -170,7 +221,7 @@ class SimCondition:
     def __init__(self, kernel: SimKernel, lock: SimLock | None = None):
         self.kernel = kernel
         self.lock = lock or SimLock(kernel)
-        self._queue = WaitQueue(kernel)
+        self._queue = WaitQueue(kernel, owner=self)
 
     def wait(self, proc: SimProcess) -> None:
         """Atomically release the lock, block, re-acquire on wake."""
@@ -181,11 +232,17 @@ class SimCondition:
             self.lock.acquire(proc)
 
     def notify(self, n: int = 1) -> None:
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_release(self)
         for _ in range(n):
             if not self._queue.wake_one():
                 break
 
     def notify_all(self) -> None:
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_release(self)
         self._queue.wake_all()
 
 
@@ -199,10 +256,13 @@ class SimBarrier:
         self.parties = parties
         self._count = 0
         self._generation = 0
-        self._queue = WaitQueue(kernel)
+        self._queue = WaitQueue(kernel, owner=self)
 
     def wait(self, proc: SimProcess) -> int:
         """Block until ``parties`` processes arrive; returns arrival index."""
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_release(self)
         gen = self._generation
         index = self._count
         self._count += 1
@@ -213,6 +273,8 @@ class SimBarrier:
         else:
             while gen == self._generation:
                 self._queue.wait(proc)
+        if tracer is not None:
+            tracer.hb_acquire(self)
         return index
 
 
@@ -230,12 +292,15 @@ class MatchQueue:
     def __init__(self, kernel: SimKernel):
         self.kernel = kernel
         self._items: list[Any] = []
-        self._waiters = WaitQueue(kernel)
+        self._waiters = WaitQueue(kernel, owner=self)
 
     def __len__(self) -> int:
         return len(self._items)
 
     def put(self, item: Any) -> None:
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_release(self)
         self._items.append(item)
         self._waiters.wake_all()
 
@@ -251,6 +316,9 @@ class MatchQueue:
         while True:
             for i, item in enumerate(self._items):
                 if predicate is None or predicate(item):
+                    tracer = self.kernel.tracer
+                    if tracer is not None:
+                        tracer.hb_acquire(self)
                     return self._items.pop(i)
             remaining = None if deadline is None else \
                 max(deadline - self.kernel.now, 0.0)
@@ -259,6 +327,9 @@ class MatchQueue:
     def get_nowait(self, predicate=None) -> Any:
         for i, item in enumerate(self._items):
             if predicate is None or predicate(item):
+                tracer = self.kernel.tracer
+                if tracer is not None:
+                    tracer.hb_acquire(self)
                 return self._items.pop(i)
         raise LookupError("no matching item")
 
@@ -270,6 +341,9 @@ class MatchQueue:
         while True:
             for item in self._items:
                 if predicate is None or predicate(item):
+                    tracer = self.kernel.tracer
+                    if tracer is not None:
+                        tracer.hb_acquire(self)
                     return item
             remaining = None if deadline is None else \
                 max(deadline - self.kernel.now, 0.0)
@@ -295,8 +369,8 @@ class Mailbox:
         self.kernel = kernel
         self.capacity = capacity
         self._items: Deque[Any] = deque()
-        self._getters = WaitQueue(kernel)
-        self._putters = WaitQueue(kernel)
+        self._getters = WaitQueue(kernel, owner=self, role="get")
+        self._putters = WaitQueue(kernel, owner=self, role="put")
 
     def __len__(self) -> int:
         return len(self._items)
@@ -309,6 +383,9 @@ class Mailbox:
         """Append ``item``; blocks while the mailbox is full."""
         while self.capacity is not None and len(self._items) >= self.capacity:
             self._putters.wait(proc)
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_release(self)
         self._items.append(item)
         self._getters.wake_all()
 
@@ -316,6 +393,9 @@ class Mailbox:
         """Append without blocking (kernel callbacks use this); raises if full."""
         if self.capacity is not None and len(self._items) >= self.capacity:
             raise OverflowError("mailbox full")
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_release(self)
         self._items.append(item)
         self._getters.wake_all()
 
@@ -328,6 +408,9 @@ class Mailbox:
             remaining = None if deadline is None else \
                 max(deadline - self.kernel.now, 0.0)
             self._getters.wait(proc, timeout=remaining)
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_acquire(self)
         item = self._items.popleft()
         self._putters.wake_all()
         return item
@@ -335,6 +418,9 @@ class Mailbox:
     def get_nowait(self) -> Any:
         if not self._items:
             raise LookupError("mailbox empty")
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.hb_acquire(self)
         item = self._items.popleft()
         self._putters.wake_all()
         return item

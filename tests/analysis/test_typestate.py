@@ -1,0 +1,201 @@
+"""The tys-* family: static VLink/Circuit lifecycle checking."""
+
+TYS = {"tys-send-before-connect", "tys-use-after-close",
+       "tys-double-bind", "tys-unreleased-claim"}
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# tys-send-before-connect
+# ----------------------------------------------------------------------
+def test_send_on_raw_endpoint_flagged(lint):
+    findings = lint("""
+        from repro.padicotm.abstraction.vlink import VLinkEndpoint
+
+        def broken(sp, rt, p0, p1, choice):
+            ep = VLinkEndpoint(rt, p0, p1, choice)
+            ep.send(sp, "x", 8)
+    """, rules=TYS)
+    assert rules_of(findings) == ["tys-send-before-connect"]
+    assert "never connected" in findings[0].message
+
+
+def test_connected_endpoints_are_clean(lint):
+    findings = lint("""
+        from repro.padicotm.abstraction.vlink import VLink, VLinkEndpoint
+
+        def fine(sp, rt, p0, p1, choice, listener):
+            a, b = VLinkEndpoint.make_pair(rt, p0, p1, choice)
+            a.send(sp, "x", 8)
+            b.recv(sp)
+            c = VLink.connect(sp, p0, "peer", "port")
+            c.send(sp, "y", 8)
+            d = listener.accept(sp)
+            d.recv(sp)
+    """, rules=TYS)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# tys-use-after-close
+# ----------------------------------------------------------------------
+def test_vlink_use_after_close_flagged(lint):
+    findings = lint("""
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def broken(sp, p0):
+            ep = VLink.connect(sp, p0, "peer", "port")
+            ep.send(sp, "x", 8)
+            ep.close()
+            ep.recv(sp)
+    """, rules=TYS)
+    assert rules_of(findings) == ["tys-use-after-close"]
+
+
+def test_circuit_use_after_close_flagged(lint):
+    findings = lint("""
+        from repro.padicotm.abstraction.circuit import Circuit
+
+        def broken(sp, rt, members):
+            circ = Circuit.establish(rt, "ring", members)
+            circ.close()
+            circ.wait_message(sp, 0)
+    """, rules=TYS)
+    assert rules_of(findings) == ["tys-use-after-close"]
+    assert "circuit" in findings[0].message
+
+
+def test_conditional_close_does_not_poison_fall_through(lint):
+    findings = lint("""
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def fine(sp, p0, flaky):
+            ep = VLink.connect(sp, p0, "peer", "port")
+            if flaky:
+                ep.close()
+            ep.send(sp, "x", 8)
+    """, rules=TYS)
+    assert findings == []
+
+
+def test_close_inside_branch_flags_later_use_in_same_branch(lint):
+    findings = lint("""
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def broken(sp, p0, flag):
+            ep = VLink.connect(sp, p0, "peer", "port")
+            if flag:
+                ep.close()
+                ep.send(sp, "x", 8)
+    """, rules=TYS)
+    assert rules_of(findings) == ["tys-use-after-close"]
+
+
+def test_rebinding_variable_resets_tracking(lint):
+    findings = lint("""
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def fine(sp, p0):
+            ep = VLink.connect(sp, p0, "peer", "a")
+            ep.close()
+            ep = VLink.connect(sp, p0, "peer", "b")
+            ep.send(sp, "x", 8)
+    """, rules=TYS)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# tys-double-bind
+# ----------------------------------------------------------------------
+def test_double_bind_same_port_flagged(lint):
+    findings = lint("""
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def broken(p0):
+            first = VLink.listen(p0, "svc")
+            second = VLink.listen(p0, "svc")
+    """, rules=TYS)
+    assert rules_of(findings) == ["tys-double-bind"]
+    assert "'svc'" in findings[0].message
+
+
+def test_distinct_ports_and_processes_are_clean(lint):
+    findings = lint("""
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def fine(p0, p1):
+            a = VLink.listen(p0, "svc")
+            b = VLink.listen(p0, "other")
+            c = VLink.listen(p1, "svc")
+    """, rules=TYS)
+    assert findings == []
+
+
+def test_rebind_after_close_is_clean(lint):
+    findings = lint("""
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def fine(p0):
+            listener = VLink.listen(p0, "svc")
+            listener.close()
+            again = VLink.listen(p0, "svc")
+    """, rules=TYS)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# tys-unreleased-claim
+# ----------------------------------------------------------------------
+def test_direct_claim_without_release_is_warned(lint):
+    findings = lint("""
+        def leak(process):
+            process.arbitration.claim_nic(
+                "san0", "BIP", "legacy", cooperative=False)
+    """, rules=TYS)
+    assert rules_of(findings) == ["tys-unreleased-claim"]
+    assert findings[0].severity.name == "WARNING"
+
+
+def test_balanced_direct_claim_is_clean(lint):
+    findings = lint("""
+        def balanced(process):
+            process.arbitration.claim_nic(
+                "san0", "BIP", "legacy", cooperative=False)
+            try:
+                pass
+            finally:
+                process.arbitration.release_claims("legacy")
+    """, rules=TYS)
+    assert findings == []
+
+
+def test_cooperative_claims_need_no_release(lint):
+    findings = lint("""
+        def multiplexed(process):
+            process.arbitration.claim_nic(
+                "san0", "TCP", "PadicoTM/sockets", cooperative=True)
+    """, rules=TYS)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# integration with the framework
+# ----------------------------------------------------------------------
+def test_rules_are_registered():
+    from repro.analysis.base import all_rules
+    assert TYS <= set(all_rules())
+
+
+def test_inline_suppression_applies(lint):
+    findings = lint("""
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def demo(sp, p0):
+            ep = VLink.connect(sp, p0, "peer", "port")
+            ep.close()
+            ep.send(sp, "x", 8)  # repro-lint: disable=tys-use-after-close
+    """, rules=TYS)
+    assert findings == []
