@@ -1,13 +1,14 @@
 # Developer gates.  `make check` is what CI runs: the static lint, the
-# tier-1 test suite, and the seeded schedule-exploration smoke.
+# tier-1 test suite, the seeded schedule-exploration smoke, and the
+# bench smoke (one quick sweep, schema-checked BENCH_padico.json).
 # Everything goes through PYTHONPATH=src so no install step is needed.
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check lint test schedule-smoke sarif
+.PHONY: check lint test schedule-smoke bench-smoke sarif
 
-check: lint test schedule-smoke
+check: lint test schedule-smoke bench-smoke
 
 lint:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis.cli src examples
@@ -17,6 +18,14 @@ test:
 
 schedule-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.sanitizer --seeds 5
+
+# Writes to a scratch path so it never clobbers the committed full
+# sweep (BENCH_padico.json, regenerated with `python -m benchmarks.run`)
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m benchmarks.run --quick \
+		--out BENCH_smoke.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.trace bench \
+		BENCH_smoke.json
 
 # SARIF findings for CI/PR annotation (exit status intentionally ignored:
 # the gating run is `lint`, this one only produces the report artifact)

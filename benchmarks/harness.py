@@ -3,14 +3,20 @@
 Every function builds a fresh simulated grid, drives the relevant
 middleware, and returns quantities read off the **virtual clock**
 (bandwidth in MB/s with MB = 1e6 bytes, latency in µs — the paper's
-units).  pytest-benchmark wraps these functions to additionally record
-the real wall-time cost of running each simulation."""
+units).  Series-shaped measurements come back as
+:class:`repro.obs.BenchResult` — mapping-style access (``curve[size]``,
+``curve.values()``) plus ``to_json()`` for the ``BENCH_padico.json``
+roll-up — while single scalars stay plain floats.  pytest-benchmark
+wraps these functions to additionally record the real wall-time cost of
+running each simulation."""
 
 from __future__ import annotations
 
 import math
 
 import numpy as np
+
+from repro.obs import BenchResult
 
 from repro.ccm import ComponentImpl
 from repro.core import (
@@ -72,7 +78,7 @@ class _SinkImpl(ComponentImpl):
 # ---------------------------------------------------------------------------
 
 def corba_transfer_times(profile: OrbProfile, sizes=FIG7_SIZES,
-                         lan_only: bool = False) -> dict[int, float]:
+                         lan_only: bool = False) -> BenchResult:
     """One-way transfer time (s) of ``sizes``-byte payloads via CORBA.
 
     Measured as the round-trip of a void ``push(Blob)`` minus the
@@ -110,15 +116,25 @@ def corba_transfer_times(profile: OrbProfile, sizes=FIG7_SIZES,
     client.spawn(main)
     rt.run()
     rt.shutdown()
-    return times
+    suffix = ".lan" if lan_only else ""
+    return BenchResult(
+        name=f"corba.transfer_time.{profile.key}{suffix}",
+        unit="s",
+        points=tuple((size, times[size]) for size in sizes),
+        meta={"profile": profile.key,
+              "fabric": "ethernet-100" if lan_only else "myrinet-2000"})
 
 
 def corba_bandwidth_curve(profile: OrbProfile, sizes=FIG7_SIZES,
-                          lan_only: bool = False) -> dict[int, float]:
+                          lan_only: bool = False) -> BenchResult:
     """Figure-7 series: message size → MB/s."""
-    return {size: size / t / 1e6
-            for size, t in corba_transfer_times(profile, sizes,
-                                                lan_only).items()}
+    times = corba_transfer_times(profile, sizes, lan_only)
+    suffix = ".lan" if lan_only else ""
+    return BenchResult(
+        name=f"corba.bandwidth.{profile.key}{suffix}",
+        unit="MB/s",
+        points=tuple((size, size / t / 1e6) for size, t in times.items()),
+        meta=dict(times.meta))
 
 
 def corba_one_way_latency_us(profile: OrbProfile) -> float:
@@ -152,7 +168,7 @@ def corba_one_way_latency_us(profile: OrbProfile) -> float:
     return out["rtt"] / 2 * 1e6
 
 
-def mpi_bandwidth_curve(sizes=FIG7_SIZES) -> dict[int, float]:
+def mpi_bandwidth_curve(sizes=FIG7_SIZES) -> BenchResult:
     """Figure-7 MPI series over PadicoTM/Myrinet."""
     topo = Topology()
     build_cluster(topo, "n", 2)
@@ -178,7 +194,11 @@ def mpi_bandwidth_curve(sizes=FIG7_SIZES) -> dict[int, float]:
     spmd(world, main)
     rt.run()
     rt.shutdown()
-    return curve
+    return BenchResult(
+        name="mpi.bandwidth.mpich-madeleine",
+        unit="MB/s",
+        points=tuple((size, curve[size]) for size in sizes),
+        meta={"profile": "mpich-madeleine", "fabric": "myrinet-2000"})
 
 
 def mpi_one_way_latency_us() -> float:
@@ -211,7 +231,7 @@ def mpi_one_way_latency_us() -> float:
     return out["rtt"] / 2 * 1e6
 
 
-def concurrent_sharing_mbps(size: int = 24_000_000) -> dict[str, float]:
+def concurrent_sharing_mbps(size: int = 24_000_000) -> BenchResult:
     """§4.4 concurrency: CORBA and MPI bulk streams at the same time."""
     topo = Topology()
     build_cluster(topo, "n", 2)
@@ -254,7 +274,11 @@ def concurrent_sharing_mbps(size: int = 24_000_000) -> dict[str, float]:
     spmd(world, mpi_main)
     rt.run()
     rt.shutdown()
-    return results
+    return BenchResult(
+        name="concurrent.sharing",
+        unit="MB/s",
+        points=(("corba", results["corba"]), ("mpi", results["mpi"])),
+        meta={"payload_bytes": size, "fabric": "myrinet-2000"})
 
 
 # ---------------------------------------------------------------------------
@@ -264,7 +288,7 @@ def concurrent_sharing_mbps(size: int = 24_000_000) -> dict[str, float]:
 def gridccm_n_to_n(n: int, profile: OrbProfile = MICO,
                    ints_per_rank: int = 2_000_000,
                    procs_per_host: int = 2,
-                   lan_only: bool = False) -> dict[str, float]:
+                   lan_only: bool = False) -> BenchResult:
     """One Figure-8 row: two n-node parallel components exchange a
     vector of integers; the server op runs MPI_Barrier.
 
@@ -318,7 +342,16 @@ def gridccm_n_to_n(n: int, profile: OrbProfile = MICO,
     spmd(world, main)
     rt.run()
     rt.shutdown()
-    return out
+    return BenchResult(
+        name=f"gridccm.n_to_n.{n}",
+        unit="mixed",
+        points=(("latency_us", out["latency_us"]),
+                ("aggregate_mbps", out["aggregate_mbps"])),
+        meta={"nodes": n, "profile": profile.key,
+              "procs_per_host": procs_per_host,
+              "ints_per_rank": ints_per_rank,
+              "fabric": "ethernet-100" if lan_only else "myrinet-2000",
+              "units": {"latency_us": "us", "aggregate_mbps": "MB/s"}})
 
 
 # ---------------------------------------------------------------------------
@@ -326,7 +359,7 @@ def gridccm_n_to_n(n: int, profile: OrbProfile = MICO,
 # ---------------------------------------------------------------------------
 
 def proxy_vs_direct(n: int = 4,
-                    ints_total: int = 4_000_000) -> dict[str, float]:
+                    ints_total: int = 4_000_000) -> BenchResult:
     """Master-bottleneck ablation: the same total payload shipped to an
     n-node component once through n direct parallel clients and once
     through the sequential proxy (the master-slave shape the paper
@@ -362,4 +395,8 @@ def proxy_vs_direct(n: int = 4,
     cli.spawn(main)
     rt.run()
     rt.shutdown()
-    return {"direct_mbps": direct, "proxy_mbps": out["proxy"]}
+    return BenchResult(
+        name=f"ablation.proxy_vs_direct.{n}",
+        unit="MB/s",
+        points=(("direct_mbps", direct), ("proxy_mbps", out["proxy"])),
+        meta={"nodes": n, "ints_total": ints_total})

@@ -19,6 +19,10 @@ DEFAULT_LAYERS: tuple[tuple[str, tuple[str, ...]], ...] = (
     # sim-san instruments the kernel/sync layer only; it must never see
     # the stack above it (the runtime notifies its duck-typed monitor)
     ("sanitizer",   ("repro.sanitizer",)),
+    # observability records what the stack reports through the same
+    # duck-typed monitor hooks; it sees only the kernel clock, never the
+    # layers that feed it
+    ("obs",         ("repro.obs",)),
     ("net",         ("repro.net",)),
     ("arbitration", ("repro.padicotm.arbitration",)),
     ("abstraction", ("repro.padicotm.abstraction",)),

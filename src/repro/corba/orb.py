@@ -376,20 +376,30 @@ class Orb:
         if len(args) != n_in:
             raise CorbaError(
                 f"{opdef.name} takes {n_in} argument(s), got {len(args)}")
-        if ref.ior.process == self.process.name:
-            return self._invoke_collocated(proc, ref, opdef, args)
+        mon = self.process.runtime.monitor
+        if mon is not None:
+            mon.on_span_start("corba.invoke", cat="middleware",
+                              op=opdef.name, target=ref.ior.process,
+                              oneway=opdef.oneway)
         try:
-            conn = self._connection(proc, ref.ior.process, ref.ior.port)
-        except (NoRouteError, VLinkRefusedError) as exc:
-            raise SystemException("COMM_FAILURE", str(exc)) from exc
-        try:
-            return self._invoke_remote(proc, conn, ref, opdef, args)
-        except (TransferError, NoRouteError, BrokenPipeError) as exc:
-            # the wire died under us: drop the cached connection so the
-            # next invocation re-routes/reconnects, surface COMM_FAILURE
-            conn._fail(SystemException("COMM_FAILURE", str(exc)))
-            self._connections.pop((ref.ior.process, ref.ior.port), None)
-            raise SystemException("COMM_FAILURE", str(exc)) from exc
+            if ref.ior.process == self.process.name:
+                return self._invoke_collocated(proc, ref, opdef, args)
+            try:
+                conn = self._connection(proc, ref.ior.process, ref.ior.port)
+            except (NoRouteError, VLinkRefusedError) as exc:
+                raise SystemException("COMM_FAILURE", str(exc)) from exc
+            try:
+                return self._invoke_remote(proc, conn, ref, opdef, args)
+            except (TransferError, NoRouteError, BrokenPipeError) as exc:
+                # the wire died under us: drop the cached connection so
+                # the next invocation re-routes/reconnects, surface
+                # COMM_FAILURE
+                conn._fail(SystemException("COMM_FAILURE", str(exc)))
+                self._connections.pop((ref.ior.process, ref.ior.port), None)
+                raise SystemException("COMM_FAILURE", str(exc)) from exc
+        finally:
+            if mon is not None:
+                mon.on_span_end("corba.invoke")
 
     def _invoke_remote(self, proc: SimProcess, conn: _ClientConnection,
                        ref: ObjectRef, opdef: OperationDef,
@@ -410,6 +420,9 @@ class Orb:
         body = out.getvalue()
         payload = self.wire.frame(self.wire.MSG_REQUEST, body,
                                   self.little_endian)
+        mon = self.process.runtime.monitor
+        if mon is not None:
+            mon.on_counter("giop.requests")
         event = None if opdef.oneway else conn.register(request_id)
         conn.send_lock.acquire(proc)
         try:
@@ -437,6 +450,8 @@ class Orb:
             self._connections.pop((ref.ior.process, ref.ior.port), None)
             raise result
         status, inp, rn = result
+        if mon is not None:
+            mon.on_counter("giop.replies")
         # reply-side client CPU: wake-up, demultiplex, unmarshal
         proc.sleep(profile.client_overhead * self._ovh +
                    profile.unmarshal_cost(rn))
@@ -575,21 +590,31 @@ class Orb:
         inp = CdrInputStream(body, little)
         request_id, expect_reply, key, opname, principal = \
             self.wire.read_request(inp)
-        prev_principal = getattr(proc, "corba_principal", "")
-        proc.corba_principal = principal
+        mon = self.process.runtime.monitor
+        if mon is not None:
+            mon.on_span_start("corba.dispatch", cat="middleware",
+                              op=opname, request_id=request_id)
+            mon.on_counter("giop.requests.served")
         try:
-            out = self._execute(proc, inp, request_id, key, opname)
+            prev_principal = getattr(proc, "corba_principal", "")
+            proc.corba_principal = principal
+            try:
+                out = self._execute(proc, inp, request_id, key, opname)
+            finally:
+                proc.corba_principal = prev_principal
+            if not expect_reply:
+                return
+            reply_body = out.getvalue()
+            payload = self.wire.frame(self.wire.MSG_REPLY, reply_body,
+                                      self.little_endian)
+            # reply-side server CPU: marshal results + send-path
+            # processing
+            proc.sleep(self.profile.server_overhead * self._ovh +
+                       self.profile.marshal_cost(out.copied_bytes))
+            endpoint.send(proc, payload, self.wire.message_size(payload))
         finally:
-            proc.corba_principal = prev_principal
-        if not expect_reply:
-            return
-        reply_body = out.getvalue()
-        payload = self.wire.frame(self.wire.MSG_REPLY, reply_body,
-                                  self.little_endian)
-        # reply-side server CPU: marshal results + send-path processing
-        proc.sleep(self.profile.server_overhead * self._ovh +
-                   self.profile.marshal_cost(out.copied_bytes))
-        endpoint.send(proc, payload, self.wire.message_size(payload))
+            if mon is not None:
+                mon.on_span_end("corba.dispatch")
 
     def _execute(self, proc: SimProcess, inp: CdrInputStream,
                  request_id: int, key: str, opname: str) -> CdrOutputStream:

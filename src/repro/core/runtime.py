@@ -152,8 +152,25 @@ class _ServerPortLayer:
     def handle(self, info: ParallelOpInfo, proc: SimProcess,
                request: str, src_rank: int, src_parts: int, expected: int,
                wire_args: tuple) -> Any:
+        mon = self.container.process.runtime.monitor
+        if mon is not None:
+            mon.on_span_start("gridccm.gather", cat="gridccm",
+                              op=info.name, request=request,
+                              src_rank=src_rank, expected=expected)
+        try:
+            return self._handle_piece(info, proc, request, src_rank,
+                                      src_parts, expected, wire_args, mon)
+        finally:
+            if mon is not None:
+                mon.on_span_end("gridccm.gather")
+
+    def _handle_piece(self, info: ParallelOpInfo, proc: SimProcess,
+                      request: str, src_rank: int, src_parts: int,
+                      expected: int, wire_args: tuple, mon) -> Any:
         plains, chunks = self._split_wire_args(info, wire_args)
         nbytes = sum(np.asarray(c).nbytes for _pos, _total, c in chunks)
+        if mon is not None:
+            mon.on_counter("gridccm.redistribution_bytes", float(nbytes))
         proc.sleep(GRIDCCM_CALL_OVERHEAD + nbytes * GRIDCCM_COPY_COST)
 
         key = (info.name, request)
@@ -323,6 +340,20 @@ class _CallEngine:
         n, me, m = self.n_clients, self.my_rank, len(self.nodes)
         self._seq += 1
         request = f"{self.group_id}#{self._seq}"
+        mon = self.orb.process.runtime.monitor
+        if mon is not None:
+            mon.on_span_start("gridccm.call", cat="gridccm", op=info.name,
+                              request=request, rank=me, nodes=m)
+        try:
+            return self._call_body(info, args, proc, n, me, m, request,
+                                   mon)
+        finally:
+            if mon is not None:
+                mon.on_span_end("gridccm.call")
+
+    def _call_body(self, info: ParallelOpInfo, args: tuple, proc,
+                   n: int, me: int, m: int, request: str, mon) -> Any:
+        in_params = info.original.in_params
 
         # agree on global lengths (one allgather over the client world)
         local_lens = tuple(len(np.asarray(args[pos]))
@@ -373,15 +404,25 @@ class _CallEngine:
             for pos, plan in plans.items() for t in plan.outgoing(me))
         proc.sleep(GRIDCCM_CALL_OVERHEAD + out_bytes * GRIDCCM_COPY_COST)
 
+        if mon is not None:
+            mon.on_counter("gridccm.redistribution_bytes", float(out_bytes))
+            mon.on_span_start("gridccm.scatter", cat="gridccm",
+                              op=info.name, targets=len(my_targets),
+                              nbytes=float(out_bytes))
         results: dict[int, Any] = {}
         errors: list[BaseException] = []
-        workers = []
-        for r in my_targets:
-            wire = self._wire_args(info, plans, dist_data, args, me, n,
-                                   expected[r], request, r)
-            workers.append(self._spawn_call(info, r, wire, results, errors))
-        for w in workers:
-            proc.join(w)
+        try:
+            workers = []
+            for r in my_targets:
+                wire = self._wire_args(info, plans, dist_data, args, me, n,
+                                       expected[r], request, r)
+                workers.append(
+                    self._spawn_call(info, r, wire, results, errors))
+            for w in workers:
+                proc.join(w)
+        finally:
+            if mon is not None:
+                mon.on_span_end("gridccm.scatter")
         if errors:
             raise errors[0]
         # several clients may have contacted the same server node and

@@ -17,8 +17,9 @@ Cost model (charged to the virtual clock):
 
 from __future__ import annotations
 
+import functools
 import pickle
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
@@ -43,6 +44,28 @@ PICKLE_BYTE_COST = 2.0e-9
 
 class MpiError(RuntimeError):
     """MPI usage or transport error."""
+
+
+def _collective(op: str) -> Callable:
+    """Wrap a collective in an ``mpi.<op>`` observability span.
+
+    Pure bookkeeping when a monitor is attached, nothing at all when
+    none is — the decorated body runs unchanged either way.
+    """
+    def deco(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self: "Comm", *args: Any, **kwargs: Any) -> Any:
+            mon = self._monitor()
+            if mon is None:
+                return fn(self, *args, **kwargs)
+            mon.on_span_start(f"mpi.{op}", cat="middleware",
+                              rank=self._rank, size=self.size)
+            try:
+                return fn(self, *args, **kwargs)
+            finally:
+                mon.on_span_end(f"mpi.{op}")
+        return wrapper
+    return deco
 
 
 class Status:
@@ -121,6 +144,9 @@ class Comm:
 
     def Wtime(self) -> float:
         return self.kernel.now
+
+    def _monitor(self) -> Any:
+        return self._circuit.runtime.monitor
 
     def __repr__(self) -> str:
         return (f"<Comm rank {self._rank}/{self.size} "
@@ -303,6 +329,7 @@ class Comm:
         req.wait()
         return got
 
+    @_collective("Scatterv")
     def Scatterv(self, sendbuf: np.ndarray | None,
                  counts: Sequence[int] | None, recvbuf: np.ndarray,
                  root: int = 0) -> None:
@@ -336,6 +363,7 @@ class Comm:
             _s, _t, body, _n = self._recv_body(self.proc, root, 9, ctx)
             np.copyto(out, body[1].reshape(out.shape))
 
+    @_collective("Gatherv")
     def Gatherv(self, sendbuf: np.ndarray,
                 recvbuf: np.ndarray | None,
                 counts: Sequence[int] | None, root: int = 0) -> None:
@@ -390,6 +418,7 @@ class Comm:
     # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
+    @_collective("barrier")
     def barrier(self) -> None:
         """Binomial gather-to-0 then binomial release (MPICH style).
 
@@ -413,6 +442,7 @@ class Comm:
                 self._recv_body(self.proc, rank + mask, 0, ctx)
             mask <<= 1
 
+    @_collective("bcast")
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Binomial-tree broadcast of a pickled object."""
         ctx = self._coll_context("bcast")
@@ -428,6 +458,7 @@ class Comm:
         self.proc.sleep(n * PICKLE_BYTE_COST)
         return pickle.loads(data)
 
+    @_collective("Bcast")
     def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
         """Binomial-tree broadcast of a numpy buffer, in place."""
         ctx = self._coll_context("Bcast")
@@ -458,6 +489,7 @@ class Comm:
             mask <<= 1
         return body, nbytes
 
+    @_collective("gather")
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather pickled objects to ``root`` (rank order preserved)."""
         ctx = self._coll_context("gather")
@@ -474,6 +506,7 @@ class Comm:
         self._send_body(self.proc, root, 3, ("p", data), len(data), ctx)
         return None
 
+    @_collective("scatter")
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter one object per rank from ``root``."""
         if self._rank == root and (objs is None or len(objs) != self.size):
@@ -494,11 +527,13 @@ class Comm:
         _s, _t, body, n = self._recv_body(self.proc, root, 4, ctx)
         return self._decode(self.proc, body, n)
 
+    @_collective("allgather")
     def allgather(self, obj: Any) -> list[Any]:
         """Gather to rank 0, then broadcast the assembled list."""
         gathered = self.gather(obj, root=0)
         return self.bcast(gathered, root=0)
 
+    @_collective("alltoall")
     def alltoall(self, objs: Sequence[Any]) -> list[Any]:
         """Personalised all-to-all exchange."""
         if len(objs) != self.size:
@@ -516,6 +551,7 @@ class Comm:
             out[src] = self._decode(self.proc, body, n)
         return out
 
+    @_collective("reduce")
     def reduce(self, obj: Any, op: ReduceOp, root: int = 0) -> Any:
         """Binomial-tree reduction of pickled objects towards ``root``."""
         ctx = self._coll_context("reduce")
@@ -541,11 +577,13 @@ class Comm:
             mask <<= 1
         return acc if self._rank == root else None
 
+    @_collective("allreduce")
     def allreduce(self, obj: Any, op: ReduceOp) -> Any:
         """Reduce to rank 0, then broadcast the result."""
         reduced = self.reduce(obj, op, root=0)
         return self.bcast(reduced, root=0)
 
+    @_collective("scan")
     def scan(self, obj: Any, op: ReduceOp) -> Any:
         """Inclusive prefix reduction (linear chain)."""
         ctx = self._coll_context("scan")
@@ -562,6 +600,7 @@ class Comm:
                             len(data), ctx)
         return acc
 
+    @_collective("Reduce")
     def Reduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray | None,
                op: ReduceOp, root: int = 0) -> None:
         """Buffer-path binomial reduction (no pickle cost)."""
@@ -587,6 +626,7 @@ class Comm:
             np.copyto(np.asarray(recvbuf), acc.reshape(
                 np.asarray(recvbuf).shape))
 
+    @_collective("Allreduce")
     def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
                   op: ReduceOp) -> None:
         """Buffer-path reduce to rank 0 followed by broadcast."""

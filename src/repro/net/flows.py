@@ -16,7 +16,7 @@ one 240 MB/s Myrinet host link each receive exactly half.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.net.topology import Link, Topology
 from repro.sim.kernel import SimKernel, SimProcess, Timer
@@ -34,7 +34,7 @@ class Flow:
     """One in-flight message on the network."""
 
     __slots__ = ("route", "size", "remaining", "rate", "waiter",
-                 "callback", "error", "done", "start_time")
+                 "callback", "error", "done", "start_time", "fid")
 
     def __init__(self, route: Sequence[Link], size: float,
                  waiter: SimProcess | None, callback: Callable | None,
@@ -48,6 +48,8 @@ class Flow:
         self.error: Exception | None = None
         self.done = False
         self.start_time = start_time
+        #: observability id; assigned only while a monitor is attached
+        self.fid: int | None = None
 
     def __repr__(self) -> str:
         return (f"<Flow {self.size:.0f}B remaining={self.remaining:.0f} "
@@ -119,6 +121,10 @@ class FlowNetwork:
         #: completed-transfer records for timeline analysis:
         #: (start time, end time, size bytes, first link name, ok)
         self.flow_log: list[tuple[float, float, float, str, bool]] = []
+        #: observability hook surface (see repro.obs); pushed down by
+        #: PadicoRuntime.observe, or set directly for standalone use
+        self.monitor: Any = None
+        self._flow_seq = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -133,12 +139,20 @@ class FlowNetwork:
         mid-flight, and :class:`NoRouteError` if there is no live path.
         """
         t0 = self.kernel.now
-        route = self.topology.route(src, dst, fabric)
-        latency = sum(l.latency for l in route) + extra_latency
-        if latency > 0:
-            proc.sleep(latency)
-        if nbytes > 0:
-            self.send_on_route(proc, route, nbytes)
+        mon = self.monitor
+        if mon is not None:
+            mon.on_span_start("net.transfer", cat="net", src=src, dst=dst,
+                              nbytes=float(nbytes), fabric=fabric)
+        try:
+            route = self.topology.route(src, dst, fabric)
+            latency = sum(l.latency for l in route) + extra_latency
+            if latency > 0:
+                proc.sleep(latency)
+            if nbytes > 0:
+                self.send_on_route(proc, route, nbytes)
+        finally:
+            if mon is not None:
+                mon.on_span_end("net.transfer")
         return self.kernel.now - t0
 
     def send_on_route(self, proc: SimProcess, route: Sequence[Link],
@@ -198,6 +212,17 @@ class FlowNetwork:
         flow = Flow(route, nbytes, waiter, callback, self.kernel.now)
         self._flows.append(flow)
         self._reallocate()
+        mon = self.monitor
+        if mon is not None:
+            self._flow_seq += 1
+            flow.fid = self._flow_seq
+            first = flow.route[0] if flow.route else None
+            mon.on_flow_start(
+                flow.fid,
+                src=first.src if first else "",
+                dst=flow.route[-1].dst if flow.route else "",
+                nbytes=flow.size,
+                fabric=first.fabric.name if first else "")
         return flow
 
     def _advance(self) -> None:
@@ -245,6 +270,9 @@ class FlowNetwork:
             self.completed_flows += 1
             self.flow_log.append((f.start_time, self.kernel.now, f.size,
                                   f.route[0].name if f.route else "", True))
+            mon = self.monitor
+            if mon is not None and f.fid is not None:
+                mon.on_flow_end(f.fid, ok=True)
             self._notify(f)
         self._reallocate()
 
@@ -260,6 +288,9 @@ class FlowNetwork:
         self.flow_log.append((flow.start_time, self.kernel.now, flow.size,
                               flow.route[0].name if flow.route else "",
                               False))
+        mon = self.monitor
+        if mon is not None and flow.fid is not None:
+            mon.on_flow_end(flow.fid, ok=False)
         if wake:
             self._notify(flow)
         if advance:

@@ -24,6 +24,15 @@ class LinkStats:
             return 0.0
         return min(self.bytes / (self.link.bandwidth * elapsed), 1.0)
 
+    def to_json(self, elapsed: float) -> dict:
+        return {
+            "link": self.link.name,
+            "src": self.link.src,
+            "dst": self.link.dst,
+            "bytes": self.bytes,
+            "utilisation": self.utilisation(elapsed),
+        }
+
 
 @dataclass
 class FabricStats:
@@ -39,6 +48,15 @@ class FabricStats:
     def busiest(self) -> LinkStats | None:
         return max(self.links, key=lambda ls: ls.bytes, default=None)
 
+    def to_json(self, elapsed: float) -> dict:
+        return {
+            "technology": self.technology,
+            "total_bytes": self.total_bytes,
+            "links": [ls.to_json(elapsed)
+                      for ls in sorted(self.links,
+                                       key=lambda ls: ls.link.name)],
+        }
+
 
 @dataclass
 class NetworkReport:
@@ -51,14 +69,43 @@ class NetworkReport:
     def total_bytes(self) -> float:
         return sum(f.total_bytes for f in self.fabrics.values())
 
+    def _link_stats(self):
+        for name in sorted(self.fabrics):
+            for ls in self.fabrics[name].links:
+                yield ls
+
+    def tx_bytes(self, host: str) -> float:
+        """Bytes sent out of ``host`` (links whose source is the host)."""
+        return sum(ls.bytes for ls in self._link_stats()
+                   if ls.link.src == host)
+
+    def rx_bytes(self, host: str) -> float:
+        """Bytes received by ``host`` (links whose destination is it)."""
+        return sum(ls.bytes for ls in self._link_stats()
+                   if ls.link.dst == host)
+
     def host_bytes(self, host: str) -> float:
-        """Bytes that crossed any NIC of ``host`` (tx + rx)."""
-        total = 0.0
-        for fstats in self.fabrics.values():
-            for ls in fstats.links:
-                if host in (ls.link.src, ls.link.dst):
-                    total += ls.bytes
-        return total
+        """Bytes that crossed any NIC of ``host`` (tx + rx).
+
+        A self-loop link (src == dst, e.g. a localhost wire constructed
+        directly) appears in both the tx and rx sums but crossed the
+        host's NIC once, so its volume is subtracted back out rather
+        than double-counted.
+        """
+        self_loop = sum(ls.bytes for ls in self._link_stats()
+                        if ls.link.src == host and ls.link.dst == host)
+        return self.tx_bytes(host) + self.rx_bytes(host) - self_loop
+
+    def to_json(self) -> dict:
+        """Serialise the report in the same spirit as
+        :meth:`repro.obs.BenchResult.to_json`: plain JSON types, keys in
+        deterministic (sorted) order."""
+        return {
+            "elapsed": self.elapsed,
+            "total_bytes": self.total_bytes,
+            "fabrics": {name: self.fabrics[name].to_json(self.elapsed)
+                        for name in sorted(self.fabrics)},
+        }
 
     def format(self) -> str:
         """Human-readable table."""

@@ -1,0 +1,133 @@
+"""Exporters: Chrome ``trace_event`` JSON and a flat metrics dict.
+
+The Chrome format (load the file in ``chrome://tracing`` or Perfetto)
+wants microsecond timestamps and integer pid/tid; we map process and
+thread *names* to small integers in order of first appearance, which is
+deterministic because the span list is start-ordered.  Each "X" event
+carries ``span``/``parent`` indices in its ``args`` so downstream tools
+(the ``padico-trace`` CLI) can rebuild the exact tree without guessing
+from timestamps.
+
+Everything serialises with ``sort_keys=True`` — a trace of a
+deterministic run is itself byte-deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.recorder import TraceRecorder
+
+#: synthetic process labels for events with no simulated thread
+_METRICS_PID = "metrics"
+_NET_PID = "net"
+
+
+def _us(t: float) -> float:
+    """Virtual seconds → trace microseconds, stable across platforms."""
+    return round(t * 1e6, 3)
+
+
+class _IdMap:
+    """Name → small int, allocated in first-appearance order."""
+
+    def __init__(self) -> None:
+        self._ids: dict[Any, int] = {}
+
+    def __getitem__(self, key: Any) -> int:
+        got = self._ids.get(key)
+        if got is None:
+            got = len(self._ids) + 1
+            self._ids[key] = got
+        return got
+
+    def items(self) -> list[tuple[Any, int]]:
+        return list(self._ids.items())
+
+
+def chrome_trace(recorder: TraceRecorder) -> dict[str, Any]:
+    """The full trace document as a plain dict (see module docstring)."""
+    pids = _IdMap()
+    tids = _IdMap()
+    events: list[dict[str, Any]] = []
+
+    for span in recorder.closed_spans():
+        pid = pids[span.pid]
+        tid = tids[(span.pid, span.tid)]
+        args = dict(span.attrs)
+        args["span"] = span.index
+        if span.parent is not None:
+            args["parent"] = span.parent
+        events.append({
+            "ph": "X", "name": span.name, "cat": span.cat or "app",
+            "ts": _us(span.start), "dur": _us(span.duration),
+            "pid": pid, "tid": tid, "args": args,
+        })
+
+    for rec in recorder.flow_records():
+        if rec.end is None:
+            continue
+        pid = pids[_NET_PID]
+        tid = tids[(_NET_PID, rec.fabric)]
+        name = f"{rec.src}->{rec.dst}"
+        common = {"cat": "net.flow", "id": rec.fid, "pid": pid, "tid": tid}
+        events.append({"ph": "b", "name": name, "ts": _us(rec.start),
+                       "args": {"nbytes": rec.nbytes, "fabric": rec.fabric},
+                       **common})
+        events.append({"ph": "e", "name": name, "ts": _us(rec.end),
+                       "args": {"ok": rec.ok}, **common})
+
+    pid = pids[_METRICS_PID] if recorder.counter_series else None
+    for sample in recorder.counter_series:
+        events.append({
+            "ph": "C", "name": sample.name, "ts": _us(sample.time),
+            "pid": pid, "tid": 0, "args": {"value": sample.value},
+        })
+
+    # metadata events name the integer pids/tids for the viewer
+    meta_events: list[dict[str, Any]] = []
+    for name, pid in pids.items():
+        meta_events.append({"ph": "M", "name": "process_name", "pid": pid,
+                            "tid": 0, "args": {"name": name}})
+    for (pname, tname), tid in tids.items():
+        meta_events.append({"ph": "M", "name": "thread_name",
+                            "pid": pids[pname], "tid": tid,
+                            "args": {"name": tname}})
+
+    return {
+        "traceEvents": meta_events + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"padicoMetrics": metrics(recorder),
+                      "schema": "padico-trace/1"},
+    }
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(recorder), fh, sort_keys=True, indent=1)
+        fh.write("\n")
+
+
+def metrics(recorder: TraceRecorder) -> dict[str, Any]:
+    """Flat, JSON-ready roll-up of everything the recorder saw."""
+    span_agg: dict[str, dict[str, float]] = {}
+    for span in recorder.closed_spans():
+        cell = span_agg.setdefault(span.name, {"count": 0, "total": 0.0})
+        cell["count"] += 1
+        cell["total"] += span.duration
+    driver = {f"{drv}.{direction}": {"calls": calls, "bytes": nbytes}
+              for (drv, direction), (calls, nbytes)
+              in sorted(recorder.driver_io.items())}
+    return {
+        "spans": {name: span_agg[name] for name in sorted(span_agg)},
+        "counters": {k: recorder.counters[k]
+                     for k in sorted(recorder.counters)},
+        "gauges": {k: recorder.gauges[k] for k in sorted(recorder.gauges)},
+        "driver_io": driver,
+        "fabric_bytes": {k: recorder.fabric_bytes[k]
+                         for k in sorted(recorder.fabric_bytes)},
+        "context_switches": recorder.context_switches,
+        "events_fired": recorder.events_fired,
+        "flows": len(recorder.flows),
+    }

@@ -1,0 +1,83 @@
+"""The span model: one timed region of simulated work.
+
+A :class:`Span` is a ``[start, end]`` interval on the *virtual* clock
+(``kernel.now``), tagged with the process/thread that executed it and an
+arbitrary attribute dict.  Spans form a forest: each span remembers the
+span that was open on the same simulated thread when it started, so a
+single CORBA call renders as personality → abstraction → arbitration →
+link nesting without any of the layers knowing about each other.
+
+Everything here is deterministic bookkeeping — no wall clock, no
+randomness, no I/O.  Timestamps are whatever the simulation kernel says
+they are, which is the whole point: two runs of the same scenario
+produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Span:
+    """One timed region of simulated work.
+
+    ``index`` is the span's position in the recorder's start-ordered
+    list and doubles as its stable id; ``parent`` is the index of the
+    enclosing span on the same simulated thread (or ``None`` for a
+    root).  ``end`` stays ``None`` while the span is open.
+    """
+
+    index: int
+    name: str
+    cat: str
+    pid: str
+    tid: str
+    start: float
+    end: float | None = None
+    parent: int | None = None
+    depth: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds spent in this span (0.0 while open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def render(self) -> str:
+        state = f"{self.duration:.9f}s" if self.closed else "open"
+        return (f"{'  ' * self.depth}{self.name} [{self.cat}] "
+                f"{self.pid}/{self.tid} {state}")
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One point of a cumulative counter or gauge time-series."""
+
+    time: float
+    name: str
+    value: float
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One FlowNetwork flow, as an async begin/end pair.
+
+    Flows are not spans: they start in the sending process but finish in
+    a kernel completion callback, so they carry no thread identity and
+    export as Chrome async ("b"/"e") events instead.
+    """
+
+    fid: int
+    src: str
+    dst: str
+    nbytes: float
+    fabric: str
+    start: float
+    end: float | None = None
+    ok: bool = True

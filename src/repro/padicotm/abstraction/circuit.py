@@ -40,6 +40,7 @@ class _SocketMesh(FramedGroupTransport):
 
     send_overhead = TCP_SEND_OVERHEAD
     recv_overhead = TCP_RECV_OVERHEAD
+    driver = "tcp"
 
     def __init__(self, runtime: "PadicoRuntime",
                  members: list["PadicoProcess"], fabric: str | None):
@@ -124,7 +125,16 @@ class Circuit:
              payload: Any, nbytes: float) -> None:
         """Send a framed message to ``dst_rank`` (blocking, timed)."""
         self._check_open("send")
-        self._backend.send(proc, my_rank, dst_rank, payload, nbytes)
+        mon = self.runtime.monitor
+        if mon is not None:
+            mon.on_span_start("circuit.send", cat="abstraction",
+                              nbytes=float(nbytes), dst=dst_rank,
+                              mapping=self.mapping)
+        try:
+            self._backend.send(proc, my_rank, dst_rank, payload, nbytes)
+        finally:
+            if mon is not None:
+                mon.on_span_end("circuit.send")
 
     def recv(self, proc: SimProcess, my_rank: int,
              source: int = ANY_SOURCE, where=None) -> tuple[int, Any, float]:
@@ -132,7 +142,14 @@ class Circuit:
 
         ``where`` optionally filters on the payload (tag matching)."""
         self._check_open("recv")
-        return self._backend.recv(proc, my_rank, source, where)
+        mon = self.runtime.monitor
+        if mon is not None:
+            mon.on_span_start("circuit.recv", cat="abstraction")
+        try:
+            return self._backend.recv(proc, my_rank, source, where)
+        finally:
+            if mon is not None:
+                mon.on_span_end("circuit.recv")
 
     def poll(self, my_rank: int, source: int = ANY_SOURCE,
              where=None) -> bool:

@@ -142,45 +142,85 @@ class VLinkEndpoint:
             return True
         return self.choice.fabric.technology.secure
 
+    @property
+    def driver(self) -> str:
+        """Which arbitration subsystem carries this stream's bytes."""
+        if self.choice.fabric is None or \
+                self.local.host.name == self.remote.host.name:
+            return "loopback"
+        return "madeleine" if self.choice.mapping == CROSS_PARADIGM \
+            else "tcp"
+
     # ------------------------------------------------------------------
     def send(self, proc: SimProcess, payload: Any, nbytes: float) -> None:
         """Send one message down the stream (blocking, timed)."""
-        if self.runtime.monitor is not None:
-            self.runtime.monitor.on_vlink(self, "send")
-        if self.closed:
-            raise BrokenPipeError("VLink endpoint is closed")
-        extra = 0.0
-        if self.security_policy is not None:
-            extra = self.security_policy.transform_cost(
-                nbytes, self.fabric_name, self.secure_wire)
-            if self.security_policy.should_encrypt(self.fabric_name,
-                                                   self.secure_wire):
-                self.encrypted_bytes += nbytes
-        proc.sleep(self._send_ovh + extra)
-        if self.choice.fabric is None or \
-                self.local.host.name == self.remote.host.name:
-            self.runtime.local_copy(proc, nbytes)
-        else:
-            self.runtime.network.transfer(
-                proc, self.local.host.name, self.remote.host.name,
-                nbytes, self.choice.fabric.name)
-        self.sent_bytes += nbytes
-        self.peer._inbox.put_nowait((payload, nbytes, extra))
+        mon = self.runtime.monitor
+        if mon is not None:
+            mon.on_vlink(self, "send")
+            mon.on_span_start("vlink.send", cat="abstraction",
+                              nbytes=float(nbytes), mapping=self.mapping,
+                              fabric=self.fabric_name or "loopback")
+        try:
+            if self.closed:
+                raise BrokenPipeError("VLink endpoint is closed")
+            extra = 0.0
+            if self.security_policy is not None:
+                extra = self.security_policy.transform_cost(
+                    nbytes, self.fabric_name, self.secure_wire)
+                if self.security_policy.should_encrypt(self.fabric_name,
+                                                       self.secure_wire):
+                    self.encrypted_bytes += nbytes
+            if mon is not None:
+                mon.on_span_start("arbitration.send", cat="arbitration",
+                                  driver=self.driver)
+                mon.on_driver_io(self.driver, "send", float(nbytes))
+            try:
+                proc.sleep(self._send_ovh + extra)
+                if self.choice.fabric is None or \
+                        self.local.host.name == self.remote.host.name:
+                    self.runtime.local_copy(proc, nbytes)
+                else:
+                    self.runtime.network.transfer(
+                        proc, self.local.host.name, self.remote.host.name,
+                        nbytes, self.choice.fabric.name)
+            finally:
+                if mon is not None:
+                    mon.on_span_end("arbitration.send")
+            self.sent_bytes += nbytes
+            self.peer._inbox.put_nowait((payload, nbytes, extra))
+        finally:
+            if mon is not None:
+                mon.on_span_end("vlink.send")
 
     def recv(self, proc: SimProcess,
              timeout: float | None = None) -> tuple[Any, float] | None:
         """Blocking receive → ``(payload, nbytes)``, or None on EOF.
 
         With ``timeout``, raises :class:`repro.sim.sync.SimTimeout`."""
-        if self.runtime.monitor is not None:
-            self.runtime.monitor.on_vlink(self, "recv")
-        item = self._inbox.get(proc, timeout=timeout)
-        if item is _EOF:
-            return None
-        payload, nbytes, sender_extra = item
-        # decryption costs the receiver what encryption cost the sender
-        proc.sleep(self._recv_ovh + sender_extra)
-        return payload, nbytes
+        mon = self.runtime.monitor
+        if mon is not None:
+            mon.on_vlink(self, "recv")
+            mon.on_span_start("vlink.recv", cat="abstraction")
+        try:
+            item = self._inbox.get(proc, timeout=timeout)
+            if item is _EOF:
+                return None
+            payload, nbytes, sender_extra = item
+            if mon is not None:
+                mon.on_span_start("arbitration.recv", cat="arbitration",
+                                  driver=self.driver)
+                mon.on_driver_io(self.driver, "recv", float(nbytes))
+            try:
+                # decryption costs the receiver what encryption cost the
+                # sender
+                proc.sleep(self._recv_ovh + sender_extra)
+            finally:
+                if mon is not None:
+                    mon.on_span_end("arbitration.recv")
+            return payload, nbytes
+        finally:
+            if mon is not None:
+                mon.on_span_end("vlink.recv")
 
     def poll(self) -> bool:
         if self.runtime.monitor is not None:

@@ -29,6 +29,8 @@ class FramedGroupTransport:
     send_overhead: float = 0.0
     #: software cost per message on the receive side, seconds
     recv_overhead: float = 0.0
+    #: arbitration subsystem label for observability spans
+    driver: str = "framed"
 
     def __init__(self, runtime: "PadicoRuntime",
                  members: list["PadicoProcess"], fabric: str | None):
@@ -44,18 +46,31 @@ class FramedGroupTransport:
     def size(self) -> int:
         return len(self.members)
 
+    def _driver(self, local: bool) -> str:
+        return "loopback" if local or self.fabric is None else self.driver
+
     def send(self, proc: SimProcess, src_rank: int, dst_rank: int,
              payload: Any, nbytes: float) -> None:
         """Send one framed message; blocks for overhead + transfer."""
         src = self.members[src_rank]
         dst = self.members[dst_rank]
-        if self.send_overhead:
-            proc.sleep(self.send_overhead)
-        if src.host.name == dst.host.name or self.fabric is None:
-            self.runtime.local_copy(proc, nbytes)
-        else:
-            self.runtime.network.transfer(
-                proc, src.host.name, dst.host.name, nbytes, self.fabric)
+        local = src.host.name == dst.host.name
+        mon = self.runtime.monitor
+        if mon is not None:
+            mon.on_span_start("arbitration.send", cat="arbitration",
+                              driver=self._driver(local))
+            mon.on_driver_io(self._driver(local), "send", float(nbytes))
+        try:
+            if self.send_overhead:
+                proc.sleep(self.send_overhead)
+            if local or self.fabric is None:
+                self.runtime.local_copy(proc, nbytes)
+            else:
+                self.runtime.network.transfer(
+                    proc, src.host.name, dst.host.name, nbytes, self.fabric)
+        finally:
+            if mon is not None:
+                mon.on_span_end("arbitration.send")
         self._inbox[dst_rank].put((src_rank, payload, nbytes))
 
     @staticmethod
@@ -77,8 +92,18 @@ class FramedGroupTransport:
         ``where`` optionally filters on the payload (MPI tag matching).
         """
         item = self._inbox[my_rank].get(proc, self._predicate(source, where))
-        if self.recv_overhead:
-            proc.sleep(self.recv_overhead)
+        mon = self.runtime.monitor
+        if mon is not None:
+            drv = self._driver(self.fabric is None)
+            mon.on_span_start("arbitration.recv", cat="arbitration",
+                              driver=drv)
+            mon.on_driver_io(drv, "recv", float(item[2]))
+        try:
+            if self.recv_overhead:
+                proc.sleep(self.recv_overhead)
+        finally:
+            if mon is not None:
+                mon.on_span_end("arbitration.recv")
         return item
 
     def poll(self, my_rank: int, source: int = ANY_SOURCE,

@@ -32,6 +32,7 @@ class MadeleineChannel(FramedGroupTransport):
 
     send_overhead = MAD_SEND_OVERHEAD
     recv_overhead = MAD_RECV_OVERHEAD
+    driver = "madeleine"
 
     def __init__(self, runtime: "PadicoRuntime", channel_id: str,
                  members: list["PadicoProcess"], fabric: str):

@@ -70,17 +70,30 @@ class SocketConnection:
         ca.peer, cb.peer = cb, ca
         return ca, cb
 
+    @property
+    def driver(self) -> str:
+        return "loopback" if self.fabric is None else "tcp"
+
     def send(self, proc: SimProcess, payload: Any, nbytes: float) -> None:
         """Send one message; blocks for TCP overhead + transfer time."""
         if self.closed:
             raise BrokenPipeError("socket is closed")
-        proc.sleep(TCP_SEND_OVERHEAD)
-        if self.fabric is None:
-            self.runtime.local_copy(proc, nbytes)
-        else:
-            self.runtime.network.transfer(
-                proc, self.local.host.name, self.remote.host.name,
-                nbytes, self.fabric)
+        mon = self.runtime.monitor
+        if mon is not None:
+            mon.on_span_start("arbitration.send", cat="arbitration",
+                              driver=self.driver)
+            mon.on_driver_io(self.driver, "send", float(nbytes))
+        try:
+            proc.sleep(TCP_SEND_OVERHEAD)
+            if self.fabric is None:
+                self.runtime.local_copy(proc, nbytes)
+            else:
+                self.runtime.network.transfer(
+                    proc, self.local.host.name, self.remote.host.name,
+                    nbytes, self.fabric)
+        finally:
+            if mon is not None:
+                mon.on_span_end("arbitration.send")
         self.peer._inbox.put_nowait((payload, nbytes))
 
     def recv(self, proc: SimProcess) -> tuple[Any, float] | None:
@@ -88,7 +101,16 @@ class SocketConnection:
         item = self._inbox.get(proc)
         if item is _EOF:
             return None
-        proc.sleep(TCP_RECV_OVERHEAD)
+        mon = self.runtime.monitor
+        if mon is not None:
+            mon.on_span_start("arbitration.recv", cat="arbitration",
+                              driver=self.driver)
+            mon.on_driver_io(self.driver, "recv", float(item[1]))
+        try:
+            proc.sleep(TCP_RECV_OVERHEAD)
+        finally:
+            if mon is not None:
+                mon.on_span_end("arbitration.recv")
         return item
 
     def poll(self) -> bool:

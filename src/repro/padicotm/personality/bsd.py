@@ -54,13 +54,28 @@ class BsdSocket:
     # -- data --------------------------------------------------------------
     def send(self, proc: SimProcess, data: bytes) -> int:
         ep = self._require_endpoint()
-        ep.send(proc, data, float(len(data)))
+        mon = self.process.runtime.monitor
+        if mon is not None:
+            mon.on_span_start("bsd.send", cat="personality",
+                              nbytes=float(len(data)))
+        try:
+            ep.send(proc, data, float(len(data)))
+        finally:
+            if mon is not None:
+                mon.on_span_end("bsd.send")
         return len(data)
 
     def recv(self, proc: SimProcess) -> bytes:
         """Next message's bytes; ``b""`` on EOF (BSD convention)."""
         ep = self._require_endpoint()
-        item = ep.recv(proc)
+        mon = self.process.runtime.monitor
+        if mon is not None:
+            mon.on_span_start("bsd.recv", cat="personality")
+        try:
+            item = ep.recv(proc)
+        finally:
+            if mon is not None:
+                mon.on_span_end("bsd.recv")
         if item is None:
             return b""
         payload, _n = item

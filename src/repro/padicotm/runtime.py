@@ -8,12 +8,42 @@ threads (the paper's Marcel threads)."""
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
 
 from repro.net.devices import LOOPBACK
 from repro.net.flows import FlowNetwork
 from repro.net.topology import Host, Topology
 from repro.sim.kernel import SimKernel, SimProcess
+
+
+class _MonitorFan:
+    """Fans runtime monitor hooks out to every attached monitor.
+
+    The instrumented layers call duck-typed ``on_*`` methods on
+    ``runtime.monitor``; the fan forwards each call to the attached
+    monitors that implement it, in attach order (deterministic), so a
+    typestate monitor and a trace recorder compose without knowing about
+    each other.  Dispatchers are cached per hook name on first use.
+    """
+
+    def __init__(self, members: list):
+        self._members = members  # shared with the runtime; mutated in place
+
+    def __getattr__(self, name: str) -> Callable:
+        if not name.startswith("on_"):
+            raise AttributeError(name)
+        members = self._members
+
+        def dispatch(*args: Any, **kwargs: Any) -> None:
+            for member in members:
+                fn = getattr(member, name, None)
+                if fn is not None:
+                    fn(*args, **kwargs)
+
+        dispatch.__name__ = name
+        self.__dict__[name] = dispatch  # cache for subsequent lookups
+        return dispatch
 
 
 class PadicoRuntime:
@@ -37,10 +67,85 @@ class PadicoRuntime:
         self.socket_listeners: dict[tuple[str, str], Any] = {}
         #: VLink listener registry: (process_name, port) -> VLinkListener
         self.vlink_listeners: dict[tuple[str, str], Any] = {}
-        #: optional typestate monitor (see repro.sanitizer.monitors); the
-        #: abstraction/arbitration layers notify it through duck-typed
-        #: hooks guarded by `is not None`, so the default costs nothing
-        self.monitor: Any = None
+        #: attached monitors (typestate, observability recorders, ...);
+        #: the list identity is shared with the fan, so attach/detach
+        #: mutate it in place
+        self._monitors: list[Any] = []
+        self._monitor_fan = _MonitorFan(self._monitors)
+
+    # ------------------------------------------------------------------
+    # observation: monitors and trace recorders
+    # ------------------------------------------------------------------
+    @property
+    def monitor(self) -> Any:
+        """The duck-typed hook surface the instrumented layers call.
+
+        ``None`` when nothing is attached (every call site guards on
+        ``is not None``, so the uninstalled cost is one attribute load);
+        otherwise a fan that forwards each ``on_*`` call to the attached
+        monitors that implement it, in attach order.
+        """
+        return self._monitor_fan if self._monitors else None
+
+    @monitor.setter
+    def monitor(self, value: Any) -> None:
+        # legacy compat: assigning the bare attribute replaces the whole
+        # monitor set (None clears it)
+        for member in list(self._monitors):
+            self.unobserve(member)
+        if value is not None:
+            self.observe(value)
+
+    def observe(self, monitor: Any) -> Any:
+        """Attach a monitor/recorder to this runtime; returns it.
+
+        Calls ``monitor.on_attach(self)`` first if the monitor defines
+        it (a :class:`repro.obs.TraceRecorder` uses this to bind the
+        kernel clock and install its scheduler tracer).
+        """
+        if any(member is monitor for member in self._monitors):
+            raise ValueError(f"monitor {monitor!r} is already attached")
+        hook = getattr(monitor, "on_attach", None)
+        if hook is not None:
+            hook(self)
+        self._monitors.append(monitor)
+        self._sync_monitor()
+        return monitor
+
+    def unobserve(self, monitor: Any) -> None:
+        """Detach a monitor attached with :meth:`observe`.  Idempotent."""
+        for i, member in enumerate(self._monitors):
+            if member is monitor:
+                del self._monitors[i]
+                break
+        else:
+            return
+        hook = getattr(monitor, "on_detach", None)
+        if hook is not None:
+            hook(self)
+        self._sync_monitor()
+
+    def _sync_monitor(self) -> None:
+        # layers that cannot see the runtime (the flow network lives
+        # below it) get the current hook surface pushed down
+        self.network.monitor = self.monitor
+
+    @contextmanager
+    def trace(self) -> Iterator[Any]:
+        """``with runtime.trace() as tr:`` — record a scoped trace.
+
+        Attaches a fresh :class:`repro.obs.TraceRecorder` for the body
+        and detaches it on exit; the recorder stays usable afterwards
+        (export, metrics, span inspection).
+        """
+        from repro.obs import TraceRecorder  # lazy: obs is optional
+
+        recorder = TraceRecorder()
+        self.observe(recorder)
+        try:
+            yield recorder
+        finally:
+            self.unobserve(recorder)
 
     def create_process(self, host: str | Host, name: str) -> "PadicoProcess":
         """Boot a PadicoTM process on ``host`` under a unique ``name``."""

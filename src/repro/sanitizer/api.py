@@ -43,11 +43,11 @@ class Sanitizer:
         self.kernel = kernel
         self.runtime = runtime
         self.detector = RaceDetector(kernel, on_race=on_race)
-        kernel.tracer = self.detector
+        kernel.attach_tracer(self.detector)
         self.monitor: TypestateMonitor | None = None
         if runtime is not None:
             self.monitor = TypestateMonitor()
-            runtime.monitor = self.monitor
+            runtime.observe(self.monitor)
 
     # ------------------------------------------------------------------
     def tracked(self, obj: Any, label: str | None = None) -> Any:
@@ -66,12 +66,13 @@ class Sanitizer:
         return render_summary(self.detector, self.monitor)
 
     def uninstall(self) -> None:
-        """Detach all hooks; the kernel/runtime run uninstrumented again."""
-        if self.kernel.tracer is self.detector:
-            self.kernel.tracer = None
-        if self.runtime is not None and \
-                getattr(self.runtime, "monitor", None) is self.monitor:
-            self.runtime.monitor = None
+        """Detach all hooks; the kernel/runtime run uninstrumented again.
+
+        Uses the composable attach/detach protocol, so other observers
+        (e.g. a :class:`repro.obs.TraceRecorder`) stay attached."""
+        self.kernel.detach_tracer(self.detector)
+        if self.runtime is not None and self.monitor is not None:
+            self.runtime.unobserve(self.monitor)
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "Sanitizer":

@@ -110,6 +110,49 @@ class Timer:
             (other.time, other.shuffle, other.seq)
 
 
+class _TracerFan:
+    """Fans kernel tracer hooks out to several attached tracers.
+
+    Created by :meth:`SimKernel.attach_tracer` when a second tracer is
+    attached (e.g. the sanitizer's race detector plus an observability
+    recorder).  Hooks dispatch in attach order — deterministic — and a
+    member may implement any subset of the hook surface.
+    """
+
+    __slots__ = ("members",)
+
+    def __init__(self, members: list):
+        self.members = members
+
+    def _fan(self, name: str, *args: Any) -> None:
+        for member in self.members:
+            fn = getattr(member, name, None)
+            if fn is not None:
+                fn(*args)
+
+    def on_schedule(self, timer: "Timer") -> None:
+        self._fan("on_schedule", timer)
+
+    def on_fire(self, timer: "Timer") -> None:
+        self._fan("on_fire", timer)
+
+    def on_switch(self, proc: "SimProcess") -> None:
+        self._fan("on_switch", proc)
+
+    def on_exit(self, proc: "SimProcess") -> None:
+        self._fan("on_exit", proc)
+
+    def on_join(self, proc: "SimProcess", target: "SimProcess") -> None:
+        self._fan("on_join", proc, target)
+
+    # happens-before edges reported by the sync primitives
+    def hb_release(self, obj: Any) -> None:
+        self._fan("hb_release", obj)
+
+    def hb_acquire(self, obj: Any) -> None:
+        self._fan("hb_acquire", obj)
+
+
 class SimProcess:
     """A simulated process: a thread run cooperatively by the kernel.
 
@@ -304,6 +347,39 @@ class SimKernel:
         token = proc._arm()
         self._schedule(delay, self._wake, proc, token)
         return proc
+
+    # ------------------------------------------------------------------
+    # tracer attachment
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: Any) -> None:
+        """Install a scheduling tracer, composing with any already there.
+
+        With one tracer attached, :attr:`tracer` is that object (the
+        historical contract); with several it becomes a :class:`_TracerFan`
+        dispatching in attach order.  Pairs with :meth:`detach_tracer`.
+        """
+        current = self.tracer
+        if current is None:
+            self.tracer = tracer
+        elif isinstance(current, _TracerFan):
+            current.members.append(tracer)
+        else:
+            self.tracer = _TracerFan([current, tracer])
+
+    def detach_tracer(self, tracer: Any) -> None:
+        """Remove a tracer attached with :meth:`attach_tracer`.
+
+        Idempotent: detaching a tracer that is not attached is a no-op,
+        so uninstall paths need no bookkeeping of their own.
+        """
+        current = self.tracer
+        if current is tracer:
+            self.tracer = None
+        elif isinstance(current, _TracerFan):
+            if tracer in current.members:
+                current.members.remove(tracer)
+            if len(current.members) == 1:
+                self.tracer = current.members[0]
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Timer:
         """Run ``fn(*args)`` in kernel context after ``delay`` seconds.

@@ -53,6 +53,70 @@ def test_host_bytes_and_busiest_link(grid):
     assert busiest.bytes == pytest.approx(2_000_000)
 
 
+def test_tx_rx_decomposition(grid):
+    kernel, topo, net = grid
+
+    def proc(p):
+        net.transfer(p, "a0", "a1", 1_000_000, "a-san")
+        net.transfer(p, "a1", "a0", 400_000, "a-san")
+
+    kernel.spawn(proc)
+    kernel.run()
+    report = collect_report(net)
+    assert report.tx_bytes("a0") == pytest.approx(1_000_000)
+    assert report.rx_bytes("a0") == pytest.approx(400_000)
+    assert report.host_bytes("a0") == pytest.approx(1_400_000)
+    # the switch relays everything in both directions
+    assert report.host_bytes("a-san-sw") == pytest.approx(2_800_000)
+
+
+def test_host_bytes_counts_self_loop_once():
+    """A self-loop link (src == dst) must count once in host_bytes, not
+    twice — the tx + rx decomposition would otherwise double it.
+
+    ``Fabric._add_edge`` refuses self-loops, so the report is built by
+    hand with a directly-constructed ``Link``, the way an external
+    topology importer could produce one."""
+    from repro.net.stats import FabricStats, LinkStats, NetworkReport
+    from repro.net.topology import Link
+
+    loop = Link("lo0", "a0", "a0", None, 1e9, 0.0)
+    wire = Link("a0-a1", "a0", "a1", None, 1e8, 1e-6)
+    fstats = FabricStats("lan", "Ethernet-100",
+                         links=[LinkStats(loop, 500.0),
+                                LinkStats(wire, 300.0)])
+    fstats.total_bytes = 800.0
+    report = NetworkReport(1.0, {"lan": fstats})
+    assert report.tx_bytes("a0") == pytest.approx(800.0)
+    assert report.rx_bytes("a0") == pytest.approx(500.0)
+    # 500 (loop, once) + 300 (tx on the wire) — not 500*2 + 300
+    assert report.host_bytes("a0") == pytest.approx(800.0)
+    assert report.host_bytes("a1") == pytest.approx(300.0)
+
+
+def test_report_to_json_round_trip(grid):
+    kernel, topo, net = grid
+
+    def proc(p):
+        net.transfer(p, "a0", "a1", 1_000_000, "a-san")
+
+    kernel.spawn(proc)
+    kernel.run()
+    report = collect_report(net)
+    doc = report.to_json()
+    import json
+    json.dumps(doc)  # plain JSON types only
+    assert doc["elapsed"] == report.elapsed
+    assert doc["total_bytes"] == pytest.approx(2_000_000)
+    san = doc["fabrics"]["a-san"]
+    assert san["technology"] == "Myrinet-2000"
+    names = [entry["link"] for entry in san["links"]]
+    assert names == sorted(names)
+    for entry in san["links"]:
+        assert set(entry) == {"link", "src", "dst", "bytes", "utilisation"}
+        assert 0.0 <= entry["utilisation"] <= 1.0
+
+
 def test_utilisation_bounds(grid):
     kernel, topo, net = grid
 

@@ -1,0 +1,51 @@
+"""Shared observability-test workload: a GIOP ping-pong between two
+PadicoTM processes over Myrinet (the Figure-7 shape), parameterised by
+an optional pre-attached recorder."""
+
+from __future__ import annotations
+
+from repro.corba import OMNIORB4, Orb, compile_idl
+from repro.net import Topology, build_cluster
+from repro.padicotm import PadicoRuntime
+
+IDL = """
+module Obs { typedef sequence<octet> Blob;
+             interface Echo { Blob bounce(in Blob data); }; };
+"""
+
+
+def pingpong(kernel, monitors=(), rounds=2, size=32 * 1024, setup=None):
+    """Run the ping-pong on ``kernel``; returns the echoed lengths.
+
+    ``setup(rt)``, when given, runs after the monitors attach — the
+    hook tests use it to install observers that need the runtime
+    itself (e.g. a Sanitizer).
+    """
+    topo = Topology()
+    build_cluster(topo, "n", 2)
+    rt = PadicoRuntime(topo, kernel=kernel)
+    for monitor in monitors:
+        rt.observe(monitor)
+    if setup is not None:
+        setup(rt)
+    server = rt.create_process("n0", "server")
+    client = rt.create_process("n1", "client")
+    s_orb = Orb(server, OMNIORB4, compile_idl(IDL))
+    s_orb.start()
+    c_orb = Orb(client, OMNIORB4, compile_idl(IDL))
+
+    class Echo(s_orb.servant_base("Obs::Echo")):
+        def bounce(self, data):
+            return data
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(Echo()))
+    out: list[int] = []
+
+    def main(proc):
+        stub = c_orb.string_to_object(url)
+        for _ in range(rounds):
+            out.append(len(stub.bounce(bytes(size))))
+
+    client.spawn(main)
+    rt.run()
+    return tuple(out)

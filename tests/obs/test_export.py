@@ -1,0 +1,84 @@
+"""Exporters: Chrome trace_event JSON and the flat metrics dict."""
+
+import json
+
+import pytest
+
+from repro.obs import TraceRecorder, chrome_trace, metrics, write_chrome_trace
+from repro.sim import SimKernel
+from tests.obs._workload import pingpong
+
+
+def _recorded_run():
+    kernel = SimKernel()
+    rec = TraceRecorder()
+    with kernel:
+        result = pingpong(kernel, monitors=[rec])
+    return rec, result
+
+
+def test_chrome_trace_structure():
+    rec, result = _recorded_run()
+    assert result == (32 * 1024, 32 * 1024)
+    doc = chrome_trace(rec)
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["schema"] == "padico-trace/1"
+
+    by_phase: dict[str, list] = {}
+    for event in events:
+        by_phase.setdefault(event["ph"], []).append(event)
+    # metadata names the pid/tid int ids; complete events carry spans
+    assert by_phase["M"], "expected process/thread metadata events"
+    assert len(by_phase["X"]) == len(rec.closed_spans())
+    ended = sum(1 for r in rec.flow_records() if r.end is not None)
+    assert len(by_phase["b"]) == len(by_phase["e"]) == ended > 0
+    for event in by_phase["X"]:
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        assert event["dur"] >= 0
+        assert "span" in event["args"]
+    names = {e["name"] for e in by_phase["X"]}
+    assert {"corba.invoke", "vlink.send", "arbitration.send",
+            "net.transfer"} <= names
+
+
+def test_chrome_trace_is_loadable_json_and_deterministic(tmp_path):
+    rec_a, _ = _recorded_run()
+    rec_b, _ = _recorded_run()
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    write_chrome_trace(rec_a, str(path_a))
+    write_chrome_trace(rec_b, str(path_b))
+    # byte-for-byte reproducible across identical runs
+    assert path_a.read_bytes() == path_b.read_bytes()
+    reloaded = json.loads(path_a.read_text())
+    assert reloaded["traceEvents"]
+
+
+def test_metrics_flat_dict():
+    rec, _ = _recorded_run()
+    flat = metrics(rec)
+    spans = flat["spans"]
+    assert spans["corba.invoke"]["count"] == 2
+    assert spans["corba.invoke"]["total"] > 0
+    assert flat["counters"]["giop.requests"] == 2.0
+    assert flat["counters"]["giop.replies"] == 2.0
+    io = flat["driver_io"]
+    assert io["madeleine.send"]["calls"] >= 2
+    assert flat["flows"] == len(rec.flows)
+    assert flat["context_switches"] > 0
+    assert flat["events_fired"] > 0
+    # keys are sorted for deterministic serialisation
+    assert list(spans) == sorted(spans)
+    assert list(flat["counters"]) == sorted(flat["counters"])
+
+
+def test_empty_recorder_exports_cleanly():
+    rec = TraceRecorder()
+    doc = chrome_trace(rec)
+    assert doc["traceEvents"] == []
+    flat = metrics(rec)
+    assert flat["spans"] == {}
+    assert flat["flows"] == 0
+    assert pytest.approx(flat["context_switches"]) == 0
