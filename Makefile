@@ -6,9 +6,9 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check lint test schedule-smoke bench-smoke sarif
+.PHONY: check lint test schedule-smoke bench-smoke bench-wallclock sarif
 
-check: lint test schedule-smoke bench-smoke
+check: lint test schedule-smoke bench-smoke bench-wallclock
 
 lint:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis.cli src examples
@@ -26,6 +26,16 @@ bench-smoke:
 		--out BENCH_smoke.json
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.trace bench \
 		BENCH_smoke.json
+
+# Wall-clock smoke: quick sizes, schema validity only — no timing
+# thresholds (CI machines vary).  The committed full document is
+# BENCH_wallclock.json, regenerated with
+# `python -m benchmarks.run --wallclock`.
+bench-wallclock:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m benchmarks.run --wallclock \
+		--quick --out BENCH_wallclock_smoke.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.trace bench \
+		BENCH_wallclock_smoke.json
 
 # SARIF findings for CI/PR annotation (exit status intentionally ignored:
 # the gating run is `lint`, this one only produces the report artifact)

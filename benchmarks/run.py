@@ -3,12 +3,18 @@
 Usage::
 
     PYTHONPATH=src python -m benchmarks.run --quick --out BENCH_padico.json
+    PYTHONPATH=src python -m benchmarks.run --wallclock --out BENCH_wallclock.json
 
 ``--quick`` trims the message-size sweep and the GridCCM node counts so
 the whole run fits in a CI smoke step; the full sweep regenerates every
 series behind Figure 7, Figure 8 and the §4.4 text.  All numbers are
 virtual-clock quantities, so the output is bit-for-bit reproducible —
 the document carries no wall-clock timestamps on purpose.
+
+``--wallclock`` switches to the :mod:`benchmarks.wallclock` suite
+instead: simulator *wall-clock* throughput (kernel events/s, concurrent
+flow churn, CDR MB/s) under the machine-varying ``padico-wallclock/1``
+schema.  The default output path follows the mode.
 """
 
 from __future__ import annotations
@@ -26,8 +32,9 @@ from benchmarks.harness import (
     mpi_one_way_latency_us,
     proxy_vs_direct,
 )
+from benchmarks.wallclock import collect_wallclock, document_meta
 from repro.corba import MICO, OMNIORB3, OMNIORB4, ORBACUS
-from repro.obs import BenchResult, write_bench_json
+from repro.obs import WALLCLOCK_SCHEMA, BenchResult, write_bench_json
 
 QUICK_SIZES = (1024, 1024 * 1024)
 QUICK_NODES = (1, 2)
@@ -76,19 +83,30 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="benchmarks.run",
         description="regenerate the paper-reproduction bench document")
-    parser.add_argument("--out", default="BENCH_padico.json",
-                        help="output path (default: BENCH_padico.json)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: BENCH_padico.json, or "
+                             "BENCH_wallclock.json with --wallclock)")
     parser.add_argument("--quick", action="store_true",
                         help="trimmed sweep for CI smoke runs")
+    parser.add_argument("--wallclock", action="store_true",
+                        help="run the wall-clock suite (padico-wallclock/1) "
+                             "instead of the virtual-clock sweep")
     args = parser.parse_args(argv)
 
-    results = collect(args.quick, log=print)
-    write_bench_json(args.out, results, meta={
-        "suite": "padico-repro",
-        "mode": "quick" if args.quick else "full",
-        "clock": "virtual",
-    })
-    print(f"wrote {len(results)} series to {args.out}")
+    if args.wallclock:
+        out = args.out or "BENCH_wallclock.json"
+        results = collect_wallclock(args.quick, log=print)
+        write_bench_json(out, results, meta=document_meta(args.quick),
+                         schema=WALLCLOCK_SCHEMA)
+    else:
+        out = args.out or "BENCH_padico.json"
+        results = collect(args.quick, log=print)
+        write_bench_json(out, results, meta={
+            "suite": "padico-repro",
+            "mode": "quick" if args.quick else "full",
+            "clock": "virtual",
+        })
+    print(f"wrote {len(results)} series to {out}")
     return 0
 
 

@@ -1,0 +1,279 @@
+"""Wall-clock throughput benchmarks (``BENCH_wallclock.json``).
+
+Everything in ``BENCH_padico.json`` is a *virtual*-clock quantity —
+bit-for-bit reproducible, but silent about how fast the simulator
+itself runs.  This module measures the reproduction's three hot paths
+on the **process wall clock**:
+
+* ``wallclock.kernel`` — bare event-loop throughput (events/s): chains
+  of self-rescheduling timers exercising heap push/pop and dispatch;
+* ``wallclock.flows`` — concurrent-flow churn (flows completed per
+  wall-clock second) at F ∈ {10, 100, 1000} concurrent flows, the
+  scenario the incremental max-min solver exists for.  Each run is
+  executed under both solver modes; the solver-iteration counts (the
+  ``net.maxmin.iterations`` obs counter) land in the series meta, where
+  CI asserts the incremental solver does ≥ 5× less work at F = 1000;
+* ``wallclock.cdr.marshal`` / ``wallclock.cdr.unmarshal`` — CDR
+  encode/decode throughput (MB/s, MB = 1e6 bytes) for bulk octet and
+  double sequences plus a scalar-struct torture case.
+
+Numbers vary with the host machine — the document is a trajectory, not
+a reproducibility artifact, which is why it carries the separate
+``padico-wallclock/1`` schema tag.  Regenerate with::
+
+    PYTHONPATH=src python -m benchmarks.run --wallclock
+
+Wall-clock reads live in ``benchmarks/`` on purpose: ``repro-lint``
+bans them (det-wallclock) inside the simulated tree.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.corba.cdr import CdrInputStream, CdrOutputStream, decode_value, \
+    encode_value
+from repro.corba.idl.types import PrimitiveType, SequenceType, StructType
+from repro.net import MYRINET_2000, Topology, build_cluster
+from repro.net.flows import FlowNetwork
+from repro.obs import BenchResult, TraceRecorder
+from repro.sim.kernel import SimKernel
+
+#: concurrent-flow levels for the churn series (the ISSUE's F axis)
+FLOW_LEVELS = (10, 100, 1000)
+QUICK_FLOW_LEVELS = (10, 100)
+
+#: host pairs for the churn topology; disjoint pairs give the solver
+#: independent components, the regime grids actually operate in
+MAX_PAIRS = 32
+
+
+# ---------------------------------------------------------------------------
+# kernel event throughput
+# ---------------------------------------------------------------------------
+
+def kernel_event_rate(n_events: int, chains: int = 8) -> float:
+    """Events per wall second for ``chains`` self-rescheduling timers."""
+    kernel = SimKernel()
+    per_chain = n_events // chains
+    step = 1e-6
+
+    def tick(remaining: int) -> None:
+        if remaining > 0:
+            kernel.schedule(step, tick, remaining - 1)
+
+    for c in range(chains):
+        kernel.schedule(c * step / chains, tick, per_chain - 1)
+    t0 = time.perf_counter()
+    kernel.run()
+    elapsed = time.perf_counter() - t0
+    return kernel.events_processed / elapsed
+
+
+def bench_kernel(quick: bool) -> BenchResult:
+    levels = (20_000,) if quick else (50_000, 200_000)
+    points = []
+    for n in levels:
+        points.append((n, kernel_event_rate(n)))
+    return BenchResult(
+        name="wallclock.kernel", unit="events/s", points=tuple(points),
+        meta={"workload": "8 self-rescheduling timer chains",
+              "clock": "wall"})
+
+
+# ---------------------------------------------------------------------------
+# concurrent-flow churn
+# ---------------------------------------------------------------------------
+
+def _run_churn(n_flows: int, total_flows: int,
+               incremental: bool) -> tuple[float, FlowNetwork, SimKernel]:
+    """Drive ``n_flows`` concurrent flows (refilled up to ``total_flows``
+    completions) over disjoint host pairs; returns (wall s, net, kernel)."""
+    pairs = min(n_flows, MAX_PAIRS)
+    topo = Topology()
+    build_cluster(topo, "h", 2 * pairs, san=MYRINET_2000, lan=None)
+    kernel = SimKernel()
+    net = FlowNetwork(kernel, topo, incremental=incremental)
+    routes = [topo.route(f"h{2 * i}", f"h{2 * i + 1}", "h-san")
+              for i in range(pairs)]
+    launched = [0]
+
+    def start_one(slot: int) -> None:
+        launched[0] += 1
+        # deterministic size spread so completions interleave instead of
+        # finishing in lockstep
+        size = 100_000 * (1 + (launched[0] % 7))
+        net.start_flow(routes[slot % pairs], size,
+                       lambda flow, s=slot: refill(s))
+
+    def refill(slot: int) -> None:
+        if launched[0] < total_flows:
+            start_one(slot)
+
+    def kick(slot: int) -> None:
+        start_one(slot)
+
+    for s in range(n_flows):
+        # stagger the initial wave so adds hit a populated network
+        kernel.schedule(s * 1e-5, kick, s)
+    t0 = time.perf_counter()
+    kernel.run()
+    elapsed = time.perf_counter() - t0
+    assert net.completed_flows == total_flows, \
+        f"churn lost flows: {net.completed_flows}/{total_flows}"
+    return elapsed, net, kernel
+
+
+def bench_flows(quick: bool) -> BenchResult:
+    levels = QUICK_FLOW_LEVELS if quick else FLOW_LEVELS
+    rounds = 2 if quick else 4
+    points = []
+    meta: dict[str, object] = {"clock": "wall",
+                               "workload": "disjoint-pair flow churn",
+                               "rounds": rounds}
+    recorder = TraceRecorder()
+    for f in levels:
+        total = f * rounds
+        elapsed, net, kernel = _run_churn(f, total, incremental=True)
+        # replay the identical (virtual-clock deterministic) workload
+        # with the from-scratch solver to count the work saved
+        _, net_scratch, _ = _run_churn(f, total, incremental=False)
+        points.append((f, total / elapsed))
+        # the new obs counter: solver rounds per churn level, recorded
+        # post-run so the traced run itself stays mode-independent
+        recorder.counter(f"net.maxmin.iterations.incremental.F{f}",
+                         net.solver_iterations)
+        recorder.counter(f"net.maxmin.iterations.fromscratch.F{f}",
+                         net_scratch.solver_iterations)
+        meta[f"solver_iterations_incremental_F{f}"] = net.solver_iterations
+        meta[f"solver_iterations_fromscratch_F{f}"] = \
+            net_scratch.solver_iterations
+        meta[f"solver_iteration_speedup_F{f}"] = round(
+            net_scratch.solver_iterations / net.solver_iterations, 2)
+        meta[f"events_skipped_F{f}"] = kernel.events_skipped
+        meta[f"timer_reuses_F{f}"] = net.timer_reuses
+    meta["counter_names"] = sorted(recorder.counters)
+    return BenchResult(name="wallclock.flows", unit="flows/s",
+                       points=tuple(points), meta=meta)
+
+
+# ---------------------------------------------------------------------------
+# CDR marshal / unmarshal throughput
+# ---------------------------------------------------------------------------
+
+_OCTET_SEQ = SequenceType(PrimitiveType("octet"))
+_DOUBLE_SEQ = SequenceType(PrimitiveType("double"))
+_HEADER_STRUCT = StructType(
+    "Header", "Bench::Header",
+    [("magic", PrimitiveType("unsigned long")),
+     ("version", PrimitiveType("octet")),
+     ("flags", PrimitiveType("octet")),
+     ("size", PrimitiveType("unsigned long")),
+     ("request_id", PrimitiveType("unsigned long long"))])
+
+
+def _rate(nbytes_per_round: int, rounds: int, op: Callable[[], None]) -> float:
+    op()  # warm caches outside the timed region
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        op()
+    elapsed = time.perf_counter() - t0
+    return nbytes_per_round * rounds / elapsed / 1e6
+
+
+def _marshal_points(payload_bytes: int,
+                    rounds: int) -> list[tuple[str, float]]:
+    blob = bytes(payload_bytes)
+    doubles = np.zeros(payload_bytes // 8, dtype="<f8")
+    points = []
+
+    def enc_octets() -> None:
+        out = CdrOutputStream()
+        encode_value(out, _OCTET_SEQ, blob)
+        out.getvalue()
+
+    def enc_doubles() -> None:
+        out = CdrOutputStream()
+        encode_value(out, _DOUBLE_SEQ, doubles)
+        out.getvalue()
+
+    points.append(("octet-seq", _rate(payload_bytes, rounds, enc_octets)))
+    points.append(("double-seq", _rate(payload_bytes, rounds, enc_doubles)))
+
+    # scalar torture: GIOP-header-like structs, all fast-path primitives
+    n_structs = max(1, payload_bytes // 10_000)
+    header = _HEADER_STRUCT.make(magic=0x47494F50, version=1, flags=0,
+                                 size=payload_bytes, request_id=7)
+
+    def enc_structs() -> None:
+        out = CdrOutputStream()
+        for _ in range(n_structs):
+            encode_value(out, _HEADER_STRUCT, header)
+        out.getvalue()
+
+    points.append(("scalar-structs",
+                   _rate(n_structs * 18, rounds, enc_structs)))
+    return points
+
+
+def _unmarshal_points(payload_bytes: int,
+                      rounds: int) -> list[tuple[str, float]]:
+    out = CdrOutputStream()
+    encode_value(out, _OCTET_SEQ, bytes(payload_bytes))
+    octet_wire = out.getvalue()
+    out = CdrOutputStream()
+    encode_value(out, _DOUBLE_SEQ, np.zeros(payload_bytes // 8, dtype="<f8"))
+    double_wire = out.getvalue()
+
+    def dec_octets() -> None:
+        decode_value(CdrInputStream(octet_wire), _OCTET_SEQ)
+
+    def dec_doubles() -> None:
+        decode_value(CdrInputStream(double_wire), _DOUBLE_SEQ)
+
+    return [("octet-seq", _rate(payload_bytes, rounds, dec_octets)),
+            ("double-seq", _rate(payload_bytes, rounds, dec_doubles))]
+
+
+def bench_cdr(quick: bool) -> list[BenchResult]:
+    payload = 256 * 1024 if quick else 8 * 1024 * 1024
+    rounds = 5 if quick else 20
+    meta = {"payload_bytes": payload, "rounds": rounds, "clock": "wall"}
+    return [
+        BenchResult(name="wallclock.cdr.marshal", unit="MB/s",
+                    points=tuple(_marshal_points(payload, rounds)),
+                    meta=meta),
+        BenchResult(name="wallclock.cdr.unmarshal", unit="MB/s",
+                    points=tuple(_unmarshal_points(payload, rounds)),
+                    meta=meta),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# roll-up
+# ---------------------------------------------------------------------------
+
+def collect_wallclock(quick: bool,
+                      log=lambda msg: None) -> list[BenchResult]:
+    results = [bench_kernel(quick)]
+    log(results[-1].render())
+    results.append(bench_flows(quick))
+    log(results[-1].render())
+    for result in bench_cdr(quick):
+        results.append(result)
+        log(results[-1].render())
+    return results
+
+
+def document_meta(quick: bool) -> dict[str, object]:
+    return {
+        "suite": "padico-wallclock",
+        "mode": "quick" if quick else "full",
+        "clock": "wall",
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "platform": sys.platform,
+    }

@@ -98,6 +98,7 @@ def all_checkers() -> list[type[Checker]]:
         determinism,
         idllint,
         layering,
+        perf,
         typestate,
     )
     return list(_REGISTRY)

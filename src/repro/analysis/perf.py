@@ -1,0 +1,174 @@
+"""Hot-path performance checkers (rule family ``perf-*``).
+
+Everything under ``src/repro`` runs inside the simulation's event loop,
+so an accidentally quadratic idiom is not a style nit — it multiplies
+into every kernel event.  Three rules catch the accumulation patterns
+that have actually bitten this codebase:
+
+``perf-list-pop0``
+    ``some_list.pop(0)`` shifts every remaining element (O(n) per pop,
+    O(n²) to drain).  Use :class:`collections.deque` and ``popleft()``.
+``perf-bytes-concat``
+    ``buf += chunk`` on a ``bytes`` value inside a loop reallocates and
+    copies the whole buffer every iteration.  Accumulate into a
+    ``bytearray`` or join a list of chunks once.
+``perf-getvalue-loop``
+    ``stream.getvalue()`` inside a loop: the join/copy of the whole
+    stream runs once per iteration while the stream rarely changes.
+    Hoist the call out of the loop (or cache the joined bytes, as
+    :class:`repro.corba.cdr.CdrOutputStream` now does).
+
+Like every family, findings are suppressible with
+``# repro-lint: disable=perf-...`` where the pattern is deliberate
+(e.g. a bounded two-element list).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Checker, ModuleContext, register_checker
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+
+
+def _is_pop0(node: ast.Call) -> bool:
+    return (isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pop"
+            and len(node.args) == 1
+            and not node.keywords
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == 0
+            and not isinstance(node.args[0].value, bool))
+
+
+class _Scope:
+    """Names currently bound to immutable ``bytes`` values."""
+
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.is_bytes: dict[str, bool] = {}
+
+    def mark(self, name: str, is_bytes: bool) -> None:
+        self.is_bytes[name] = is_bytes
+
+    def lookup(self, name: str) -> bool:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.is_bytes:
+                return scope.is_bytes[name]
+            scope = scope.parent
+        return False
+
+
+class _PerfVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self.scope = _Scope()
+        self._loop_depth = 0
+
+    # -- scope management ---------------------------------------------------
+    def _in_new_scope(self, node: ast.AST) -> None:
+        # a function defined inside a loop runs elsewhere: its body gets
+        # a fresh loop depth as well as a fresh name scope
+        outer_scope, self.scope = self.scope, _Scope(self.scope)
+        outer_depth, self._loop_depth = self._loop_depth, 0
+        self.generic_visit(node)
+        self.scope = outer_scope
+        self._loop_depth = outer_depth
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._in_new_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._in_new_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._in_new_scope(node)
+
+    # -- tracking bytes-typed names ----------------------------------------
+    def _expr_bytes(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, bytes)
+        if isinstance(node, ast.Name):
+            return self.scope.lookup(node.id)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id == "bytes"
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            return (self._expr_bytes(node.left)
+                    or self._expr_bytes(node.right))
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_bytes = self._expr_bytes(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.scope.mark(target.id, is_bytes)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and isinstance(node.target, ast.Name):
+            self.scope.mark(node.target.id, self._expr_bytes(node.value))
+        self.generic_visit(node)
+
+    # -- loops --------------------------------------------------------------
+    def _in_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._in_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._in_loop(node)
+
+    # -- rules --------------------------------------------------------------
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, ast.Add) \
+                and isinstance(node.target, ast.Name) \
+                and self._loop_depth > 0 \
+                and (self.scope.lookup(node.target.id)
+                     or self._expr_bytes(node.value)):
+            self.findings.append(self.ctx.finding(
+                "perf-bytes-concat",
+                f"{node.target.id} += ... concatenates immutable bytes "
+                f"inside a loop, copying the whole buffer every "
+                f"iteration (O(n²)); accumulate into a bytearray or "
+                f"join a list of chunks once", node))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_pop0(node):
+            self.findings.append(self.ctx.finding(
+                "perf-list-pop0",
+                "pop(0) shifts every remaining element (O(n) per call); "
+                "use collections.deque and popleft()", node))
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "getvalue" \
+                and not node.args and not node.keywords \
+                and self._loop_depth > 0:
+            self.findings.append(self.ctx.finding(
+                "perf-getvalue-loop",
+                "getvalue() inside a loop joins/copies the whole stream "
+                "every iteration; hoist it out of the loop or cache the "
+                "result", node))
+        self.generic_visit(node)
+
+
+@register_checker
+class PerfChecker(Checker):
+    name = "performance"
+    rules = {
+        "perf-list-pop0": "list.pop(0): O(n) head removal",
+        "perf-bytes-concat": "bytes += accumulation inside a loop",
+        "perf-getvalue-loop": "stream.getvalue() re-joined inside a loop",
+    }
+
+    def check(self, ctx: ModuleContext,
+              config: AnalysisConfig) -> Iterator[Finding]:
+        visitor = _PerfVisitor(ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

@@ -25,6 +25,7 @@ from typing import Any
 import numpy as np
 
 from repro.corba.idl.types import (
+    PRIMITIVES,
     AnyType,
     ArrayType,
     EnumType,
@@ -44,6 +45,20 @@ from repro.corba.ior import IOR
 #: sequences at least this large ride the zero-copy path when enabled
 ZERO_COPY_THRESHOLD = 256
 
+#: per-byte-order pre-compiled packers: ``struct.pack(fmt, v)`` re-parses
+#: the format string on every call, which dominates scalar marshalling;
+#: a GIOP header alone is eight primitive writes
+_STRUCT_CACHE: dict[str, dict[str, struct.Struct]] = {
+    order: {kind: struct.Struct(order + fmt)
+            for kind, (fmt, _size, _align, _dtype) in PRIMITIVES.items()}
+    for order in ("<", ">")
+}
+
+#: kind → interned PrimitiveType, skipping the __new__ round-trip per write
+_PRIM_BY_KIND: dict[str, PrimitiveType] = {
+    kind: PrimitiveType(kind) for kind in PRIMITIVES
+}
+
 
 class CdrError(Exception):
     """Marshalling failure."""
@@ -56,9 +71,12 @@ class CdrOutputStream:
         self.little_endian = little_endian
         self.zero_copy = zero_copy
         self._order = "<" if little_endian else ">"
+        self._structs = _STRUCT_CACHE[self._order]
+        self._ulong = self._structs["unsigned long"]
         self._chunks: list[bytes | memoryview] = []
         self._buf = bytearray()
         self._length = 0          # total stream length so far
+        self._value: bytes | None = None  # getvalue() join cache
         self.copied_bytes = 0     # bytes that passed through a CPU copy
 
     # -- low-level --------------------------------------------------------
@@ -67,11 +85,13 @@ class CdrOutputStream:
         if pad:
             self._buf.extend(b"\x00" * pad)
             self._length += pad
+            self._value = None
 
     def _append_copied(self, data: bytes) -> None:
         self._buf.extend(data)
         self._length += len(data)
         self.copied_bytes += len(data)
+        self._value = None
 
     def _append_segment(self, view: memoryview) -> None:
         """Hand a buffer to the stream without copying (gather DMA)."""
@@ -80,25 +100,36 @@ class CdrOutputStream:
             self._buf = bytearray()
         self._chunks.append(view)
         self._length += view.nbytes
+        self._value = None
 
     def write_primitive(self, kind: str, value: Any) -> None:
-        prim = PrimitiveType(kind)
+        prim = _PRIM_BY_KIND.get(kind)
+        if prim is None:
+            prim = PrimitiveType(kind)  # raises IdlError for unknown kinds
         self.align(prim.align)
         if kind == "char":
             data = value.encode("latin-1")
             if len(data) != 1:
                 raise CdrError(f"char must encode to 1 byte: {value!r}")
         elif kind == "boolean":
-            data = struct.pack("B", 1 if value else 0)
+            data = b"\x01" if value else b"\x00"
         else:
             try:
-                data = struct.pack(self._order + prim.fmt, value)
+                data = self._structs[kind].pack(value)
             except struct.error as exc:
                 raise CdrError(f"cannot pack {value!r} as {kind}") from exc
         self._append_copied(data)
 
     def write_ulong(self, value: int) -> None:
-        self.write_primitive("unsigned long", value)
+        # dedicated fast path: every length prefix, enum, and GIOP header
+        # field funnels through here
+        self.align(4)
+        try:
+            data = self._ulong.pack(value)
+        except struct.error as exc:
+            raise CdrError(
+                f"cannot pack {value!r} as unsigned long") from exc
+        self._append_copied(data)
 
     def write_octet(self, value: int) -> None:
         self.write_primitive("octet", value)
@@ -127,7 +158,14 @@ class CdrOutputStream:
         return self._length
 
     def getvalue(self) -> bytes:
-        """Final message bytes (the join stands in for NIC gather DMA)."""
+        """Final message bytes (the join stands in for NIC gather DMA).
+
+        The join is cached: GIOP asks for the message more than once
+        (size patching, then send), and re-joining an unchanged stream
+        each time is pure waste.  Any append invalidates the cache.
+        """
+        if self._value is not None:
+            return self._value
         if self._buf:
             self._chunks.append(bytes(self._buf))
             self._buf = bytearray()
@@ -137,6 +175,7 @@ class CdrOutputStream:
             out = b"".join(bytes(c) if isinstance(c, memoryview) else c
                            for c in self._chunks)
         self._chunks = [out]
+        self._value = out
         return out
 
 
@@ -148,6 +187,8 @@ class CdrInputStream:
         self._data = memoryview(data)
         self.little_endian = little_endian
         self._order = "<" if little_endian else ">"
+        self._structs = _STRUCT_CACHE[self._order]
+        self._ulong = self._structs["unsigned long"]
         self._pos = 0
 
     @property
@@ -166,18 +207,21 @@ class CdrInputStream:
         return out
 
     def read_primitive(self, kind: str) -> Any:
-        prim = PrimitiveType(kind)
+        prim = _PRIM_BY_KIND.get(kind)
+        if prim is None:
+            prim = PrimitiveType(kind)  # raises IdlError for unknown kinds
         self.align(prim.align)
         raw = self._take(prim.size)
         if kind == "char":
             return bytes(raw).decode("latin-1")
         if kind == "boolean":
             return bool(raw[0])
-        value = struct.unpack(self._order + prim.fmt, raw)[0]
-        return value
+        return self._structs[kind].unpack(raw)[0]
 
     def read_ulong(self) -> int:
-        return self.read_primitive("unsigned long")
+        # mirror of write_ulong: the unmarshalling hot path
+        self.align(4)
+        return self._ulong.unpack(self._take(4))[0]
 
     def read_octet(self) -> int:
         return self.read_primitive("octet")

@@ -84,7 +84,7 @@ ANY = AnyType()
 
 
 class PrimitiveType(IdlType):
-    __slots__ = ("kind", "fmt", "size", "align", "dtype")
+    __slots__ = ("kind", "fmt", "size", "align", "dtype", "int_range")
     _cache: dict[str, "PrimitiveType"] = {}
 
     def __new__(cls, kind: str) -> "PrimitiveType":
@@ -98,6 +98,10 @@ class PrimitiveType(IdlType):
             inst.size = size
             inst.align = align
             inst.dtype = dtype
+            #: (lo, hi) for integer kinds, None otherwise — typecheck
+            #: range-guards every scalar, so the bounds live on the
+            #: interned singleton instead of a per-call table lookup
+            inst.int_range = _INT_RANGES.get(kind)
             cls._cache[kind] = inst
         return cls._cache[kind]
 
@@ -513,8 +517,8 @@ def _check_primitive(t: PrimitiveType, value: Any) -> None:
         if isinstance(value, bool) or not isinstance(
                 value, (int, np.integer)):
             raise IdlError(f"{t.kind} expects an int, got {value!r}")
-        lo, hi = _INT_RANGES[t.kind]
-        if not lo <= int(value) <= hi:
+        lo, hi = t.int_range
+        if not lo <= value <= hi:
             raise IdlError(f"{value} out of range for {t.kind}")
 
 

@@ -12,6 +12,18 @@ This is the mechanism behind the paper's concurrency experiment
 ("Concurrent benchmarks (CORBA and MPI at the same time) show the
 bandwidth is efficiently shared: each gets 120 MB/s"): two flows across
 one 240 MB/s Myrinet host link each receive exactly half.
+
+Scaling (see docs/PERFORMANCE.md): the solver state decomposes into
+*link-connected components* — flows in different components share no
+link, so progressive filling never couples them.  :class:`FlowNetwork`
+keeps a persistent link→flows index and, on every flow add/remove,
+re-solves only the component(s) touched by the change.  Because the
+component-restricted fill performs bit-for-bit the same float
+operations as the full fill restricted to that component (same flow
+order, same link insertion order, same subtraction sequence), the
+incremental rates are *exactly* — not approximately — equal to the
+from-scratch ones.  ``FlowNetwork(..., incremental=False)`` keeps the
+historical full re-solve for differential testing.
 """
 
 from __future__ import annotations
@@ -34,7 +46,7 @@ class Flow:
     """One in-flight message on the network."""
 
     __slots__ = ("route", "size", "remaining", "rate", "waiter",
-                 "callback", "error", "done", "start_time", "fid")
+                 "callback", "error", "done", "start_time", "fid", "seq")
 
     def __init__(self, route: Sequence[Link], size: float,
                  waiter: SimProcess | None, callback: Callable | None,
@@ -50,19 +62,42 @@ class Flow:
         self.start_time = start_time
         #: observability id; assigned only while a monitor is attached
         self.fid: int | None = None
+        #: creation order within a FlowNetwork; mirrors the flow's
+        #: position in the active list so component re-solves can
+        #: reproduce the full solve's iteration order exactly
+        self.seq = 0
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the transfer completed, clamped to [0.0, 1.0]."""
+        size = self.size
+        if size <= 0.0:
+            return 1.0
+        frac = (size - self.remaining) / size
+        if frac <= 0.0:
+            return 0.0
+        return frac if frac < 1.0 else 1.0
 
     def __repr__(self) -> str:
+        # the sanitizer fingerprints reprs in bulk: keep the common
+        # terminal states free of float formatting work
+        if self.done:
+            return (f"<Flow {self.size:.0f}B "
+                    f"{'failed' if self.error is not None else 'done'}>")
+        if self.rate == 0.0:
+            return f"<Flow {self.size:.0f}B remaining={self.remaining:.0f}>"
         return (f"<Flow {self.size:.0f}B remaining={self.remaining:.0f} "
                 f"rate={self.rate/1e6:.1f}MB/s done={self.done}>")
 
 
-def maxmin_rates(flows: Sequence[Flow]) -> dict[Flow, float]:
-    """Progressive-filling max-min fair allocation.
+def _progressive_fill(
+        flows: Sequence[Flow]) -> tuple[dict[Flow, float], int]:
+    """Core progressive-filling loop.
 
-    Each flow receives the largest rate such that no link capacity is
-    exceeded and no flow can be increased without decreasing a flow with
-    an equal or smaller rate.  Deterministic: ties broken by link
-    insertion order.
+    Returns ``(rates, iterations)`` where ``rates`` assigns every input
+    flow a rate and ``iterations`` counts bottleneck-fixing rounds (the
+    quantity the incremental solver saves; exported via the
+    ``net.maxmin.iterations`` obs counter).
     """
     link_flows: dict[Link, list[Flow]] = {}
     for f in flows:
@@ -75,8 +110,10 @@ def maxmin_rates(flows: Sequence[Flow]) -> dict[Flow, float]:
     # insertion-ordered dict as a set: iteration below must not depend
     # on hash order, or the rates dict's order varies across runs
     unfixed = dict.fromkeys(flows)
+    iterations = 0
 
     while unfixed:
+        iterations += 1
         # bottleneck link: smallest equal-share among links with demand
         best_link = None
         best_share = None
@@ -99,7 +136,22 @@ def maxmin_rates(flows: Sequence[Flow]) -> dict[Flow, float]:
             for link in f.route:
                 capacity[link] -= best_share
                 unfixed_count[link] -= 1
-    return rates
+    return rates, iterations
+
+
+def maxmin_rates(flows: Sequence[Flow]) -> dict[Flow, float]:
+    """Progressive-filling max-min fair allocation.
+
+    Each flow receives the largest rate such that no link capacity is
+    exceeded and no flow can be increased without decreasing a flow with
+    an equal or smaller rate.  Deterministic: ties broken by link
+    insertion order.  The returned dict lists flows in *input* order
+    (not fixing order), so two solves over the same flows compare equal
+    including iteration order — the property the incremental solver's
+    differential tests rely on.
+    """
+    rates, _ = _progressive_fill(flows)
+    return {f: rates[f] for f in flows}
 
 
 class FlowNetwork:
@@ -108,12 +160,23 @@ class FlowNetwork:
     The blocking entry point is :meth:`transfer`; middleware layers call
     it from inside simulated processes.  Bytes crossing each link are
     accounted in :attr:`link_bytes` for white-box assertions in tests.
+
+    With ``incremental=True`` (the default) rate re-solves are
+    restricted to the link-connected component of the changed flows —
+    exactly equivalent to the full solve (see module docstring) but
+    O(component) instead of O(network) per event.
     """
 
-    def __init__(self, kernel: SimKernel, topology: Topology):
+    def __init__(self, kernel: SimKernel, topology: Topology,
+                 incremental: bool = True):
         self.kernel = kernel
         self.topology = topology
+        self.incremental = incremental
         self._flows: list[Flow] = []
+        #: persistent link→flows index (insertion-ordered dicts used as
+        #: ordered sets); maintained in both modes, consulted for
+        #: component discovery and link-failure victim lookup
+        self._link_flows: dict[Link, dict[Flow, None]] = {}
         self._last_update = kernel.now
         self._timer: Timer | None = None
         self.link_bytes: dict[Link, float] = {}
@@ -125,6 +188,16 @@ class FlowNetwork:
         #: PadicoRuntime.observe, or set directly for standalone use
         self.monitor: Any = None
         self._flow_seq = 0
+        self._flow_counter = 0
+        #: solver work counters (plain ints — never routed through the
+        #: monitor, so traces stay identical across solver modes; the
+        #: wall-clock bench reports them via obs counters after the run)
+        self.solver_solves = 0
+        self.solver_iterations = 0
+        self.solver_flows_resolved = 0
+        #: completion-timer pushes avoided because the fire instant was
+        #: unchanged (lazy cancellation fast path)
+        self.timer_reuses = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -191,13 +264,13 @@ class FlowNetwork:
     def fail_link(self, link: Link) -> None:
         """Bring a link down and abort every flow crossing it."""
         link.up = False
-        victims = [f for f in self._flows if link in f.route]
+        victims = list(self._link_flows.get(link, ()))
         self._advance()
         for f in victims:
             self._abort_flow(
                 f, TransferError(f"link {link.name} went down"), wake=True,
                 advance=False)
-        self._reallocate()
+        self._reallocate(victims)
 
     # ------------------------------------------------------------------
     # internals
@@ -210,8 +283,11 @@ class FlowNetwork:
                 raise TransferError(f"link {link.name} is down")
         self._advance()
         flow = Flow(route, nbytes, waiter, callback, self.kernel.now)
+        self._flow_counter += 1
+        flow.seq = self._flow_counter
         self._flows.append(flow)
-        self._reallocate()
+        self._index_add(flow)
+        self._reallocate((flow,))
         mon = self.monitor
         if mon is not None:
             self._flow_seq += 1
@@ -225,29 +301,103 @@ class FlowNetwork:
                 fabric=first.fabric.name if first else "")
         return flow
 
+    def _index_add(self, flow: Flow) -> None:
+        link_flows = self._link_flows
+        for link in flow.route:
+            peers = link_flows.get(link)
+            if peers is None:
+                link_flows[link] = {flow: None}
+            else:
+                peers[flow] = None
+
+    def _index_remove(self, flow: Flow) -> None:
+        link_flows = self._link_flows
+        for link in flow.route:
+            peers = link_flows.get(link)
+            if peers is not None:
+                peers.pop(flow, None)
+                if not peers:
+                    del link_flows[link]
+
+    def _component(self, seeds: Sequence[Flow]) -> dict[Flow, None]:
+        """Flows link-connected to any seed (seeds themselves included).
+
+        Seeds may already have been removed from the index (completion /
+        abort); their routes still seed the link frontier, so the
+        closure covers every flow whose rate the change can affect.
+        Deterministic: plain worklist over insertion-ordered dicts.
+        """
+        member: dict[Flow, None] = dict.fromkeys(seeds)
+        frontier: list[Link] = []
+        seen: dict[Link, None] = {}
+        for f in seeds:
+            for link in f.route:
+                if link not in seen:
+                    seen[link] = None
+                    frontier.append(link)
+        link_flows = self._link_flows
+        i = 0
+        while i < len(frontier):
+            peers = link_flows.get(frontier[i])
+            i += 1
+            if peers is None:
+                continue
+            for g in peers:
+                if g not in member:
+                    member[g] = None
+                    for link in g.route:
+                        if link not in seen:
+                            seen[link] = None
+                            frontier.append(link)
+        return member
+
     def _advance(self) -> None:
-        """Credit every active flow with progress since the last update."""
+        """Credit every active flow with progress since the last update.
+
+        Deliberately *eager* (per event, not lazily at completion):
+        iterated IEEE-754 subtraction is not associative, so crediting
+        lazily would change ``remaining`` in the last bits and break the
+        byte-identical-results guarantee the solver work relies on.
+        """
         now = self.kernel.now
         dt = now - self._last_update
         if dt > 0:
+            link_bytes = self.link_bytes
             for f in self._flows:
                 moved = f.rate * dt
                 f.remaining -= moved
                 for link in f.route:
-                    self.link_bytes[link] = \
-                        self.link_bytes.get(link, 0.0) + moved
+                    link_bytes[link] = link_bytes.get(link, 0.0) + moved
         self._last_update = now
 
-    def _reallocate(self) -> None:
-        rates = maxmin_rates(self._flows)
-        for f in self._flows:
-            f.rate = rates.get(f, 0.0)
+    def _reallocate(self, dirty: Sequence[Flow] | None = None) -> None:
+        """Re-solve fair-share rates after a flow-set change.
+
+        ``dirty`` lists the flows added/removed since the last solve.
+        In incremental mode only their link-connected component is
+        re-solved (flows elsewhere keep their — provably unchanged —
+        rates); with ``dirty=None`` or ``incremental=False`` the whole
+        network is re-solved from scratch.
+        """
+        if self.incremental and dirty is not None:
+            subset = [f for f in self._component(dirty) if not f.done]
+            # iterate in active-list order so link insertion order (and
+            # therefore every tie-break and float op) matches the full
+            # solve restricted to this component
+            subset.sort(key=_flow_seq_key)
+        else:
+            subset = self._flows
+        rates, iterations = _progressive_fill(subset)
+        for f in subset:
+            new_rate = rates[f]
+            if new_rate != f.rate:
+                f.rate = new_rate
+        self.solver_solves += 1
+        self.solver_iterations += iterations
+        self.solver_flows_resolved += len(subset)
         self._reschedule()
 
     def _reschedule(self) -> None:
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
         next_finish = None
         for f in self._flows:
             if f.rate <= 0:
@@ -255,9 +405,24 @@ class FlowNetwork:
             finish = f.remaining / f.rate
             if next_finish is None or finish < next_finish:
                 next_finish = finish
-        if next_finish is not None:
-            self._timer = self.kernel.schedule(max(next_finish, 0.0),
-                                               self._on_completion)
+        timer = self._timer
+        if next_finish is None:
+            if timer is not None:
+                timer.cancel()
+                self._timer = None
+            return
+        fire = self.kernel.now + max(next_finish, 0.0)
+        if timer is not None:
+            # lazy cancellation: when the earliest completion instant is
+            # unchanged, keep the already-queued timer instead of
+            # cancel+repush (the cancelled entry would linger in the
+            # heap until popped anyway)
+            if not timer.cancelled and timer.time == fire:
+                self.timer_reuses += 1
+                return
+            timer.cancel()
+        self._timer = self.kernel.schedule(max(next_finish, 0.0),
+                                           self._on_completion)
 
     def _on_completion(self) -> None:
         self._timer = None
@@ -267,14 +432,15 @@ class FlowNetwork:
             f.remaining = 0.0
             f.done = True
             self._flows.remove(f)
+            self._index_remove(f)
             self.completed_flows += 1
             self.flow_log.append((f.start_time, self.kernel.now, f.size,
                                   f.route[0].name if f.route else "", True))
             mon = self.monitor
             if mon is not None and f.fid is not None:
-                mon.on_flow_end(f.fid, ok=True)
+                mon.on_flow_end(f.fid, ok=True, progress=1.0)
             self._notify(f)
-        self._reallocate()
+        self._reallocate(finished)
 
     def _abort_flow(self, flow: Flow, error: Exception, wake: bool,
                     advance: bool = True) -> None:
@@ -285,19 +451,24 @@ class FlowNetwork:
         flow.error = error
         flow.done = True
         self._flows.remove(flow)
+        self._index_remove(flow)
         self.flow_log.append((flow.start_time, self.kernel.now, flow.size,
                               flow.route[0].name if flow.route else "",
                               False))
         mon = self.monitor
         if mon is not None and flow.fid is not None:
-            mon.on_flow_end(flow.fid, ok=False)
+            mon.on_flow_end(flow.fid, ok=False, progress=flow.progress)
         if wake:
             self._notify(flow)
         if advance:
-            self._reallocate()
+            self._reallocate((flow,))
 
     def _notify(self, flow: Flow) -> None:
         if flow.waiter is not None:
             self.kernel.wake(flow.waiter, flow)
         if flow.callback is not None:
             flow.callback(flow)
+
+
+def _flow_seq_key(flow: Flow) -> int:
+    return flow.seq

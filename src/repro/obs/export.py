@@ -75,8 +75,12 @@ def chrome_trace(recorder: TraceRecorder) -> dict[str, Any]:
         events.append({"ph": "b", "name": name, "ts": _us(rec.start),
                        "args": {"nbytes": rec.nbytes, "fabric": rec.fabric},
                        **common})
+        # aborted flows carry how far they got; successful ones stay
+        # two-key so previously committed traces remain byte-identical
+        end_args = ({"ok": rec.ok} if rec.ok
+                    else {"ok": rec.ok, "progress": rec.progress})
         events.append({"ph": "e", "name": name, "ts": _us(rec.end),
-                       "args": {"ok": rec.ok}, **common})
+                       "args": end_args, **common})
 
     pid = pids[_METRICS_PID] if recorder.counter_series else None
     for sample in recorder.counter_series:

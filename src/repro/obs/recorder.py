@@ -140,13 +140,14 @@ class TraceRecorder:
                                      start=self.now)
         self._flow_order.append(fid)
 
-    def on_flow_end(self, fid: int, ok: bool = True) -> None:
+    def on_flow_end(self, fid: int, ok: bool = True,
+                    progress: float = 1.0) -> None:
         rec = self.flows.get(fid)
         if rec is None:
             return
         self.flows[fid] = FlowRecord(rec.fid, rec.src, rec.dst, rec.nbytes,
                                      rec.fabric, rec.start,
-                                     end=self.now, ok=ok)
+                                     end=self.now, ok=ok, progress=progress)
         if ok:
             total = self.fabric_bytes.get(rec.fabric, 0.0) + rec.nbytes
             self.fabric_bytes[rec.fabric] = total

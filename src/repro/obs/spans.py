@@ -81,3 +81,5 @@ class FlowRecord:
     start: float
     end: float | None = None
     ok: bool = True
+    #: fraction transferred when the flow ended (1.0 unless aborted)
+    progress: float = 1.0

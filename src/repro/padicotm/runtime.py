@@ -58,10 +58,14 @@ class PadicoRuntime:
         runtime.kernel.run()
     """
 
-    def __init__(self, topology: Topology, kernel: SimKernel | None = None):
+    def __init__(self, topology: Topology, kernel: SimKernel | None = None,
+                 incremental: bool = True):
         self.kernel = kernel or SimKernel()
         self.topology = topology
-        self.network = FlowNetwork(self.kernel, topology)
+        #: ``incremental=False`` forces from-scratch max-min re-solves
+        #: (differential testing; results are bit-for-bit identical)
+        self.network = FlowNetwork(self.kernel, topology,
+                                   incremental=incremental)
         self.processes: dict[str, PadicoProcess] = {}
         #: socket listener registry: (process_name, port) -> SocketListener
         self.socket_listeners: dict[tuple[str, str], Any] = {}

@@ -89,7 +89,7 @@ class Timer:
     """
 
     __slots__ = ("time", "seq", "shuffle", "_fn", "_args", "cancelled",
-                 "trace_clock")
+                 "trace_clock", "_key")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: tuple,
                  shuffle: int = 0):
@@ -100,14 +100,17 @@ class Timer:
         self._args = args
         self.cancelled = False
         self.trace_clock = None
+        # the heap compares each entry O(log n) times per push/pop;
+        # building the sort key once beats two tuple allocations per
+        # comparison on the hot path
+        self._key = (time, shuffle, seq)
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
         self.cancelled = True
 
     def __lt__(self, other: "Timer") -> bool:
-        return (self.time, self.shuffle, self.seq) < \
-            (other.time, other.shuffle, other.seq)
+        return self._key < other._key
 
 
 class _TracerFan:
@@ -326,6 +329,9 @@ class SimKernel:
         self.tracer: Any = None
         #: events popped and fired by :meth:`run` (cancelled ones excluded)
         self.events_processed = 0
+        #: cancelled entries discarded by :meth:`run` without firing
+        #: (lazy timer cancellation leaves them in the heap until popped)
+        self.events_skipped = 0
 
     # ------------------------------------------------------------------
     # spawning and scheduling
@@ -464,16 +470,19 @@ class SimKernel:
         if self._running:
             raise RuntimeError("kernel is already running")
         self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                timer = self._heap[0]
+            while heap:
+                timer = heap[0]
                 if timer.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
+                    self.events_skipped += 1
                     continue
                 if until is not None and timer.time > until:
                     self.now = until
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self.now = timer.time
                 self.events_processed += 1
                 if self.tracer is not None:

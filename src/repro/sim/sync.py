@@ -46,7 +46,9 @@ class WaitQueue:
         self.kernel = kernel
         self.owner = owner
         self.role = role
-        self._waiters: list[list] = []  # entries: [proc, woken_flag]
+        # entries: [proc, woken_flag]; a deque so FIFO wake_one is O(1)
+        # (every mailbox get/put and lock release pops the head)
+        self._waiters: Deque[list] = deque()
 
     def __len__(self) -> int:
         return len(self._waiters)
@@ -95,7 +97,7 @@ class WaitQueue:
         """Wake the longest-waiting process.  Returns False if empty."""
         if not self._waiters:
             return False
-        entry = self._waiters.pop(0)
+        entry = self._waiters.popleft()
         entry[1] = True
         self.kernel.wake(entry[0], value)
         return True

@@ -1,0 +1,164 @@
+"""Tests for the perf-* hot-path performance rules."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_text
+
+PERF = {"perf-list-pop0", "perf-bytes-concat", "perf-getvalue-loop"}
+
+
+def perf_findings(source: str):
+    return lint_text(source, rules=PERF)
+
+
+# ---------------------------------------------------------------------------
+# perf-list-pop0
+# ---------------------------------------------------------------------------
+
+def test_pop0_flagged():
+    findings = perf_findings("""
+        def drain(queue):
+            while queue:
+                item = queue.pop(0)
+                handle(item)
+    """)
+    assert [f.rule for f in findings] == ["perf-list-pop0"]
+    assert "deque" in findings[0].message
+
+
+def test_pop0_flagged_outside_loops_too():
+    # a single pop(0) is still O(n); the rule is positional, not loop-gated
+    findings = perf_findings("""
+        def first(waiters):
+            return waiters.pop(0)
+    """)
+    assert [f.rule for f in findings] == ["perf-list-pop0"]
+
+
+def test_pop_other_forms_clean():
+    assert perf_findings("""
+        def ok(queue, table):
+            queue.pop()          # tail pop is O(1)
+            queue.pop(-1)
+            table.pop("key", 0)  # two-arg dict pop
+            queue.popleft()
+    """) == []
+
+
+def test_pop0_suppressible():
+    assert perf_findings("""
+        def bounded(pair):
+            return pair.pop(0)  # repro-lint: disable=perf-list-pop0
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# perf-bytes-concat
+# ---------------------------------------------------------------------------
+
+def test_bytes_concat_in_loop_flagged():
+    findings = perf_findings("""
+        def assemble(chunks):
+            buf = b""
+            for chunk in chunks:
+                buf += chunk
+            return buf
+    """)
+    assert [f.rule for f in findings] == ["perf-bytes-concat"]
+    assert "bytearray" in findings[0].message
+
+
+def test_bytes_call_concat_in_while_flagged():
+    findings = perf_findings("""
+        def pad(n):
+            out = bytes(4)
+            while n > 0:
+                out += b"\\x00"
+                n -= 1
+            return out
+    """)
+    assert [f.rule for f in findings] == ["perf-bytes-concat"]
+
+
+def test_bytes_concat_outside_loop_clean():
+    assert perf_findings("""
+        def frame(header, body):
+            msg = b"GIOP" + header
+            msg += body
+            return msg
+    """) == []
+
+
+def test_int_accumulation_clean():
+    assert perf_findings("""
+        def total(sizes):
+            acc = 0
+            for n in sizes:
+                acc += n
+            return acc
+    """) == []
+
+
+def test_bytearray_accumulation_clean():
+    assert perf_findings("""
+        def assemble(chunks):
+            buf = bytearray()
+            for chunk in chunks:
+                buf += chunk
+            return bytes(buf)
+    """) == []
+
+
+def test_loop_local_function_resets_depth():
+    # the inner function body is not (lexically) running per iteration
+    assert perf_findings("""
+        def outer(items):
+            for item in items:
+                def once():
+                    data = b"x"
+                    data = data + item
+                    return data
+                yield once
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# perf-getvalue-loop
+# ---------------------------------------------------------------------------
+
+def test_getvalue_in_loop_flagged():
+    findings = perf_findings("""
+        def send_all(out, links):
+            for link in links:
+                link.push(out.getvalue())
+    """)
+    assert [f.rule for f in findings] == ["perf-getvalue-loop"]
+
+
+def test_getvalue_hoisted_clean():
+    assert perf_findings("""
+        def send_all(out, links):
+            data = out.getvalue()
+            for link in links:
+                link.push(data)
+    """) == []
+
+
+def test_getvalue_in_while_flagged():
+    findings = perf_findings("""
+        def poll(out):
+            while live():
+                inspect(out.getvalue())
+    """)
+    assert [f.rule for f in findings] == ["perf-getvalue-loop"]
+
+
+# ---------------------------------------------------------------------------
+# family registration
+# ---------------------------------------------------------------------------
+
+def test_rules_registered():
+    from repro.analysis import all_rules
+
+    rules = all_rules()
+    assert PERF <= set(rules)
