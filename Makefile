@@ -6,15 +6,24 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check lint test schedule-smoke bench-smoke bench-wallclock sarif
+.PHONY: check lint test copy-budget schedule-smoke bench-smoke \
+	bench-wallclock sarif
 
-check: lint test schedule-smoke bench-smoke bench-wallclock
+check: lint test copy-budget schedule-smoke bench-smoke bench-wallclock
 
 lint:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis.cli src examples
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Deterministic copy-budget gate: replays the §4.4 CORBA+MPI workload
+# and a 16 MiB GridCCM scatter and pins the wire.copied_bytes.* totals
+# to committed expected values (runs inside `test` too; the named
+# target keeps the gate visible and re-runnable on its own)
+copy-budget:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q \
+		tests/obs/test_copy_budget.py
 
 schedule-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.sanitizer --seeds 5

@@ -15,7 +15,19 @@ on the **process wall clock**:
   CI asserts the incremental solver does ≥ 5× less work at F = 1000;
 * ``wallclock.cdr.marshal`` / ``wallclock.cdr.unmarshal`` — CDR
   encode/decode throughput (MB/s, MB = 1e6 bytes) for bulk octet and
-  double sequences plus a scalar-struct torture case.
+  double sequences plus a scalar-struct torture case;
+* ``wallclock.marshal_roundtrip`` — full encode→wire→decode roundtrips
+  of a bulk double sequence at 64 KiB / 1 MiB / 16 MiB, once under the
+  copying discipline (``zero_copy=False`` + ``getvalue()``) and once
+  over the zero-copy segment path (``zero_copy=True`` + ``getbuffer()``
+  + ``CdrInputStream`` over the :class:`WireBuffer`).  The meta records
+  the per-size speedup; CI's acceptance bar is ≥ 3× at 16 MiB;
+* ``wallclock.gridccm.scaling`` — the paper's Figure-8 aggregated
+  bandwidth experiment (two n-node components, block-redistributed
+  vector, server op is an MPI barrier) measured on the wall clock:
+  total payload bytes over the wall seconds the simulation takes, as n
+  grows.  The virtual-clock twin lives in ``BENCH_padico.json``; this
+  series tracks how the zero-copy wire path scales the *simulator*.
 
 Numbers vary with the host machine — the document is a trajectory, not
 a reproducibility artifact, which is why it carries the separate
@@ -239,6 +251,115 @@ def _unmarshal_points(payload_bytes: int,
             ("double-seq", _rate(payload_bytes, rounds, dec_doubles))]
 
 
+#: marshal-roundtrip payload axis: 64 KiB, 1 MiB, 16 MiB
+ROUNDTRIP_SIZES = (64 * 1024, 1024 * 1024, 16 * 1024 * 1024)
+QUICK_ROUNDTRIP_SIZES = (64 * 1024, 1024 * 1024)
+
+
+def _roundtrip_rates(payload_bytes: int,
+                     rounds: int) -> tuple[float, float]:
+    """(copied MB/s, zero-copy MB/s) for one encode→wire→decode trip."""
+    doubles = np.zeros(payload_bytes // 8, dtype="<f8")
+
+    def rt_copied() -> None:
+        out = CdrOutputStream(zero_copy=False)
+        encode_value(out, _DOUBLE_SEQ, doubles)
+        decode_value(CdrInputStream(out.getvalue()), _DOUBLE_SEQ)
+
+    def rt_zero_copy() -> None:
+        out = CdrOutputStream(zero_copy=True)
+        encode_value(out, _DOUBLE_SEQ, doubles)
+        decode_value(CdrInputStream(out.getbuffer()), _DOUBLE_SEQ)
+
+    return (_rate(payload_bytes, rounds, rt_copied),
+            _rate(payload_bytes, rounds, rt_zero_copy))
+
+
+def bench_marshal_roundtrip(quick: bool) -> BenchResult:
+    sizes = QUICK_ROUNDTRIP_SIZES if quick else ROUNDTRIP_SIZES
+    rounds = 5 if quick else 20
+    points = []
+    meta: dict[str, object] = {"rounds": rounds, "clock": "wall",
+                               "payload": "double sequence"}
+    for size in sizes:
+        copied, zero = _roundtrip_rates(size, rounds)
+        points.append((f"copied-{size}", copied))
+        points.append((f"zero-copy-{size}", zero))
+        meta[f"speedup_{size}"] = round(zero / copied, 2)
+    return BenchResult(name="wallclock.marshal_roundtrip", unit="MB/s",
+                       points=tuple(points), meta=meta)
+
+
+# ---------------------------------------------------------------------------
+# GridCCM aggregated bandwidth (Figure 8) on the wall clock
+# ---------------------------------------------------------------------------
+
+GRIDCCM_NODES = (2, 4, 8)
+QUICK_GRIDCCM_NODES = (2,)
+
+
+def _gridccm_wall_mbps(n: int, ints_per_rank: int) -> float:
+    """Wall-clock MB/s of one n→n block-redistributed absorb."""
+    from benchmarks.harness import (
+        BENCH_IDL,
+        PARALLELISM_XML,
+        _SinkImpl,
+    )
+    from repro.core import (
+        GridCcmCompiler,
+        ParallelClient,
+        ParallelComponent,
+        ParallelismDescriptor,
+    )
+    from repro.corba import OMNIORB4, Orb, compile_idl
+    from repro.mpi import create_world, spmd
+    from repro.padicotm import PadicoRuntime
+
+    topo = Topology()
+    build_cluster(topo, "h", 2 * n, san=MYRINET_2000)
+    rt = PadicoRuntime(topo)
+    server_procs = [rt.create_process(f"h{i}", f"s{i}") for i in range(n)]
+    comp = ParallelComponent.create(rt, "bench", server_procs, BENCH_IDL,
+                                    PARALLELISM_XML, _SinkImpl,
+                                    profile=OMNIORB4)
+    url = comp.proxy_url("input")
+    client_procs = [rt.create_process(f"h{n + i}", f"c{i}")
+                    for i in range(n)]
+    world = create_world(rt, "clients", client_procs)
+
+    def main(proc, comm):
+        idl = compile_idl(BENCH_IDL)
+        plan = GridCcmCompiler(
+            idl, ParallelismDescriptor.parse(PARALLELISM_XML)).compile()
+        orb = Orb(client_procs[comm.rank], OMNIORB4, idl)
+        pc = ParallelClient.attach(orb, plan, "input", url, comm=comm)
+        pc.absorb(np.zeros(1, dtype="i4"))  # warm-up: connections + plans
+        comm.barrier()
+        pc.absorb(np.zeros(ints_per_rank, dtype="i4"))
+
+    spmd(world, main)
+    t0 = time.perf_counter()
+    rt.run()
+    elapsed = time.perf_counter() - t0
+    rt.shutdown()
+    return n * ints_per_rank * 4 / elapsed / 1e6
+
+
+def bench_gridccm_scaling(quick: bool) -> BenchResult:
+    nodes = QUICK_GRIDCCM_NODES if quick else GRIDCCM_NODES
+    ints_per_rank = 250_000 if quick else 1_000_000
+    points = [(n, _gridccm_wall_mbps(n, ints_per_rank)) for n in nodes]
+    return BenchResult(
+        name="wallclock.gridccm.scaling", unit="MB/s",
+        points=tuple(points),
+        meta={"clock": "wall", "ints_per_rank": ints_per_rank,
+              "profile": "omniORB-4.0.0",
+              "workload": "Figure-8 n-to-n block-redistributed absorb",
+              "note": "aggregated payload bytes over simulator wall "
+                      "seconds; the virtual-clock bandwidth twin is "
+                      "gridccm.n_to_n in BENCH_padico.json"})
+
+
 def bench_cdr(quick: bool) -> list[BenchResult]:
     payload = 256 * 1024 if quick else 8 * 1024 * 1024
     rounds = 5 if quick else 20
@@ -266,6 +387,10 @@ def collect_wallclock(quick: bool,
     for result in bench_cdr(quick):
         results.append(result)
         log(results[-1].render())
+    results.append(bench_marshal_roundtrip(quick))
+    log(results[-1].render())
+    results.append(bench_gridccm_scaling(quick))
+    log(results[-1].render())
     return results
 
 

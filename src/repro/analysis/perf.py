@@ -17,6 +17,18 @@ that have actually bitten this codebase:
     stream runs once per iteration while the stream rarely changes.
     Hoist the call out of the loop (or cache the joined bytes, as
     :class:`repro.corba.cdr.CdrOutputStream` now does).
+``perf-tobytes-hot``
+    materialising copies on the wire path.  Inside the hot wire
+    directories (``corba/``, ``padicotm/``, ``mpi/``, ``core/``) the
+    zero-copy contract is that bulk payloads travel as
+    :class:`~repro.corba.cdr.WireBuffer` segments / ndarray views and
+    are joined at most once, at a deliberate materialisation point in
+    ``cdr.py``.  The rule flags ``x.tobytes()``, ``bytes(mv)`` where
+    ``mv`` is bound to a ``memoryview``, and ``getvalue()`` inside a
+    loop — each silently degrades a referenced payload back into a
+    copied one without showing up in ``wire.copied_bytes`` review.
+    Outside the hot directories the rule stays silent (generic code may
+    legitimately materialise).
 
 Like every family, findings are suppressible with
 ``# repro-lint: disable=perf-...`` where the pattern is deliberate
@@ -43,21 +55,43 @@ def _is_pop0(node: ast.Call) -> bool:
             and not isinstance(node.args[0].value, bool))
 
 
+#: directories (project-relative prefixes) under the zero-copy wire
+#: contract; ``perf-tobytes-hot`` only fires here
+HOT_WIRE_DIRS = (
+    "src/repro/corba/",
+    "src/repro/padicotm/",
+    "src/repro/mpi/",
+    "src/repro/core/",
+)
+
+
 class _Scope:
-    """Names currently bound to immutable ``bytes`` values."""
+    """Names currently bound to immutable ``bytes`` / ``memoryview``."""
 
     def __init__(self, parent: "_Scope | None" = None):
         self.parent = parent
         self.is_bytes: dict[str, bool] = {}
+        self.is_mview: dict[str, bool] = {}
 
     def mark(self, name: str, is_bytes: bool) -> None:
         self.is_bytes[name] = is_bytes
+
+    def mark_mview(self, name: str, is_mview: bool) -> None:
+        self.is_mview[name] = is_mview
 
     def lookup(self, name: str) -> bool:
         scope: _Scope | None = self
         while scope is not None:
             if name in scope.is_bytes:
                 return scope.is_bytes[name]
+            scope = scope.parent
+        return False
+
+    def lookup_mview(self, name: str) -> bool:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.is_mview:
+                return scope.is_mview[name]
             scope = scope.parent
         return False
 
@@ -68,6 +102,7 @@ class _PerfVisitor(ast.NodeVisitor):
         self.findings: list[Finding] = []
         self.scope = _Scope()
         self._loop_depth = 0
+        self._hot = ctx.path.startswith(HOT_WIRE_DIRS)
 
     # -- scope management ---------------------------------------------------
     def _in_new_scope(self, node: ast.AST) -> None:
@@ -101,16 +136,31 @@ class _PerfVisitor(ast.NodeVisitor):
                     or self._expr_bytes(node.right))
         return False
 
+    def _expr_mview(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return self.scope.lookup_mview(node.id)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id == "memoryview"
+        if isinstance(node, ast.Subscript):
+            # slicing a memoryview yields a memoryview
+            return (isinstance(node.slice, ast.Slice)
+                    and self._expr_mview(node.value))
+        return False
+
     def visit_Assign(self, node: ast.Assign) -> None:
         is_bytes = self._expr_bytes(node.value)
+        is_mview = self._expr_mview(node.value)
         for target in node.targets:
             if isinstance(target, ast.Name):
                 self.scope.mark(target.id, is_bytes)
+                self.scope.mark_mview(target.id, is_mview)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if node.value is not None and isinstance(node.target, ast.Name):
             self.scope.mark(node.target.id, self._expr_bytes(node.value))
+            self.scope.mark_mview(node.target.id,
+                                  self._expr_mview(node.value))
         self.generic_visit(node)
 
     # -- loops --------------------------------------------------------------
@@ -150,11 +200,37 @@ class _PerfVisitor(ast.NodeVisitor):
                 and node.func.attr == "getvalue" \
                 and not node.args and not node.keywords \
                 and self._loop_depth > 0:
+            # in the hot wire directories this is a zero-copy contract
+            # violation, not merely a repeated-join inefficiency
+            if self._hot:
+                self.findings.append(self.ctx.finding(
+                    "perf-tobytes-hot",
+                    "getvalue() inside a loop on the wire path joins the "
+                    "whole stream per iteration; forward the WireBuffer "
+                    "by reference instead", node))
             self.findings.append(self.ctx.finding(
                 "perf-getvalue-loop",
                 "getvalue() inside a loop joins/copies the whole stream "
                 "every iteration; hoist it out of the loop or cache the "
                 "result", node))
+        elif self._hot and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "tobytes" \
+                and not node.args and not node.keywords:
+            self.findings.append(self.ctx.finding(
+                "perf-tobytes-hot",
+                "tobytes() materialises a copy of the payload on the "
+                "wire path; pass the ndarray/memoryview through "
+                "write_bulk/WireBuffer by reference (and count any "
+                "deliberate copy in wire.copied_bytes)", node))
+        elif self._hot and isinstance(node.func, ast.Name) \
+                and node.func.id == "bytes" \
+                and len(node.args) == 1 and not node.keywords \
+                and self._expr_mview(node.args[0]):
+            self.findings.append(self.ctx.finding(
+                "perf-tobytes-hot",
+                "bytes(memoryview) materialises a copy of the payload "
+                "on the wire path; keep the view and forward it by "
+                "reference", node))
         self.generic_visit(node)
 
 
@@ -165,6 +241,9 @@ class PerfChecker(Checker):
         "perf-list-pop0": "list.pop(0): O(n) head removal",
         "perf-bytes-concat": "bytes += accumulation inside a loop",
         "perf-getvalue-loop": "stream.getvalue() re-joined inside a loop",
+        "perf-tobytes-hot":
+            "payload copy (tobytes/bytes(memoryview)/getvalue-in-loop) "
+            "inside the zero-copy wire directories",
     }
 
     def check(self, ctx: ModuleContext,

@@ -15,6 +15,15 @@ copy data for marshalling and unmarshalling"):
 
 Decoding mirrors this: bulk numeric sequences come back as numpy views
 over the message buffer (no copy) — the guide's views-not-copies idiom.
+
+The zero-copy discipline runs end-to-end: :meth:`CdrOutputStream.getbuffer`
+returns the message as a :class:`WireBuffer` — an iovec-style segment
+list that GIOP framing, VLink/Circuit delivery, and the framed group
+transport forward by reference — and :class:`CdrInputStream` reads
+directly over those segments, joining only the rare scalar read that
+straddles a segment boundary.  Both streams meter the two disciplines
+(:attr:`copied_bytes` vs :attr:`referenced_bytes`), feeding the
+``wire.copied_bytes.*`` / ``wire.referenced_bytes.*`` obs counters.
 """
 
 from __future__ import annotations
@@ -64,12 +73,72 @@ class CdrError(Exception):
     """Marshalling failure."""
 
 
+class WireBuffer:
+    """An iovec-style wire message: an ordered list of segments.
+
+    Segments are ``bytes`` (copied scalar headers) interleaved with
+    ``memoryview``s that still reference the caller's arrays — the
+    Madeleine gather list the paper's zero-copy argument rests on
+    (§4–§5).  ``len()`` / :attr:`nbytes` are O(1), so GIOP header
+    packing and flow sizing never force a join; :meth:`getvalue` joins
+    lazily (and caches) for consumers that genuinely need contiguous
+    bytes, e.g. tests or debugging dumps.
+
+    Because bulk segments alias live caller memory, a ``WireBuffer``
+    is only valid while the sender blocks on the matching delivery —
+    exactly the two-way CORBA request/reply and MPI rendezvous
+    disciplines that produce them.
+    """
+
+    __slots__ = ("_segments", "_nbytes", "_value")
+
+    def __init__(self, segments: list[bytes | memoryview],
+                 nbytes: int | None = None):
+        self._segments = segments
+        if nbytes is None:
+            nbytes = sum(s.nbytes if isinstance(s, memoryview) else len(s)
+                         for s in segments)
+        self._nbytes = nbytes
+        self._value: bytes | None = None
+
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    @property
+    def segments(self) -> tuple[bytes | memoryview, ...]:
+        return tuple(self._segments)
+
+    def __len__(self) -> int:
+        return self._nbytes
+
+    def getvalue(self) -> bytes:
+        """Join the segments into contiguous bytes (cached)."""
+        if self._value is None:
+            self._value = b"".join(
+                bytes(s) if isinstance(s, memoryview) else s
+                for s in self._segments)
+        return self._value
+
+    def __bytes__(self) -> bytes:
+        return self.getvalue()
+
+    def __repr__(self) -> str:
+        return (f"WireBuffer(nbytes={self._nbytes}, "
+                f"segments={len(self._segments)})")
+
+
 class CdrOutputStream:
     """An aligned CDR output stream with optional zero-copy segments."""
 
-    def __init__(self, little_endian: bool = True, zero_copy: bool = False):
+    def __init__(self, little_endian: bool = True, zero_copy: bool = False,
+                 threshold: int = ZERO_COPY_THRESHOLD):
         self.little_endian = little_endian
         self.zero_copy = zero_copy
+        #: eager/rendezvous cutover: bulk values below it are copied
+        #: into the contiguous buffer (eager), values at or above it
+        #: become reference segments (rendezvous) when zero_copy is on
+        self.threshold = threshold
         self._order = "<" if little_endian else ">"
         self._structs = _STRUCT_CACHE[self._order]
         self._ulong = self._structs["unsigned long"]
@@ -78,6 +147,7 @@ class CdrOutputStream:
         self._length = 0          # total stream length so far
         self._value: bytes | None = None  # getvalue() join cache
         self.copied_bytes = 0     # bytes that passed through a CPU copy
+        self.referenced_bytes = 0  # bulk bytes appended by reference
 
     # -- low-level --------------------------------------------------------
     def align(self, n: int) -> None:
@@ -100,6 +170,7 @@ class CdrOutputStream:
             self._buf = bytearray()
         self._chunks.append(view)
         self._length += view.nbytes
+        self.referenced_bytes += view.nbytes
         self._value = None
 
     def write_primitive(self, kind: str, value: Any) -> None:
@@ -148,10 +219,16 @@ class CdrOutputStream:
         else:
             view = memoryview(data).cast("B")
         self.align(align)
-        if self.zero_copy and view.nbytes >= ZERO_COPY_THRESHOLD:
+        if self.zero_copy and view.nbytes >= self.threshold:
             self._append_segment(view)
         else:
-            self._append_copied(view.tobytes())
+            # eager protocol: one copy straight into the contiguous
+            # buffer — bytearray consumes the view without an
+            # intermediate bytes materialisation
+            self._buf += view
+            self._length += view.nbytes
+            self.copied_bytes += view.nbytes
+            self._value = None
 
     # -- results ------------------------------------------------------------
     def __len__(self) -> int:
@@ -178,33 +255,102 @@ class CdrOutputStream:
         self._value = out
         return out
 
+    def getbuffer(self) -> WireBuffer:
+        """The message as a :class:`WireBuffer` — no join, no copy.
+
+        This is what the wire path sends: copied scalar chunks plus
+        bulk reference segments, handed down to the NIC gather list
+        as-is.  The join cache is deliberately untouched; a later
+        :meth:`getvalue` still works.
+        """
+        if self._buf:
+            self._chunks.append(bytes(self._buf))
+            self._buf = bytearray()
+        return WireBuffer(list(self._chunks), self._length)
+
 
 class CdrInputStream:
-    """An aligned CDR input stream over one message buffer."""
+    """An aligned CDR input stream over one message buffer.
 
-    def __init__(self, data: bytes | bytearray | memoryview,
+    The message may be contiguous (``bytes``/``bytearray``/
+    ``memoryview``) or a :class:`WireBuffer` straight off the wire.
+    Reads stay within the current segment whenever possible and return
+    views; only a read that straddles a segment boundary joins — those
+    joined bytes are metered in :attr:`copied_bytes`, bulk views in
+    :attr:`referenced_bytes`.
+    """
+
+    def __init__(self,
+                 data: bytes | bytearray | memoryview | WireBuffer,
                  little_endian: bool = True):
-        self._data = memoryview(data)
+        if isinstance(data, WireBuffer):
+            segments = [s if isinstance(s, memoryview) else memoryview(s)
+                        for s in data.segments]
+            if not segments:
+                segments = [memoryview(b"")]
+            size = data.nbytes
+        else:
+            segments = [memoryview(data)]
+            size = len(segments[0])
+        self._segments = segments
+        self._seg = segments[0]        # current segment
+        self._seg_start = 0            # stream offset of current segment
+        self._next = 1                 # index of the next segment
+        self._size = size
         self.little_endian = little_endian
         self._order = "<" if little_endian else ">"
         self._structs = _STRUCT_CACHE[self._order]
         self._ulong = self._structs["unsigned long"]
         self._pos = 0
+        self.copied_bytes = 0      # bytes materialised (joins + bulk copies)
+        self.referenced_bytes = 0  # bulk bytes returned as views
 
     @property
     def remaining(self) -> int:
-        return len(self._data) - self._pos
+        return self._size - self._pos
 
     def align(self, n: int) -> None:
         self._pos += (-self._pos) % n
 
     def _take(self, n: int) -> memoryview:
-        if self._pos + n > len(self._data):
+        off = self._pos - self._seg_start
+        end = off + n
+        if end <= len(self._seg):
+            self._pos += n
+            return self._seg[off:end]
+        return self._take_slow(n)
+
+    def _take_slow(self, n: int) -> memoryview:
+        if self._pos + n > self._size:
             raise CdrError(f"truncated CDR stream: need {n} bytes, have "
                            f"{self.remaining}")
-        out = self._data[self._pos:self._pos + n]
-        self._pos += n
-        return out
+        # hop over exhausted segments
+        while (self._pos - self._seg_start >= len(self._seg)
+               and self._next < len(self._segments)):
+            self._seg_start += len(self._seg)
+            self._seg = self._segments[self._next]
+            self._next += 1
+        off = self._pos - self._seg_start
+        if off + n <= len(self._seg):
+            self._pos += n
+            return self._seg[off:off + n]
+        # the read straddles a segment boundary: join just this range
+        parts = []
+        need = n
+        while need:
+            off = self._pos - self._seg_start
+            avail = len(self._seg) - off
+            if avail == 0:
+                self._seg_start += len(self._seg)
+                self._seg = self._segments[self._next]
+                self._next += 1
+                continue
+            take = avail if avail < need else need
+            parts.append(self._seg[off:off + take])
+            self._pos += take
+            need -= take
+        self.copied_bytes += n
+        return memoryview(b"".join(parts))
 
     def read_primitive(self, kind: str) -> Any:
         prim = _PRIM_BY_KIND.get(kind)
@@ -234,7 +380,25 @@ class CdrInputStream:
     def read_bulk(self, nbytes: int, align: int = 1) -> memoryview:
         """A zero-copy view over ``nbytes`` of the message buffer."""
         self.align(align)
-        return self._take(nbytes)
+        before = self.copied_bytes
+        out = self._take(nbytes)
+        if self.copied_bytes == before:
+            self.referenced_bytes += nbytes
+        return out
+
+    def read_bulk_copy(self, nbytes: int, align: int = 1) -> bytes:
+        """A bulk read deliberately materialised as ``bytes``.
+
+        For consumers that need an owning, hashable buffer (octet
+        sequences exposed to user code, GIOP principals).  The
+        materialisation is one metered copy.
+        """
+        self.align(align)
+        before = self.copied_bytes
+        out = self._take(nbytes)
+        if self.copied_bytes == before:
+            self.copied_bytes += nbytes
+        return bytes(out)
 
 
 # ---------------------------------------------------------------------------
@@ -333,7 +497,7 @@ def _encode_array(out: CdrOutputStream, t: ArrayType, value: Any) -> None:
 def _decode_array(inp: CdrInputStream, t: ArrayType) -> Any:
     elem = t.element
     if isinstance(elem, PrimitiveType) and elem.kind == "octet":
-        return bytes(inp.read_bulk(t.length))
+        return inp.read_bulk_copy(t.length)
     if isinstance(elem, PrimitiveType) and elem.kind in _NUMERIC_KINDS:
         order = "<" if inp.little_endian else ">"
         raw = inp.read_bulk(t.length * elem.size, align=elem.align)
@@ -397,7 +561,7 @@ def _decode_sequence(inp: CdrInputStream, t: SequenceType) -> Any:
     if t.bound is not None and n > t.bound:
         raise CdrError(f"sequence length {n} exceeds bound {t.bound}")
     if isinstance(elem, PrimitiveType) and elem.kind == "octet":
-        return bytes(inp.read_bulk(n))
+        return inp.read_bulk_copy(n)
     if isinstance(elem, PrimitiveType) and elem.kind in _NUMERIC_KINDS:
         order = "<" if inp.little_endian else ">"
         raw = inp.read_bulk(n * elem.size, align=elem.align)

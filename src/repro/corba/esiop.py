@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import struct
 
-from repro.corba.cdr import CdrError, CdrInputStream, CdrOutputStream
+from repro.corba.cdr import CdrError, CdrInputStream, CdrOutputStream, \
+    WireBuffer
 
 MAGIC = b"ESIO"
 
@@ -104,11 +105,13 @@ def read_reply(inp: CdrInputStream) -> tuple[int, int]:
     return inp.read_ulong(), inp.read_octet()
 
 
-def frame(msg_type: int, body: bytes,
-          little_endian: bool = True) -> tuple[bytes, bytes]:
+def frame(msg_type: int, body: bytes | WireBuffer,
+          little_endian: bool = True) -> tuple[bytes, bytes | WireBuffer]:
+    # a WireBuffer body is forwarded by reference; len() is O(1) either
+    # way, so the MAX_BODY check inside pack_header never joins
     return pack_header(msg_type, len(body), little_endian), body
 
 
-def message_size(payload: tuple[bytes, bytes]) -> int:
+def message_size(payload: tuple[bytes, bytes | WireBuffer]) -> int:
     header, body = payload
     return len(header) + len(body)

@@ -1,16 +1,20 @@
 """GIOP message framing (General Inter-ORB Protocol, 1.0 subset).
 
 Every GIOP message travels as one VLink message whose payload is
-``(header_bytes, body_bytes)`` — keeping the 12-byte header physically
+``(header_bytes, body)`` — keeping the 12-byte header physically
 separate from the body lets the zero-copy marshalling path hand body
 segments straight to the (simulated) NIC without a size-patching copy.
+The body may be contiguous ``bytes`` or a :class:`~repro.corba.cdr.
+WireBuffer` segment list; both carry an O(1) ``len()``, so framing and
+sizing never force a join.
 """
 
 from __future__ import annotations
 
 import struct
 
-from repro.corba.cdr import CdrError, CdrInputStream, CdrOutputStream
+from repro.corba.cdr import CdrError, CdrInputStream, CdrOutputStream, \
+    WireBuffer
 
 MAGIC = b"GIOP"
 
@@ -90,7 +94,7 @@ def read_request(inp: CdrInputStream) -> tuple[int, bool, str, str, str]:
     object_key = inp.read_string()
     operation = inp.read_string()
     principal_len = inp.read_ulong()
-    principal = bytes(inp.read_bulk(principal_len)).decode("utf-8") \
+    principal = inp.read_bulk_copy(principal_len).decode("utf-8") \
         if principal_len else ""
     return request_id, response_expected, object_key, operation, principal
 
@@ -110,12 +114,15 @@ def read_reply(inp: CdrInputStream) -> tuple[int, int]:
     return inp.read_ulong(), inp.read_ulong()
 
 
-def frame(msg_type: int, body: bytes,
-          little_endian: bool = True) -> tuple[bytes, bytes]:
-    """Build the ``(header, body)`` wire payload for one message."""
+def frame(msg_type: int, body: bytes | WireBuffer,
+          little_endian: bool = True) -> tuple[bytes, bytes | WireBuffer]:
+    """Build the ``(header, body)`` wire payload for one message.
+
+    ``body`` is forwarded as-is: a :class:`WireBuffer` keeps its
+    reference segments all the way to delivery."""
     return pack_header(msg_type, len(body), little_endian), body
 
 
-def message_size(payload: tuple[bytes, bytes]) -> int:
+def message_size(payload: tuple[bytes, bytes | WireBuffer]) -> int:
     header, body = payload
     return len(header) + len(body)

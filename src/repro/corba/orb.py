@@ -21,6 +21,7 @@ from repro.corba.cdr import (
     CdrError,
     CdrInputStream,
     CdrOutputStream,
+    WireBuffer,
     decode_value,
     encode_value,
 )
@@ -407,7 +408,8 @@ class Orb:
         profile = self.profile
         request_id = conn.next_request_id()
         out = CdrOutputStream(little_endian=self.little_endian,
-                              zero_copy=profile.zero_copy)
+                              zero_copy=profile.zero_copy,
+                              threshold=profile.rendezvous_threshold)
         self.wire.start_request(out, request_id, ref.ior.object_key,
                                 opdef.name, not opdef.oneway,
                                 principal=self.credentials)
@@ -417,12 +419,21 @@ class Orb:
             except Exception as exc:
                 raise SystemException(
                     "MARSHAL", f"{opdef.name} arg {pname!r}: {exc}") from exc
-        body = out.getvalue()
+        # two-way bodies leave as segment lists: bulk args ride by
+        # reference down to the NIC, safe because the caller blocks on
+        # the reply while the server reads.  Oneway callers return
+        # immediately, so their bodies are joined — rendezvous needs a
+        # blocked sender.
+        body = out.getvalue() if opdef.oneway else out.getbuffer()
         payload = self.wire.frame(self.wire.MSG_REQUEST, body,
                                   self.little_endian)
         mon = self.process.runtime.monitor
         if mon is not None:
             mon.on_counter("giop.requests")
+            mon.on_counter("wire.copied_bytes.corba",
+                           float(out.copied_bytes))
+            mon.on_counter("wire.referenced_bytes.corba",
+                           float(out.referenced_bytes))
         event = None if opdef.oneway else conn.register(request_id)
         conn.send_lock.acquire(proc)
         try:
@@ -455,13 +466,20 @@ class Orb:
         # reply-side client CPU: wake-up, demultiplex, unmarshal
         proc.sleep(profile.client_overhead * self._ovh +
                    profile.unmarshal_cost(rn))
-        if status == self.wire.REPLY_NO_EXCEPTION:
-            return self._decode_results(inp, opdef)
-        if status == self.wire.REPLY_USER_EXCEPTION:
-            raise self._decode_user_exception(inp, opdef)
-        minor = inp.read_string()
-        detail = inp.read_string()
-        raise SystemException(minor, detail)
+        try:
+            if status == self.wire.REPLY_NO_EXCEPTION:
+                return self._decode_results(inp, opdef)
+            if status == self.wire.REPLY_USER_EXCEPTION:
+                raise self._decode_user_exception(inp, opdef)
+            minor = inp.read_string()
+            detail = inp.read_string()
+            raise SystemException(minor, detail)
+        finally:
+            if mon is not None:
+                mon.on_counter("wire.copied_bytes.corba",
+                               float(inp.copied_bytes))
+                mon.on_counter("wire.referenced_bytes.corba",
+                               float(inp.referenced_bytes))
 
     def _decode_results(self, inp: CdrInputStream,
                         opdef: OperationDef) -> Any:
@@ -579,18 +597,19 @@ class Orb:
                 self._dispatch_one(proc, endpoint, body, little)
 
     def _dispatch_one(self, proc: SimProcess, endpoint: VLinkEndpoint,
-                      body: bytes, little: bool) -> None:
+                      body: "bytes | WireBuffer", little: bool) -> None:
         try:
             self._handle_request(proc, endpoint, body, little)
         except (TransferError, NoRouteError, BrokenPipeError):
             endpoint.close()  # reply path died; drop the connection
 
     def _handle_request(self, proc: SimProcess, endpoint: VLinkEndpoint,
-                        body: bytes, little: bool) -> None:
+                        body: "bytes | WireBuffer", little: bool) -> None:
         inp = CdrInputStream(body, little)
         request_id, expect_reply, key, opname, principal = \
             self.wire.read_request(inp)
         mon = self.process.runtime.monitor
+        out: CdrOutputStream | None = None
         if mon is not None:
             mon.on_span_start("corba.dispatch", cat="middleware",
                               op=opname, request_id=request_id)
@@ -604,7 +623,11 @@ class Orb:
                 proc.corba_principal = prev_principal
             if not expect_reply:
                 return
-            reply_body = out.getvalue()
+            # the reply too leaves as a segment list; bulk results must
+            # stay unmutated by the servant until the client decodes —
+            # the zero-copy reply contract (the transfer completes
+            # inside send(), and the client unblocks at that instant)
+            reply_body = out.getbuffer()
             payload = self.wire.frame(self.wire.MSG_REPLY, reply_body,
                                       self.little_endian)
             # reply-side server CPU: marshal results + send-path
@@ -614,6 +637,14 @@ class Orb:
             endpoint.send(proc, payload, self.wire.message_size(payload))
         finally:
             if mon is not None:
+                copied = inp.copied_bytes
+                referenced = inp.referenced_bytes
+                if out is not None:
+                    copied += out.copied_bytes
+                    referenced += out.referenced_bytes
+                mon.on_counter("wire.copied_bytes.corba", float(copied))
+                mon.on_counter("wire.referenced_bytes.corba",
+                               float(referenced))
                 mon.on_span_end("corba.dispatch")
 
     def _execute(self, proc: SimProcess, inp: CdrInputStream,
@@ -624,8 +655,10 @@ class Orb:
         header carries the final status and results are CDR-aligned
         relative to the true body start."""
         def fresh() -> CdrOutputStream:
-            return CdrOutputStream(little_endian=self.little_endian,
-                                   zero_copy=self.profile.zero_copy)
+            return CdrOutputStream(
+                little_endian=self.little_endian,
+                zero_copy=self.profile.zero_copy,
+                threshold=self.profile.rendezvous_threshold)
 
         try:
             if opname == "_non_existent":

@@ -39,6 +39,12 @@ class OrbProfile:
     server_overhead: float        # per-invocation server CPU, seconds
     copy_cost_per_byte: float     # marshalling copy cost, s/B per side
     collocated_overhead: float = 2.0e-6  # same-process short-circuit
+    #: Madeleine-style eager/rendezvous cutover for zero-copy ORBs:
+    #: bulk values below this many bytes are copied into the contiguous
+    #: message (eager), larger ones ride as reference segments
+    #: (rendezvous).  Mirrors cdr.ZERO_COPY_THRESHOLD; only consulted
+    #: when ``zero_copy`` is true.
+    rendezvous_threshold: int = 256
 
     @property
     def key(self) -> str:

@@ -19,6 +19,7 @@ performance) heuristic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -47,11 +48,39 @@ class Transfer:
     def size(self) -> int:
         return len(self.src_local)
 
+    @cached_property
+    def src_slice(self) -> slice | None:
+        """``src_local`` as a slice when it is a unit-stride range.
+
+        Block→block plans always qualify, which is what lets the wire
+        path gather pieces as views instead of fancy-index copies."""
+        return _as_slice(self.src_local)
+
+    @cached_property
+    def dst_slice(self) -> slice | None:
+        """``dst_local`` as a slice when it is a unit-stride range."""
+        return _as_slice(self.dst_local)
+
     def __eq__(self, other: object) -> bool:  # ndarray-aware equality
         return (isinstance(other, Transfer) and other.src == self.src
                 and other.dst == self.dst
                 and np.array_equal(other.src_local, self.src_local)
                 and np.array_equal(other.dst_local, self.dst_local))
+
+
+def _as_slice(idx: np.ndarray) -> slice | None:
+    """A slice equivalent to ``idx``, or None if it is not unit-stride."""
+    idx = np.asarray(idx)
+    n = len(idx)
+    if n == 0:
+        return slice(0, 0)
+    first = int(idx[0])
+    if int(idx[-1]) - first != n - 1:
+        return None
+    if n > 2 and not np.array_equal(idx, np.arange(first, first + n,
+                                                   dtype=idx.dtype)):
+        return None
+    return slice(first, first + n)
 
 
 @dataclass
@@ -122,7 +151,15 @@ def _block_block(source: BlockDistribution,
 
 
 def _generic(source: Distribution, target: Distribution) -> list[Transfer]:
-    """Vectorised owner arithmetic for any distribution pair."""
+    """Vectorised owner arithmetic for any distribution pair.
+
+    One stable argsort of the owner array replaces the per-destination
+    masking pass (which rescanned all ``n`` indices once per distinct
+    owner).  A stable sort keeps equal-owner indices in ascending
+    position order, so each run of the sorted owner array is exactly
+    the index subset the old ``owners == dst`` mask selected, in the
+    same order — the equality test in tests/core/ pins that down.
+    """
     transfers: list[Transfer] = []
     for src in range(source.parts):
         gidx = source.global_indices(src)
@@ -130,13 +167,18 @@ def _generic(source: Distribution, target: Distribution) -> list[Transfer]:
             continue
         owners = target.owner(gidx)
         src_local = source.local_of_global(src, gidx)
-        for dst in np.unique(owners):
-            mask = owners == dst
-            g_sub = gidx[mask]
+        order = np.argsort(owners, kind="stable")
+        sorted_owners = owners[order]
+        cut = np.flatnonzero(np.diff(sorted_owners)) + 1
+        starts = np.concatenate(([0], cut))
+        ends = np.concatenate((cut, [len(sorted_owners)]))
+        for s, e in zip(starts, ends):
+            sel = order[s:e]
+            dst = int(sorted_owners[s])
             transfers.append(Transfer(
-                src, int(dst),
-                src_local[mask],
-                target.local_of_global(int(dst), g_sub)))
+                src, dst,
+                src_local[sel],
+                target.local_of_global(dst, gidx[sel])))
     return transfers
 
 

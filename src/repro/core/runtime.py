@@ -103,6 +103,28 @@ def _as_dist_array(seqtype, value) -> np.ndarray:
     return arr
 
 
+def _row_nbytes(arr: np.ndarray) -> int:
+    """Bytes per distributed element (a scalar, or a 2D row)."""
+    return arr.itemsize * (arr.shape[1] if arr.ndim == 2 else 1)
+
+
+def _chunk_nbytes(chunk) -> int:
+    """Payload bytes of one wire chunk without materialising it.
+
+    Equals ``np.asarray(chunk).nbytes`` for every chunk shape the wire
+    produces (ndarray, list of row views, list of numbers)."""
+    nb = getattr(chunk, "nbytes", None)
+    if nb is not None:
+        return int(nb)
+    total = 0
+    for row in chunk:
+        nb = getattr(row, "nbytes", None)
+        if nb is None:
+            return int(np.asarray(chunk).nbytes)
+        total += int(nb)
+    return total
+
+
 # ---------------------------------------------------------------------------
 # server side
 # ---------------------------------------------------------------------------
@@ -168,7 +190,7 @@ class _ServerPortLayer:
                       request: str, src_rank: int, src_parts: int,
                       expected: int, wire_args: tuple, mon) -> Any:
         plains, chunks = self._split_wire_args(info, wire_args)
-        nbytes = sum(np.asarray(c).nbytes for _pos, _total, c in chunks)
+        nbytes = sum(_chunk_nbytes(c) for _pos, _total, c in chunks)
         if mon is not None:
             mon.on_counter("gridccm.redistribution_bytes", float(nbytes))
         proc.sleep(GRIDCCM_CALL_OVERHEAD + nbytes * GRIDCCM_COPY_COST)
@@ -186,7 +208,7 @@ class _ServerPortLayer:
 
         if len(pend.pieces) == pend.expected:
             try:
-                args = self._assemble(info, pend)
+                args = self._assemble(info, pend, mon)
                 self._exec_lock.acquire(proc)
                 try:
                     self.comm.bind(proc)
@@ -226,8 +248,14 @@ class _ServerPortLayer:
                 plains[pos] = next(it)
         return plains, chunks
 
-    def _assemble(self, info: ParallelOpInfo, pend: _Pending) -> list[Any]:
-        """Rebuild this node's local arguments from the pieces."""
+    def _assemble(self, info: ParallelOpInfo, pend: _Pending,
+                  mon=None) -> list[Any]:
+        """Rebuild this node's local arguments from the pieces.
+
+        This is the one unavoidable copy of the zero-copy scatter path:
+        incoming pieces (views over wire buffers) are placed into the
+        node's fresh local block — metered as
+        ``wire.copied_bytes.gridccm``."""
         in_params = info.original.in_params
         args: list[Any] = [None] * len(in_params)
         _src, _parts, plains, _chunks = pend.pieces[0]
@@ -250,9 +278,17 @@ class _ServerPortLayer:
             ncols = 0
             for src_rank, src_parts, _pl, chunk_list in pend.pieces:
                 chunk = next(c for (p2, _t, c) in chunk_list if p2 == pos)
+                # asarray keeps already-2D collocated pieces as views;
+                # remote nested pieces (lists of row views) materialise
+                # into one 2D array — a single metered copy per piece
                 data = np.asarray(chunk, dtype=dtype) if not nested else \
-                    (np.array(chunk, dtype=dtype) if len(chunk)
+                    (np.asarray(chunk, dtype=dtype) if len(chunk)
                      else np.zeros((0, 0), dtype=dtype))
+                if nested and len(chunk) and not isinstance(chunk,
+                                                            np.ndarray):
+                    if mon is not None:
+                        mon.on_counter("wire.copied_bytes.gridccm",
+                                       float(data.nbytes))
                 if nested and len(data):
                     if ncols and data.shape[1] != ncols:
                         raise GridCcmError(
@@ -275,7 +311,14 @@ class _ServerPortLayer:
                     raise GridCcmError(
                         f"{info.name}: piece from rank {src_rank} does "
                         f"not match the redistribution schedule")
-                local[transfer.dst_local] = data
+                sl = transfer.dst_slice
+                if sl is not None:
+                    local[sl] = data
+                else:
+                    local[transfer.dst_local] = data
+                if mon is not None:
+                    mon.on_counter("wire.copied_bytes.gridccm",
+                                   float(data.nbytes))
             args[pos] = local
         return args
 
@@ -398,9 +441,11 @@ class _CallEngine:
         if me == 0:
             my_targets = sorted(set(my_targets) | set(kick_targets))
 
-        # layer cost: gather copies of every outgoing piece
+        # layer cost: gather processing of every outgoing piece; pure
+        # arithmetic (size × row bytes) — identical to the nbytes of a
+        # materialised gather, without performing one
         out_bytes = sum(
-            dist_data[pos][t.src_local].nbytes
+            t.size * _row_nbytes(dist_data[pos])
             for pos, plan in plans.items() for t in plan.outgoing(me))
         proc.sleep(GRIDCCM_CALL_OVERHEAD + out_bytes * GRIDCCM_COPY_COST)
 
@@ -415,7 +460,7 @@ class _CallEngine:
             workers = []
             for r in my_targets:
                 wire = self._wire_args(info, plans, dist_data, args, me, n,
-                                       expected[r], request, r)
+                                       expected[r], request, r, mon)
                 workers.append(
                     self._spawn_call(info, r, wire, results, errors))
             for w in workers:
@@ -438,18 +483,35 @@ class _CallEngine:
                    plans: dict[int, RedistributionPlan],
                    dist_data: dict[int, np.ndarray], args: tuple,
                    me: int, n: int, expected: int, request: str,
-                   target: int) -> tuple:
+                   target: int, mon=None) -> tuple:
+        """Build one server node's piece message.
+
+        Unit-stride transfers (every block→block plan) gather the piece
+        as a *view* of the caller's array — zero client-side copies;
+        only genuinely scattered index sets fall back to a fancy-index
+        copy.  A nested (2D) piece stays one contiguous 2D array: the
+        CDR layer encodes its rows as contiguous views, so the old
+        copy-per-row is gone."""
         wire: list[Any] = [request, me, n, expected]
         for pos, (pname, _t) in enumerate(info.original.in_params):
             if pos in info.dist_positions:
                 plan = plans[pos]
                 transfer = next((t for t in plan.outgoing(me)
                                  if t.dst == target), None)
-                piece = (dist_data[pos][transfer.src_local]
-                         if transfer is not None
-                         else dist_data[pos][:0])
-                if _is_nested(info.dist_positions[pos]):
-                    piece = [np.ascontiguousarray(row) for row in piece]
+                data = dist_data[pos]
+                if transfer is None:
+                    piece = data[:0]
+                else:
+                    sl = transfer.src_slice
+                    piece = data[sl] if sl is not None \
+                        else data[transfer.src_local]
+                    if not piece.flags["C_CONTIGUOUS"]:
+                        piece = np.ascontiguousarray(piece)
+                    if mon is not None:
+                        kind = ("referenced" if piece.base is not None
+                                else "copied")
+                        mon.on_counter(f"wire.{kind}_bytes.gridccm",
+                                       float(piece.nbytes))
                 wire.append(plan.source.length)
                 wire.append(piece)
             else:

@@ -13,6 +13,16 @@ Cost model (charged to the virtual clock):
 - uppercase/buffer path: no software copy — the zero-copy Madeleine DMA
   path, which is what lets MPI saturate Myrinet in Figure 7;
 - wire time and per-message overheads are charged by the Circuit layer.
+
+Wall-clock protocol selection (Madeleine-style, virtual clock
+unaffected): outgoing buffers below :data:`RENDEZVOUS_THRESHOLD` are
+staged through an eager copy, so the caller may reuse its buffer the
+moment the send returns; buffers at or above it ride the rendezvous
+path — the message references the caller's memory, which must stay
+unmutated until the matching receive has completed (the standard
+zero-copy send contract).  Both disciplines are metered through the
+``wire.copied_bytes.mpi`` / ``wire.referenced_bytes.mpi`` obs counters,
+as is the delivery copy into the receiver's buffer.
 """
 
 from __future__ import annotations
@@ -40,6 +50,12 @@ ANY_TAG = -1
 #: generous for a 1 GHz Pentium III but it keeps the pickle path visibly
 #: slower than the zero-copy buffer path).
 PICKLE_BYTE_COST = 2.0e-9
+
+#: eager/rendezvous cutover for the buffer path: sends below this size
+#: are staged through an eager copy (buffer reusable immediately);
+#: larger sends reference the caller's buffer until the matching
+#: receive completes — Madeleine's large-message rendezvous protocol.
+RENDEZVOUS_THRESHOLD = 64 * 1024
 
 
 class MpiError(RuntimeError):
@@ -148,6 +164,30 @@ class Comm:
     def _monitor(self) -> Any:
         return self._circuit.runtime.monitor
 
+    def _stage(self, arr: np.ndarray) -> np.ndarray:
+        """Eager/rendezvous protocol selection for an outgoing buffer.
+
+        Below :data:`RENDEZVOUS_THRESHOLD` the buffer is copied
+        (eager — the caller may scribble on it right away); at or above
+        it the message references the caller's memory (rendezvous).
+        Pure wall-clock behaviour: the virtual clock never charges for
+        this copy either way."""
+        mon = self._monitor()
+        if arr.nbytes >= RENDEZVOUS_THRESHOLD:
+            if mon is not None:
+                mon.on_counter("wire.referenced_bytes.mpi",
+                               float(arr.nbytes))
+            return arr
+        if mon is not None:
+            mon.on_counter("wire.copied_bytes.mpi", float(arr.nbytes))
+        return arr.copy()
+
+    def _count_delivery(self, nbytes: int) -> None:
+        """Meter the copy into the receiver's buffer."""
+        mon = self._monitor()
+        if mon is not None:
+            mon.on_counter("wire.copied_bytes.mpi", float(nbytes))
+
     def __repr__(self) -> str:
         return (f"<Comm rank {self._rank}/{self.size} "
                 f"ctx={self._context!r}>")
@@ -222,9 +262,14 @@ class Comm:
     # point-to-point: buffer path (uppercase, zero-copy)
     # ------------------------------------------------------------------
     def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
-        """Blocking send of a numpy buffer on the zero-copy path."""
+        """Blocking send of a numpy buffer on the zero-copy path.
+
+        Small sends are eager (the buffer is reusable immediately);
+        sends of :data:`RENDEZVOUS_THRESHOLD` bytes or more reference
+        the caller's buffer, which must stay unmutated until the
+        receiver has completed the matching receive."""
         arr = np.ascontiguousarray(buf)
-        self._send_body(self.proc, dest, tag, ("b", arr.copy()),
+        self._send_body(self.proc, dest, tag, ("b", self._stage(arr)),
                         arr.nbytes, self._p2p_context())
 
     def Recv(self, buf: np.ndarray, source: int = ANY_SOURCE,
@@ -240,6 +285,7 @@ class Comm:
             raise MpiError(f"receive buffer is {out.nbytes} bytes, "
                            f"message is {data.nbytes}")
         np.copyto(out, data.reshape(out.shape))
+        self._count_delivery(out.nbytes)
         if status is not None:
             status.source, status.tag, status.count = src, mtag, n
 
@@ -268,7 +314,9 @@ class Comm:
     def Isend(self, buf: np.ndarray, dest: int, tag: int = 0) -> Request:
         """Nonblocking buffer send."""
         req = Request(self)
-        arr = np.ascontiguousarray(buf).copy()
+        # MPI nonblocking semantics already forbid touching the buffer
+        # before wait(), so the rendezvous reference is always safe here
+        arr = self._stage(np.ascontiguousarray(buf))
         ctx = self._p2p_context()
 
         def worker(p: SimProcess) -> None:
@@ -313,6 +361,7 @@ class Comm:
                     raise MpiError("Irecv matched a pickled message")
                 out = np.asarray(buf)
                 np.copyto(out, data.reshape(out.shape))
+                self._count_delivery(out.nbytes)
             except Exception as exc:  # noqa: BLE001
                 req._complete(error=exc)
             else:
@@ -357,11 +406,13 @@ class Comm:
                     my_part = part.copy()
                 else:
                     self._send_body(self.proc, dst, 9,
-                                    ("b", part.copy()), part.nbytes, ctx)
+                                    ("b", self._stage(part)),
+                                    part.nbytes, ctx)
             np.copyto(out, my_part.reshape(out.shape))
         else:
             _s, _t, body, _n = self._recv_body(self.proc, root, 9, ctx)
             np.copyto(out, body[1].reshape(out.shape))
+            self._count_delivery(out.nbytes)
 
     @_collective("Gatherv")
     def Gatherv(self, sendbuf: np.ndarray,
@@ -385,8 +436,9 @@ class Comm:
                 src, _t, body, _n = self._recv_body(self.proc, ANY_SOURCE,
                                                     10, ctx)
                 flat[offsets[src]:offsets[src + 1]] = body[1]
+                self._count_delivery(int(body[1].nbytes))
         else:
-            self._send_body(self.proc, root, 10, ("b", part.copy()),
+            self._send_body(self.proc, root, 10, ("b", self._stage(part)),
                             part.nbytes, ctx)
 
     # ------------------------------------------------------------------
@@ -464,12 +516,18 @@ class Comm:
         ctx = self._coll_context("Bcast")
         out = np.asarray(buf)
         if self._rank == root:
-            body: tuple[str, Any] = ("b", np.ascontiguousarray(out).copy())
+            # rendezvous contract for large broadcasts: the root buffer
+            # must stay unmutated until every rank's delivery copy —
+            # tree forwarding passes the same reference down unchanged
+            body: tuple[str, Any] = \
+                ("b", self._stage(np.ascontiguousarray(out)))
             n = float(out.nbytes)
         else:
             body, n = None, 0.0  # type: ignore[assignment]
         body, _n = self._tree_bcast(body, n, root, ctx)
-        np.copyto(out, body[1].reshape(out.shape))
+        if self._rank != root:
+            np.copyto(out, body[1].reshape(out.shape))
+            self._count_delivery(out.nbytes)
 
     def _tree_bcast(self, body: Any, nbytes: float, root: int,
                     ctx: str) -> tuple[Any, float]:
@@ -607,7 +665,9 @@ class Comm:
         ctx = self._coll_context("Reduce")
         size = self.size
         vrank = (self._rank - root) % size
-        acc = np.ascontiguousarray(sendbuf).copy()
+        # ops are functional (no in-place accumulation), so the initial
+        # accumulator can reference sendbuf on the rendezvous path
+        acc = self._stage(np.ascontiguousarray(sendbuf))
         mask = 1
         while mask < size:
             if vrank & mask:
@@ -623,8 +683,9 @@ class Comm:
         if self._rank == root:
             if recvbuf is None:
                 raise MpiError("root must supply recvbuf")
-            np.copyto(np.asarray(recvbuf), acc.reshape(
-                np.asarray(recvbuf).shape))
+            out = np.asarray(recvbuf)
+            np.copyto(out, acc.reshape(out.shape))
+            self._count_delivery(out.nbytes)
 
     @_collective("Allreduce")
     def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray,

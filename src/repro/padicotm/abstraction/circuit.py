@@ -123,7 +123,12 @@ class Circuit:
 
     def send(self, proc: SimProcess, my_rank: int, dst_rank: int,
              payload: Any, nbytes: float) -> None:
-        """Send a framed message to ``dst_rank`` (blocking, timed)."""
+        """Send a framed message to ``dst_rank`` (blocking, timed).
+
+        Payloads are forwarded by reference end-to-end (``nbytes``
+        drives the timing); see
+        :meth:`FramedGroupTransport.send <repro.padicotm.arbitration._framed.FramedGroupTransport.send>`
+        for the zero-copy/rendezvous contract."""
         self._check_open("send")
         mon = self.runtime.monitor
         if mon is not None:

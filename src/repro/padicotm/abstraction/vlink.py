@@ -153,7 +153,15 @@ class VLinkEndpoint:
 
     # ------------------------------------------------------------------
     def send(self, proc: SimProcess, payload: Any, nbytes: float) -> None:
-        """Send one message down the stream (blocking, timed)."""
+        """Send one message down the stream (blocking, timed).
+
+        ``payload`` is opaque and forwarded *by reference* — the timed
+        transfer is driven entirely by the separate ``nbytes`` float.
+        In particular a zero-copy ``(header, WireBuffer)`` GIOP frame
+        rides the whole VLink/driver path without any of its segments
+        being joined or copied; the receiver gets the same object the
+        sender passed in.  Senders that reuse payload memory must wait
+        until the receiver is done with it (rendezvous discipline)."""
         mon = self.runtime.monitor
         if mon is not None:
             mon.on_vlink(self, "send")

@@ -51,7 +51,14 @@ class FramedGroupTransport:
 
     def send(self, proc: SimProcess, src_rank: int, dst_rank: int,
              payload: Any, nbytes: float) -> None:
-        """Send one framed message; blocks for overhead + transfer."""
+        """Send one framed message; blocks for overhead + transfer.
+
+        ``payload`` is opaque and delivered by reference (zero-copy):
+        the timed transfer is driven by the ``nbytes`` float alone, so
+        staged ndarrays and ``WireBuffer`` segment lists cross the
+        transport without being joined or copied.  Large-message senders
+        must not mutate the payload until the receiver consumes it
+        (rendezvous discipline enforced at the MPI layer)."""
         src = self.members[src_rank]
         dst = self.members[dst_rank]
         local = src.host.name == dst.host.name

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from tests.analysis.conftest import lint_text
 
-PERF = {"perf-list-pop0", "perf-bytes-concat", "perf-getvalue-loop"}
+PERF = {"perf-list-pop0", "perf-bytes-concat", "perf-getvalue-loop",
+        "perf-tobytes-hot"}
+
+#: a module path inside the zero-copy wire directories
+HOT_PATH = "src/repro/corba/snippet.py"
 
 
 def perf_findings(source: str):
@@ -151,6 +155,108 @@ def test_getvalue_in_while_flagged():
                 inspect(out.getvalue())
     """)
     assert [f.rule for f in findings] == ["perf-getvalue-loop"]
+
+
+# ---------------------------------------------------------------------------
+# perf-tobytes-hot
+# ---------------------------------------------------------------------------
+
+def hot_findings(source: str, path: str = HOT_PATH):
+    module = path[len("src/"):-len(".py")].replace("/", ".")
+    return lint_text(source, path=path, module=module, rules=PERF)
+
+
+def test_tobytes_flagged_in_hot_dir():
+    findings = hot_findings("""
+        def marshal(arr, out):
+            out.write(arr.tobytes())
+    """)
+    assert [f.rule for f in findings] == ["perf-tobytes-hot"]
+    assert "write_bulk" in findings[0].message
+
+
+def test_tobytes_flagged_in_every_hot_dir():
+    for path in ("src/repro/corba/x.py", "src/repro/padicotm/sub/x.py",
+                 "src/repro/mpi/x.py", "src/repro/core/x.py"):
+        findings = hot_findings("""
+            def marshal(arr):
+                return arr.tobytes()
+        """, path=path)
+        assert [f.rule for f in findings] == ["perf-tobytes-hot"], path
+
+
+def test_tobytes_silent_outside_hot_dirs():
+    assert hot_findings("""
+        def marshal(arr):
+            return arr.tobytes()
+    """, path="src/repro/sim/x.py") == []
+    assert hot_findings("""
+        def marshal(arr):
+            return arr.tobytes()
+    """, path="examples/demo.py") == []
+
+
+def test_bytes_of_memoryview_name_flagged():
+    findings = hot_findings("""
+        def flatten(buf):
+            view = memoryview(buf)
+            return bytes(view)
+    """)
+    assert [f.rule for f in findings] == ["perf-tobytes-hot"]
+    assert "bytes(memoryview)" in findings[0].message
+
+
+def test_bytes_of_memoryview_call_flagged():
+    findings = hot_findings("""
+        def flatten(buf):
+            return bytes(memoryview(buf))
+    """)
+    assert [f.rule for f in findings] == ["perf-tobytes-hot"]
+
+
+def test_bytes_of_memoryview_slice_flagged():
+    # slicing a memoryview yields a memoryview; copying the slice is
+    # still a wire-path copy
+    findings = hot_findings("""
+        def head(buf, n):
+            view = memoryview(buf)
+            return bytes(view[:n])
+    """)
+    assert [f.rule for f in findings] == ["perf-tobytes-hot"]
+
+
+def test_bytes_of_plain_name_clean():
+    # bytes() over something not known to be a memoryview is fine
+    # (bytes(bytearray) at a deliberate flush point, bytes(int), ...)
+    assert hot_findings("""
+        def flush(buf):
+            return bytes(buf)
+    """) == []
+
+
+def test_getvalue_in_loop_in_hot_dir_reports_both_rules():
+    findings = hot_findings("""
+        def send_all(out, links):
+            for link in links:
+                link.push(out.getvalue())
+    """)
+    assert sorted(f.rule for f in findings) == \
+        ["perf-getvalue-loop", "perf-tobytes-hot"]
+
+
+def test_getvalue_outside_loop_in_hot_dir_clean():
+    # one join at a deliberate materialisation point is the contract
+    assert hot_findings("""
+        def finish(out):
+            return out.getvalue()
+    """) == []
+
+
+def test_tobytes_hot_suppressible():
+    assert hot_findings("""
+        def marshal(arr):
+            return arr.tobytes()  # repro-lint: disable=perf-tobytes-hot
+    """) == []
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,120 @@
+"""The argsort-based ``_generic`` must equal the old masking pass.
+
+The old implementation rescanned all ``n`` source indices once per
+distinct destination owner (``owners == dst`` per destination); the new
+one does a single stable argsort and cuts the runs.  The reference
+implementation below is the pre-optimisation code, kept verbatim so the
+equivalence is pinned against the real thing, not a paraphrase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import Distribution, make_distribution
+from repro.core.redistribution import Transfer, _as_slice, _generic
+
+
+def _generic_reference(source: Distribution,
+                       target: Distribution) -> list[Transfer]:
+    """The old per-destination masking implementation (pre-argsort)."""
+    transfers: list[Transfer] = []
+    for src in range(source.parts):
+        gidx = source.global_indices(src)
+        if len(gidx) == 0:
+            continue
+        owners = target.owner(gidx)
+        src_local = source.local_of_global(src, gidx)
+        for dst in np.unique(owners):
+            mask = owners == dst
+            g_sub = gidx[mask]
+            transfers.append(Transfer(
+                src, int(dst),
+                src_local[mask],
+                target.local_of_global(int(dst), g_sub)))
+    return transfers
+
+
+_dist_spec = st.one_of(
+    st.tuples(st.just("block"), st.integers(1, 6)),
+    st.tuples(st.just("cyclic"), st.integers(1, 6)),
+    st.tuples(st.just("block-cyclic"), st.integers(1, 6),
+              st.integers(1, 7)),
+)
+
+
+def _make(spec, length):
+    kind, parts = spec[:2]
+    bs = spec[2] if len(spec) > 2 else None
+    return make_distribution(kind, parts, length, bs)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_dist_spec, _dist_spec, st.integers(0, 200))
+def test_generic_equals_reference(src_spec, dst_spec, length):
+    """Same transfers, same order, same index arrays — exactly."""
+    source = _make(src_spec, length)
+    target = _make(dst_spec, length)
+    new = _generic(source, target)
+    old = _generic_reference(source, target)
+    assert len(new) == len(old)
+    for t_new, t_old in zip(new, old):
+        assert t_new.src == t_old.src
+        assert t_new.dst == t_old.dst
+        assert np.array_equal(t_new.src_local, t_old.src_local)
+        assert np.array_equal(t_new.dst_local, t_old.dst_local)
+
+
+# ---------------------------------------------------------------------------
+# slice detection on Transfer (the wire path's view-vs-copy switch)
+# ---------------------------------------------------------------------------
+
+def test_as_slice_unit_stride():
+    assert _as_slice(np.arange(3, 9)) == slice(3, 9)
+    assert _as_slice(np.array([5])) == slice(5, 6)
+    assert _as_slice(np.array([2, 3])) == slice(2, 4)
+    assert _as_slice(np.array([], dtype=np.int64)) == slice(0, 0)
+
+
+def test_as_slice_rejects_non_contiguous():
+    assert _as_slice(np.array([0, 2, 4])) is None        # stride 2
+    assert _as_slice(np.array([5, 4, 3])) is None        # descending
+    assert _as_slice(np.array([0, 2, 2])) is None        # same span, dupes
+    assert _as_slice(np.array([1, 3, 2, 4])) is None     # permuted
+
+
+def test_as_slice_accepts_python_lists():
+    assert _as_slice([4, 5, 6]) == slice(4, 7)
+    assert _as_slice([4, 6, 5]) is None
+
+
+def test_transfer_slices_cached():
+    t = Transfer(0, 1, np.arange(10), np.array([0, 2, 4, 6, 8, 1, 3, 5,
+                                                7, 9]))
+    assert t.src_slice == slice(0, 10)
+    assert t.dst_slice is None
+    # cached_property: same object on re-access
+    assert t.src_slice is t.src_slice
+
+
+def test_block_block_transfers_are_sliceable():
+    source = make_distribution("block", 3, 100, None)
+    target = make_distribution("block", 4, 100, None)
+    from repro.core.redistribution import redistribute_schedule
+    plan = redistribute_schedule(source, target)
+    assert plan.transfers
+    for t in plan.transfers:
+        assert t.src_slice is not None
+        assert t.dst_slice is not None
+
+
+def test_cyclic_transfers_are_not_sliceable():
+    source = make_distribution("cyclic", 2, 40, None)
+    target = make_distribution("block", 2, 40, None)
+    from repro.core.redistribution import redistribute_schedule
+    plan = redistribute_schedule(source, target)
+    # cyclic part 0 owns every even global index: its local indices are
+    # contiguous but the block-side placement is strided
+    assert any(t.dst_slice is None for t in plan.transfers)

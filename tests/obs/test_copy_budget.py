@@ -1,0 +1,207 @@
+"""Deterministic copy-budget gate (wired into ``make check``).
+
+Replays two paper workloads and pins the ``wire.copied_bytes.*``
+counters to committed expected values.  The counters are driven by the
+simulation, not the wall clock, so the gate is exact and deterministic:
+any new copy on the wire path changes a total and fails CI with the
+offending layer in the counter name.
+
+Pre-PR baselines are analytic, recorded here from the pre-zero-copy
+implementation of each path (the constants are *floors*: they count
+only the full-payload copies and ignore scalar headers, so the real
+pre-PR totals were strictly larger).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ccm import ComponentImpl
+from repro.core import (
+    GridCcmCompiler,
+    ParallelClient,
+    ParallelComponent,
+    ParallelismDescriptor,
+)
+from repro.corba import OMNIORB4, Orb, compile_idl
+from repro.mpi import create_world, spmd
+from repro.net import MYRINET_2000, Topology, build_cluster
+from repro.obs import TraceRecorder
+from repro.padicotm import PadicoRuntime
+
+# ---------------------------------------------------------------------------
+# §4.4 concurrency workload: 1 MB CORBA push + 1 MB MPI send over one SAN
+# ---------------------------------------------------------------------------
+
+_SIZE = 1_000_000
+
+#: pre-PR copies on this workload.  CORBA: the client joined the whole
+#: message for the wire (``out.getvalue()``) and the server decode
+#: materialised the octet blob — two full-payload copies.  MPI: ``Send``
+#: staged an eager copy of the buffer and ``Recv`` copied into the
+#: posted buffer — two more.
+_PRE_PR_CORBA_COPIED = 2 * _SIZE
+_PRE_PR_MPI_COPIED = 2 * _SIZE
+
+#: committed expected values.  CORBA still owes one copy: the octet
+#: sequence is handed to user code as owning ``bytes`` (plus 98 bytes
+#: of GIOP/request scalar headers across the three invocations).  MPI
+#: still owes the copy into the receiver's posted buffer; the 1 MB send
+#: is above the rendezvous threshold and rides by reference.
+_EXPECTED_CORBA_COPIED = _SIZE + 98
+_EXPECTED_MPI_COPIED = _SIZE
+
+
+def _sharing_counters() -> dict[str, float]:
+    idl = """
+    module Bench {
+        typedef sequence<octet> Blob;
+        interface Sink { void push(in Blob data); };
+    };
+    """
+    topo = Topology()
+    build_cluster(topo, "n", 2)
+    rt = PadicoRuntime(topo)
+    recorder = rt.observe(TraceRecorder())
+    p0 = rt.create_process("n0", "p0")
+    p1 = rt.create_process("n1", "p1")
+    s_orb = Orb(p1, OMNIORB4, compile_idl(idl))
+    s_orb.start()
+    c_orb = Orb(p0, OMNIORB4, compile_idl(idl))
+
+    class Sink(s_orb.servant_base("Bench::Sink")):
+        def push(self, data):
+            pass
+
+    url = s_orb.object_to_string(s_orb.poa.activate_object(Sink()))
+    world = create_world(rt, "bench", [p0, p1])
+    gate = 0.001
+
+    def corba_main(proc):
+        stub = c_orb.string_to_object(url)
+        stub.push(b"")
+        proc.sleep(gate - rt.kernel.now)
+        stub.push(bytes(_SIZE))
+
+    def mpi_main(proc, comm):
+        comm.bind(proc)
+        if comm.rank == 0:
+            proc.sleep(gate - rt.kernel.now)
+            comm.Send(np.zeros(_SIZE, dtype="u1"), dest=1)
+        else:
+            buf = np.empty(_SIZE, dtype="u1")
+            comm.Recv(buf, source=0)
+
+    p0.spawn(corba_main)
+    spmd(world, mpi_main)
+    rt.run()
+    rt.shutdown()
+    return recorder.counters
+
+
+def test_sharing_workload_copy_budget():
+    counters = _sharing_counters()
+    assert counters["wire.copied_bytes.corba"] == _EXPECTED_CORBA_COPIED
+    assert counters["wire.copied_bytes.mpi"] == _EXPECTED_MPI_COPIED
+    # the bulk payloads crossed each wire by reference, once per layer
+    assert counters["wire.referenced_bytes.corba"] == _SIZE
+    assert counters["wire.referenced_bytes.mpi"] == _SIZE
+    # and the budget is genuinely below the pre-zero-copy implementation
+    assert counters["wire.copied_bytes.corba"] < _PRE_PR_CORBA_COPIED
+    assert counters["wire.copied_bytes.mpi"] < _PRE_PR_MPI_COPIED
+
+
+# ---------------------------------------------------------------------------
+# 16 MiB GridCCM scatter: 2 clients block-redistribute to 2 server ranks
+# ---------------------------------------------------------------------------
+
+_N = 2
+_INTS_PER_RANK = 2 * 1024 * 1024          # 8 MiB per rank, i4
+_PAYLOAD = _N * _INTS_PER_RANK * 4        # 16 MiB total
+
+#: pre-PR wire-path copies of the full payload on this scatter (floor,
+#: headers excluded): the client gathered every piece with a
+#: fancy-index copy, joined the CDR message contiguously for the wire,
+#: and the server placed the decoded piece with an index-assignment
+#: copy — three full traversals of the 16 MiB.
+_PRE_PR_SCATTER_COPIED = 3 * _PAYLOAD
+
+_SCATTER_IDL = """
+module Bench {
+    typedef sequence<long> IntVector;
+    interface Sink { void absorb(in IntVector values); };
+    component Endpoint { provides Sink input; };
+    home EndpointHome manages Endpoint {};
+};
+"""
+
+_SCATTER_XML = """
+<parallelism component="Bench::Endpoint">
+  <port name="input">
+    <operation name="absorb">
+      <argument name="values" distribution="block"/>
+      <result policy="none"/>
+    </operation>
+  </port>
+</parallelism>
+"""
+
+
+class _SinkImpl(ComponentImpl):
+    def absorb(self, values):
+        self.mpi.Barrier()
+
+
+def _scatter_deltas() -> dict[str, float]:
+    topo = Topology()
+    build_cluster(topo, "h", 2 * _N, san=MYRINET_2000)
+    rt = PadicoRuntime(topo)
+    recorder = rt.observe(TraceRecorder())
+    server_procs = [rt.create_process(f"h{i}", f"s{i}")
+                    for i in range(_N)]
+    comp = ParallelComponent.create(rt, "bench", server_procs,
+                                    _SCATTER_IDL, _SCATTER_XML, _SinkImpl,
+                                    profile=OMNIORB4)
+    url = comp.proxy_url("input")
+    client_procs = [rt.create_process(f"h{_N + i}", f"c{i}")
+                    for i in range(_N)]
+    world = create_world(rt, "clients", client_procs)
+    marks: dict[str, dict[str, float]] = {}
+
+    def main(proc, comm):
+        idl = compile_idl(_SCATTER_IDL)
+        plan = GridCcmCompiler(
+            idl, ParallelismDescriptor.parse(_SCATTER_XML)).compile()
+        orb = Orb(client_procs[comm.rank], OMNIORB4, idl)
+        pc = ParallelClient.attach(orb, plan, "input", url, comm=comm)
+        pc.absorb(np.zeros(1, dtype="i4"))  # warm-up: connections + plans
+        comm.barrier()
+        if comm.rank == 0:
+            marks["before"] = dict(recorder.counters)
+        pc.absorb(np.zeros(_INTS_PER_RANK, dtype="i4"))
+        comm.barrier()
+        if comm.rank == 0:
+            marks["after"] = dict(recorder.counters)
+
+    spmd(world, main)
+    rt.run()
+    rt.shutdown()
+    before, after = marks["before"], marks["after"]
+    return {k: after.get(k, 0.0) - before.get(k, 0.0)
+            for k in after if k.startswith("wire.")}
+
+
+def test_gridccm_16mib_scatter_copy_budget():
+    delta = _scatter_deltas()
+    # the one copy left is the server-side placement into the
+    # component's local array; gather and marshal ride by reference
+    assert delta["wire.copied_bytes.gridccm"] == _PAYLOAD
+    assert delta["wire.referenced_bytes.gridccm"] == _PAYLOAD
+    # CDR sees the payload twice (marshal segments + unmarshal views),
+    # copying only scalar request/reply headers
+    assert delta["wire.referenced_bytes.corba"] == 2 * _PAYLOAD
+    assert delta["wire.copied_bytes.corba"] == 216
+    # acceptance: at most a third of the pre-PR copy traffic
+    copied = (delta["wire.copied_bytes.gridccm"]
+              + delta.get("wire.copied_bytes.mpi", 0.0))
+    assert copied <= _PRE_PR_SCATTER_COPIED / 3
