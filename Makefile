@@ -6,13 +6,28 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check lint test copy-budget schedule-smoke bench-smoke \
-	bench-wallclock sarif
+.PHONY: check lint lint-full lint-mutants test copy-budget \
+	schedule-smoke bench-smoke bench-wallclock sarif
 
-check: lint test copy-budget schedule-smoke bench-smoke bench-wallclock
+check: lint lint-mutants test copy-budget schedule-smoke bench-smoke \
+	bench-wallclock
 
+# Incremental: per-file results and call-graph summaries are cached by
+# content hash in .repro-lint-cache.json; the interprocedural phase
+# always re-runs, so a callee change re-derives its cached callers.
 lint:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis.cli --changed \
+		src examples
+
+# Full run, no cache — what CI gates on (cold containers have no cache
+# to trust anyway)
+lint-full:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis.cli src examples
+
+# Seeded-mutant gate: every buf-*/ker-block-deep/obs-guard corpus
+# defect must be caught, every good-corpus pattern must stay clean
+lint-mutants:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis.mutants
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q

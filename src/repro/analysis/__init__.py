@@ -9,6 +9,14 @@ checked rules (see ``docs/ANALYSIS.md``):
   (``lay-*``), plus semantic lint for IDL/parallelism specs
   (``idl-*``).
 
+Since repro-lint v2 the per-file families are complemented by an
+*interprocedural* engine — a project call graph
+(:mod:`repro.analysis.callgraph`) plus a summary fixpoint framework
+(:mod:`repro.analysis.dataflow`) — with three whole-program clients:
+``buf-*`` (zero-copy buffer escape/mutation-after-publish),
+``ker-block-deep`` (transitive blocking-call reachability) and
+``obs-guard`` (instrumentation dominated by non-None guards).
+
 Entry points: the ``repro-lint`` console script
 (:func:`repro.analysis.cli.main`) and :func:`run_analysis` for
 programmatic use (the tier-1 gate test in ``tests/analysis``).
@@ -17,10 +25,14 @@ programmatic use (the tier-1 gate test in ``tests/analysis``).
 from repro.analysis.base import (
     Checker,
     ModuleContext,
+    ProjectChecker,
     all_checkers,
+    all_project_checkers,
     all_rules,
     register_checker,
+    register_project_checker,
 )
+from repro.analysis.cache import DEFAULT_CACHE_NAME, AnalysisCache
 from repro.analysis.baseline import (
     DEFAULT_BASELINE_NAME,
     apply_baseline,
@@ -37,15 +49,19 @@ from repro.analysis.idllint import (
 from repro.analysis.suppress import Suppressions
 
 __all__ = [
+    "AnalysisCache",
     "AnalysisConfig",
     "Checker",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_CACHE_NAME",
     "DEFAULT_CONFIG",
     "Finding",
     "ModuleContext",
+    "ProjectChecker",
     "Severity",
     "Suppressions",
     "all_checkers",
+    "all_project_checkers",
     "all_rules",
     "apply_baseline",
     "find_project_root",
@@ -54,6 +70,7 @@ __all__ = [
     "lint_parallelism_element",
     "load_baseline",
     "register_checker",
+    "register_project_checker",
     "run_analysis",
     "sort_findings",
 ]

@@ -1,0 +1,111 @@
+"""Content-addressed per-file result cache for ``repro-lint --changed``.
+
+Reuses the baseline's content-addressing idea at file granularity: each
+entry is keyed by the SHA-1 of the file's bytes and stores everything
+the engine otherwise derives from the AST — per-file findings, inline
+suppressions, the call-graph slice, and every project checker's fact
+blob.  An unchanged file is therefore never re-read beyond hashing, yet
+the *interprocedural* phase still runs over all summaries every time,
+so a change in one file correctly re-derives findings in its unchanged
+callers (summary invalidation is structural, not cached).
+
+The cache signature folds in the registered rule set: adding, removing
+or renaming rules invalidates every entry, so stale fact formats from
+an older checker generation can never leak into a run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.callgraph import FileSlice
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppress import Suppressions
+
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+_SCHEMA = "repro-lint-cache/1"
+
+
+def file_sha(path: Path) -> str:
+    return hashlib.sha1(path.read_bytes()).hexdigest()
+
+
+def _signature() -> str:
+    from repro.analysis.base import all_rules
+    blob = _SCHEMA + "|" + ",".join(sorted(all_rules()))
+    return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
+def _finding_to_json(f: Finding) -> dict:
+    return {"rule": f.rule, "message": f.message, "path": f.path,
+            "line": f.line, "col": f.col, "severity": int(f.severity),
+            "source_line": f.source_line}
+
+
+def _finding_from_json(blob: dict) -> Finding:
+    return Finding(blob["rule"], blob["message"], blob["path"],
+                   blob["line"], blob["col"],
+                   Severity(blob["severity"]), blob["source_line"])
+
+
+class AnalysisCache:
+    """Load/store per-file analysis units keyed by content hash."""
+
+    def __init__(self, path: Path | None = None) -> None:
+        self.path = path
+        self.entries: dict[str, dict] = {}
+        #: paths served from cache during the last run (for reporting)
+        self.hits: list[str] = []
+        self.misses: list[str] = []
+
+    # -- persistence -----------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "AnalysisCache":
+        cache = cls(path)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return cache
+        if doc.get("signature") != _signature():
+            return cache  # rule set changed: start fresh
+        entries = doc.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = entries
+        return cache
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        live = {p: e for p, e in sorted(self.entries.items())
+                if (self.path.parent / p).exists()}
+        self.path.write_text(json.dumps(
+            {"signature": _signature(), "entries": live},
+            separators=(",", ":")) + "\n")
+
+    # -- per-file units --------------------------------------------------
+    def lookup(self, relpath: str, sha: str) -> dict | None:
+        """Deserialized unit for an unchanged file, else None."""
+        entry = self.entries.get(relpath)
+        if entry is None or entry.get("sha") != sha:
+            self.misses.append(relpath)
+            return None
+        self.hits.append(relpath)
+        return {
+            "findings": [_finding_from_json(b) for b in entry["findings"]],
+            "suppressions": Suppressions.from_json(entry["suppressions"]),
+            "slice": (FileSlice.from_json(entry["slice"])
+                      if entry.get("slice") is not None else None),
+            "facts": dict(entry.get("facts", {})),
+        }
+
+    def store(self, relpath: str, sha: str, findings: list[Finding],
+              suppressions: Suppressions, slice_, facts: dict) -> None:
+        self.entries[relpath] = {
+            "sha": sha,
+            "findings": [_finding_to_json(f) for f in findings],
+            "suppressions": suppressions.to_json(),
+            "slice": slice_.to_json() if slice_ is not None else None,
+            "facts": facts,
+        }

@@ -3,6 +3,8 @@
 Examples::
 
     repro-lint src examples              # gate: exit 1 on any finding
+    repro-lint --changed src examples    # incremental: reuse cached
+                                         # results for unchanged files
     repro-lint --list-rules              # what can fire and why
     repro-lint --update-baseline src     # accept current findings
     repro-lint --format json src | jq .  # machine-readable output
@@ -18,13 +20,14 @@ import json
 import sys
 from pathlib import Path
 
-from repro.analysis.base import all_checkers
+from repro.analysis.base import all_checkers, all_project_checkers
 from repro.analysis.baseline import (
     DEFAULT_BASELINE_NAME,
     apply_baseline,
     format_baseline,
     load_baseline,
 )
+from repro.analysis.cache import DEFAULT_CACHE_NAME, AnalysisCache
 from repro.analysis.config import DEFAULT_CONFIG
 from repro.analysis.engine import find_project_root, run_analysis
 
@@ -42,6 +45,15 @@ def _build_parser() -> argparse.ArgumentParser:
                              f"<project-root>/{DEFAULT_BASELINE_NAME})")
     parser.add_argument("--no-baseline", action="store_true",
                         help="report baselined findings too")
+    parser.add_argument("--changed", action="store_true",
+                        help="incremental mode: reuse per-file results "
+                             "and call-graph summaries cached by "
+                             f"content hash in {DEFAULT_CACHE_NAME} "
+                             "(the interprocedural phase always "
+                             "re-runs over all summaries)")
+    parser.add_argument("--cache", type=Path, default=None,
+                        help="cache file used by --changed (default: "
+                             f"<project-root>/{DEFAULT_CACHE_NAME})")
     parser.add_argument("--update-baseline", action="store_true",
                         help="write current findings to the baseline "
                              "file and exit 0")
@@ -62,7 +74,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.list_rules:
-        for cls in all_checkers():
+        for cls in (*all_checkers(), *all_project_checkers()):
             print(f"[{cls.name}]")
             for rule, desc in cls.rules.items():
                 print(f"  {rule:24} {desc}")
@@ -82,7 +94,18 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     project_root = find_project_root(roots[0])
-    findings = run_analysis(roots, DEFAULT_CONFIG, project_root)
+    cache = None
+    if args.changed:
+        cache_path = args.cache or project_root / DEFAULT_CACHE_NAME
+        cache = AnalysisCache.load(cache_path)
+        cache.path = cache_path
+    findings = run_analysis(roots, DEFAULT_CONFIG, project_root,
+                            cache=cache)
+    if cache is not None:
+        cache.save()
+        total = len(cache.hits) + len(cache.misses)
+        print(f"repro-lint: --changed reused {len(cache.hits)}/{total} "
+              f"cached file(s)", file=sys.stderr)
 
     baseline_path = args.baseline or project_root / DEFAULT_BASELINE_NAME
     if args.update_baseline:

@@ -1,0 +1,134 @@
+"""Interprocedural dataflow: SCC condensation + summary fixpoint.
+
+The framework is deliberately small: a *client* owns a per-function
+summary (any JSON-ish value) and a monotone ``transfer`` function that
+recomputes one function's summary from its local facts plus the current
+summaries of its callees.  :func:`solve` runs the classic worklist:
+
+* Tarjan's algorithm (iterative — analysis runs over arbitrarily deep
+  project code) condenses the call graph into strongly connected
+  components, emitted callees-first, so each acyclic region is solved
+  in one pass.
+* Within an SCC (recursion, mutual recursion) members are iterated to
+  a fixpoint.  Termination is the client's contract: summaries must
+  only grow under repeated transfer (all three shipped clients use
+  monotone set/dict unions over finite fact domains).  A generous
+  iteration cap turns a buggy non-monotone client into a loud error
+  rather than a hang.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+#: safety net for non-monotone clients; real SCCs converge in 2-3 rounds
+MAX_SCC_ROUNDS = 64
+
+
+class FixpointError(RuntimeError):
+    """An SCC failed to converge — the client's transfer is unsound."""
+
+
+def strongly_connected(nodes: Iterable[str],
+                       adjacency: dict[str, list[str]]
+                       ) -> list[list[str]]:
+    """SCCs of the directed graph, callees-first (reverse topological
+    order of the condensation), each component sorted for determinism.
+
+    Iterative Tarjan: the explicit stack mirrors the recursive
+    formulation's (node, edge cursor) frames.
+    """
+    order = list(dict.fromkeys(nodes))
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in order:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, cursor = work[-1]
+            if cursor == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            succs = adjacency.get(node, ())
+            advanced = False
+            while cursor < len(succs):
+                succ = succs[cursor]
+                cursor += 1
+                if succ not in index:
+                    work[-1] = (node, cursor)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+def solve(nodes: Iterable[str],
+          adjacency: dict[str, list[str]],
+          initial: Callable[[str], Any],
+          transfer: Callable[[str, dict[str, Any]], Any],
+          equal: Callable[[Any, Any], bool] = lambda a, b: a == b,
+          ) -> dict[str, Any]:
+    """Fixpoint of ``transfer`` over the call graph.
+
+    ``initial(node)`` seeds each function with its local facts;
+    ``transfer(node, summaries)`` recomputes one summary reading only
+    ``summaries`` (callee entries are final for already-solved SCCs and
+    the previous round's value inside the current SCC).
+    """
+    summaries: dict[str, Any] = {}
+    for node in dict.fromkeys(nodes):
+        summaries[node] = initial(node)
+    for scc in strongly_connected(summaries, adjacency):
+        trivial = len(scc) == 1 and scc[0] not in adjacency.get(
+            scc[0], ())
+        if trivial:
+            summaries[scc[0]] = transfer(scc[0], summaries)
+            continue
+        for _round in range(MAX_SCC_ROUNDS):
+            changed = False
+            for node in scc:
+                updated = transfer(node, summaries)
+                if not equal(updated, summaries[node]):
+                    summaries[node] = updated
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise FixpointError(
+                f"dataflow SCC {scc!r} did not converge in "
+                f"{MAX_SCC_ROUNDS} rounds; the client transfer is not "
+                f"monotone")
+    return summaries
+
+
+def reach_chain(chain: tuple[str, ...], limit: int = 5) -> str:
+    """Human-readable ``a -> b -> c`` call chain, elided when long."""
+    shown = [q.rsplit(".", 1)[-1] + "()" for q in chain[:limit]]
+    if len(chain) > limit:
+        shown.append("...")
+    return " -> ".join(shown)

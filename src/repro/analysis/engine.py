@@ -1,10 +1,21 @@
 """Analysis engine: file discovery, checker dispatch, filtering.
 
-The engine walks the given roots for ``*.py`` and ``*.idl`` sources,
-builds a :class:`ModuleContext` per file, runs every registered checker,
-then filters findings through inline suppressions and the config-level
-file allowlist.  Baseline filtering is the caller's concern (CLI and
-the tier-1 gate test both layer it on top via :mod:`.baseline`).
+The engine walks the given roots for ``*.py`` and ``*.idl`` sources and
+produces one *analysis unit* per file: the per-file checkers' findings
+(already filtered through inline suppressions and the config
+allowlist), the file's inline suppressions, its call-graph slice, and
+each registered :class:`ProjectChecker`'s fact blob.  Units are
+JSON-serializable so ``--changed`` can reuse them for unchanged files
+via :class:`~repro.analysis.cache.AnalysisCache`.
+
+After the per-file pass the *interprocedural phase* always runs: the
+slices are assembled into a :class:`~repro.analysis.callgraph.CallGraph`
+and every project checker gets all facts plus the graph.  This phase is
+never cached — it is cheap (no parsing) and re-deriving it is what
+keeps cached callers honest when a callee's summary changes.
+
+Baseline filtering is the caller's concern (CLI and the tier-1 gate
+test both layer it on top via :mod:`.baseline`).
 """
 
 from __future__ import annotations
@@ -12,7 +23,13 @@ from __future__ import annotations
 import ast
 from pathlib import Path
 
-from repro.analysis.base import ModuleContext, all_checkers
+from repro.analysis import callgraph
+from repro.analysis.base import (
+    ModuleContext,
+    all_checkers,
+    all_project_checkers,
+)
+from repro.analysis.cache import AnalysisCache, file_sha
 from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
 from repro.analysis.findings import Finding, sort_findings
 from repro.analysis.suppress import Suppressions
@@ -77,34 +94,94 @@ def build_context(path: Path, project_root: Path) -> ModuleContext:
                          Suppressions.scan(source))
 
 
+def _filtered(findings, ctx_suppressions: Suppressions,
+              config: AnalysisConfig) -> list[Finding]:
+    out: list[Finding] = []
+    for finding in findings:
+        if finding.rule in config.disabled_rules:
+            continue
+        if ctx_suppressions.is_suppressed(finding.rule, finding.line):
+            continue
+        if config.is_allowed(finding.path, finding.rule):
+            continue
+        out.append(finding)
+    return out
+
+
+def _analyze_file(path: Path, project_root: Path,
+                  config: AnalysisConfig,
+                  checkers, project_checkers) -> dict:
+    """One freshly computed analysis unit (same shape as a cache hit)."""
+    ctx = build_context(path, project_root)
+    unit: dict = {"findings": [], "suppressions": ctx.suppressions,
+                  "slice": None, "facts": {}}
+    if ctx.tree is None and path.suffix == ".py":
+        exc = getattr(ctx, "parse_error", None)
+        unit["findings"].append(Finding(
+            "parse-error", f"file does not parse: {exc}", ctx.path,
+            getattr(exc, "lineno", 0) or 0))
+        return unit
+    for checker in checkers:
+        if not checker.applicable(ctx):
+            continue
+        unit["findings"].extend(_filtered(
+            checker.check(ctx, config), ctx.suppressions, config))
+    if ctx.tree is not None:
+        unit["slice"] = callgraph.slice_for(ctx)
+        for checker in project_checkers:
+            unit["facts"][checker.name] = checker.file_facts(ctx, config)
+    return unit
+
+
 def run_analysis(roots: list[Path],
                  config: AnalysisConfig = DEFAULT_CONFIG,
-                 project_root: Path | None = None) -> list[Finding]:
+                 project_root: Path | None = None,
+                 cache: AnalysisCache | None = None) -> list[Finding]:
     """Run every registered checker over the roots; returns findings
-    that survive inline suppressions and the config allowlist."""
+    that survive inline suppressions and the config allowlist.
+
+    With ``cache`` set, unchanged files (by content hash) reuse their
+    cached per-file findings, suppressions, call-graph slice and fact
+    blobs; the interprocedural phase still runs in full.
+    """
     if project_root is None:
         project_root = find_project_root(roots[0] if roots else Path("."))
     project_root = project_root.resolve()
     checkers = [cls() for cls in all_checkers()]
-    findings: list[Finding] = []
+    project_checkers = [cls() for cls in all_project_checkers()]
+
+    units: dict[str, dict] = {}
     for path in collect_files(roots):
-        ctx = build_context(path, project_root)
-        if ctx.tree is None and path.suffix == ".py":
-            exc = getattr(ctx, "parse_error", None)
-            findings.append(Finding(
-                "parse-error", f"file does not parse: {exc}", ctx.path,
-                getattr(exc, "lineno", 0) or 0))
-            continue
-        for checker in checkers:
-            if not checker.applicable(ctx):
-                continue
-            for finding in checker.check(ctx, config):
-                if finding.rule in config.disabled_rules:
-                    continue
-                if ctx.suppressions.is_suppressed(finding.rule,
-                                                  finding.line):
-                    continue
-                if config.is_allowed(finding.path, finding.rule):
-                    continue
-                findings.append(finding)
+        relpath = path.resolve().relative_to(project_root).as_posix()
+        unit = None
+        sha = None
+        if cache is not None:
+            sha = file_sha(path)
+            unit = cache.lookup(relpath, sha)
+        if unit is None:
+            unit = _analyze_file(path, project_root, config,
+                                 checkers, project_checkers)
+            if cache is not None:
+                cache.store(relpath, sha, unit["findings"],
+                            unit["suppressions"], unit["slice"],
+                            unit["facts"])
+        units[relpath] = unit
+
+    findings: list[Finding] = []
+    for unit in units.values():
+        findings.extend(unit["findings"])
+
+    # interprocedural phase: always recomputed over all summaries
+    slices = [u["slice"] for u in units.values()
+              if u["slice"] is not None]
+    graph = callgraph.CallGraph.from_slices(slices)
+    for checker in project_checkers:
+        facts = {path: unit["facts"].get(checker.name)
+                 for path, unit in units.items()
+                 if checker.name in unit["facts"]}
+        for finding in checker.project_check(facts, graph, config):
+            unit = units.get(finding.path)
+            suppressions = (unit["suppressions"] if unit is not None
+                            else Suppressions())
+            findings.extend(_filtered([finding], suppressions, config))
     return sort_findings(findings)

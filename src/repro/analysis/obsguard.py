@@ -1,0 +1,421 @@
+"""Instrumentation-guard checker (rule ``obs-guard``).
+
+PR 3's zero-perturbation property — an uninstrumented run executes
+byte-for-byte the same code — rests on one idiom: every monitor/tracer
+hook call is dominated by a ``monitor is not None`` guard (the
+attach/detach protocol hands out ``None`` when nothing is attached).
+The dynamic tests only *sample* that property; this rule proves it for
+every call site:
+
+``obs-guard``
+    A hook call (``mon.on_span_start(...)``, ``self.tracer.on_switch``,
+    ...) on a monitor-typed expression that is not dominated by a
+    non-None guard for that same expression — or an *unguarded*
+    monitor expression passed to a helper whose summary says it
+    dereferences that parameter unguarded (the interprocedural form).
+
+Monitor-typed expressions are recognised syntactically: attribute
+chains ending in ``monitor``/``_monitor``/``tracer``/``_tracer``,
+locals assigned from such a chain (or from calling one, e.g.
+``mon = self._monitor()``), and parameters with those conventional
+names.  Accepted dominators, matched by expression identity:
+
+* ``if E is not None: ...`` / ``if E: ...`` (including ``and`` chains
+  and ``elif`` arms asserting E);
+* an early out — ``if E is None: return/raise/continue/break`` — which
+  guards the remainder of the enclosing block;
+* ``assert E is not None``;
+* the expression forms ``E is not None and E.on_x()`` and
+  ``E.on_x() if E is not None else ...``.
+
+A helper that takes the monitor as a *parameter* and dereferences it
+unguarded is not flagged locally — its contract is "caller guards" —
+but every call site that passes an unguarded monitor into it is, with
+the helper's name in the message.  Guarded helpers absorb the
+obligation, so ``Circuit._check_open``-style wrappers stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import dataflow
+from repro.analysis.base import (
+    ModuleContext,
+    ProjectChecker,
+    register_project_checker,
+)
+from repro.analysis.callgraph import (
+    MODULE_BODY,
+    CallGraph,
+    slice_for,
+)
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+
+_MONITOR_ATTRS = {"monitor", "_monitor", "tracer", "_tracer"}
+_MONITOR_PARAMS = {"monitor", "mon", "tracer", "_monitor", "_tracer"}
+
+
+def _attr_key(node: ast.expr) -> str | None:
+    """Dotted text of a Name/Attribute chain (``self.kernel.tracer``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _FnScanner:
+    """Guard-tracking linear scan of one function body."""
+
+    def __init__(self, owner: "_ObsIrBuilder", qual: str,
+                 params: list[str]):
+        self.owner = owner
+        self.qual = qual
+        self.params = {name: i for i, name in enumerate(params)
+                       if name in _MONITOR_PARAMS}
+        #: locals known to hold a monitor (assigned from a monitor attr)
+        self.mvars: set[str] = set()
+        self.derefs: list[dict] = []
+        self.passes: list[dict] = []
+
+    # -- monitor-typed expressions --------------------------------------
+    def _monitor_key(self, node: ast.expr) -> str | None:
+        """Guardable identity of a monitor-typed expression, or None."""
+        if isinstance(node, ast.Name):
+            if node.id in self.mvars or node.id in self.params:
+                return node.id
+            return None
+        key = _attr_key(node)
+        if key is not None and key.rsplit(".", 1)[-1] in _MONITOR_ATTRS:
+            return key
+        return None
+
+    def _is_monitor_source(self, node: ast.expr) -> bool:
+        """Does this expression produce a monitor?  (attr chain or a
+        call of one, e.g. ``self._monitor()``)"""
+        if self._monitor_key(node) is not None:
+            return True
+        if isinstance(node, ast.Call) and not node.args:
+            func_key = _attr_key(node.func)
+            return (func_key is not None and
+                    func_key.rsplit(".", 1)[-1] in _MONITOR_ATTRS)
+        return False
+
+    # -- guard extraction ------------------------------------------------
+    def _asserted_keys(self, test: ast.expr) -> set[str]:
+        """Expression keys a true ``test`` proves non-None."""
+        keys: set[str] = set()
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            for value in test.values:
+                keys |= self._asserted_keys(value)
+            return keys
+        if isinstance(test, ast.Compare) and len(test.ops) == 1 and \
+                isinstance(test.ops[0], ast.IsNot) and \
+                isinstance(test.comparators[0], ast.Constant) and \
+                test.comparators[0].value is None:
+            key = self._monitor_key(test.left)
+            if key is not None:
+                keys.add(key)
+            return keys
+        key = self._monitor_key(test)
+        if key is not None:
+            keys.add(key)
+        return keys
+
+    def _refuted_keys(self, test: ast.expr) -> set[str]:
+        """Keys a *false* test proves non-None (``E is None`` guards)."""
+        if isinstance(test, ast.Compare) and len(test.ops) == 1 and \
+                isinstance(test.ops[0], ast.Is) and \
+                isinstance(test.comparators[0], ast.Constant) and \
+                test.comparators[0].value is None:
+            key = self._monitor_key(test.left)
+            if key is not None:
+                return {key}
+        return set()
+
+    @staticmethod
+    def _terminates(body: list[ast.stmt]) -> bool:
+        return bool(body) and isinstance(
+            body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+    # -- walk ------------------------------------------------------------
+    def scan(self, body: list[ast.stmt]) -> None:
+        self._block(body, set())
+
+    def _block(self, body: list[ast.stmt], guarded: set[str]) -> None:
+        guarded = set(guarded)
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested definitions get their own scanner
+            if isinstance(stmt, ast.If):
+                self._scan_expr(stmt.test, guarded)
+                self._block(stmt.body,
+                            guarded | self._asserted_keys(stmt.test))
+                refuted = self._refuted_keys(stmt.test)
+                self._block(stmt.orelse, guarded | refuted)
+                if refuted and self._terminates(stmt.body):
+                    guarded |= refuted  # early out dominates the rest
+                continue
+            if isinstance(stmt, ast.Assert):
+                self._scan_expr(stmt.test, guarded)
+                guarded |= self._asserted_keys(stmt.test)
+                continue
+            if isinstance(stmt, ast.While):
+                self._scan_expr(stmt.test, guarded)
+                self._block(stmt.body,
+                            guarded | self._asserted_keys(stmt.test))
+                self._block(stmt.orelse, guarded)
+                continue
+            # other compound statements: header first, then blocks with
+            # the same dominating guards (try/with/for do not invalidate)
+            for expr in self._header_exprs(stmt):
+                self._scan_expr(expr, guarded)
+            for block in self._nested_blocks(stmt):
+                self._block(block, guarded)
+            self._track_assign(stmt, guarded)
+
+    @staticmethod
+    def _nested_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        blocks: list[list[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, attr, None)
+            if isinstance(nested, list) and nested and \
+                    isinstance(nested[0], ast.stmt):
+                blocks.append(nested)
+        for handler in getattr(stmt, "handlers", []) or []:
+            blocks.append(handler.body)
+        return blocks
+
+    @staticmethod
+    def _header_exprs(stmt: ast.stmt):
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                yield child
+
+    def _track_assign(self, stmt: ast.stmt, guarded: set[str]) -> None:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            return
+        guarded.discard(target.id)
+        if self._is_monitor_source(stmt.value):
+            self.mvars.add(target.id)
+        else:
+            self.mvars.discard(target.id)
+            self.params.pop(target.id, None)
+
+    # -- expressions -----------------------------------------------------
+    def _scan_expr(self, node: ast.expr, guarded: set[str]) -> None:
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+            acc = set(guarded)
+            for value in node.values:
+                self._scan_expr(value, acc)
+                acc |= self._asserted_keys(value)
+            return
+        if isinstance(node, ast.IfExp):
+            self._scan_expr(node.test, guarded)
+            self._scan_expr(node.body,
+                            guarded | self._asserted_keys(node.test))
+            self._scan_expr(node.orelse,
+                            guarded | self._refuted_keys(node.test))
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, ast.Call):
+            self._scan_call(node, guarded)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child, guarded)
+
+    def _scan_call(self, call: ast.Call, guarded: set[str]) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr.startswith("on_"):
+            receiver = func.value
+            key = self._monitor_key(receiver)
+            if key is not None:
+                self.derefs.append({
+                    "param": self.params.get(key),
+                    "guarded": key in guarded,
+                    "line": call.lineno,
+                    "text": self.owner.ctx.line_text(call.lineno),
+                    "method": func.attr, "recv": key})
+            elif self._is_monitor_source(receiver):
+                # self._monitor().on_x(): a fresh fetch can never be
+                # guarded by identity — always a finding
+                self.derefs.append({
+                    "param": None, "guarded": False,
+                    "line": call.lineno,
+                    "text": self.owner.ctx.line_text(call.lineno),
+                    "method": func.attr,
+                    "recv": ast.unparse(receiver)})
+            return
+        if isinstance(func, ast.Name) and func.id in ("getattr",
+                                                      "hasattr"):
+            return  # the getattr(mon, "on_x", None) hook idiom is safe
+        attr_form = isinstance(func, ast.Attribute)
+        for pos, arg in enumerate(call.args):
+            key = self._monitor_key(arg)
+            if key is None and not self._is_monitor_source(arg):
+                continue
+            self.passes.append({
+                "line": call.lineno, "col": call.col_offset,
+                "argpos": pos,
+                "form": "attr" if attr_form else "name",
+                "param": self.params.get(key) if key else None,
+                "guarded": key in guarded if key else False,
+                "recv": key or ast.unparse(arg),
+                "text": self.owner.ctx.line_text(call.lineno)})
+
+
+class _ObsIrBuilder:
+    """Per-function monitor facts for one module."""
+
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+        slice_ = slice_for(ctx)
+        self.module = slice_.module
+        self.facts: dict[str, dict] = {}
+        self._fn_stack: list[str] = []
+        self._cls_stack: list[str] = []
+
+    def run(self, tree: ast.Module) -> dict[str, dict]:
+        self._scan_defs(tree.body, toplevel=True)
+        return self.facts
+
+    def _qual_here(self, name: str) -> str:
+        if self._fn_stack:
+            return f"{self._fn_stack[-1]}.{name}"
+        if self._cls_stack:
+            return f"{self._cls_stack[-1]}.{name}"
+        return f"{self.module}.{name}"
+
+    def _scan_defs(self, body: list[ast.stmt], toplevel=False) -> None:
+        if toplevel:
+            scanner = _FnScanner(self, f"{self.module}.{MODULE_BODY}",
+                                 [])
+            scanner.scan(body)
+            self._store(scanner)
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = self._qual_here(stmt.name)
+                params = [a.arg for a in (stmt.args.posonlyargs
+                                          + stmt.args.args)]
+                scanner = _FnScanner(self, qual, params)
+                scanner.scan(stmt.body)
+                self._store(scanner)
+                self._fn_stack.append(qual)
+                self._scan_defs(stmt.body)
+                self._fn_stack.pop()
+            elif isinstance(stmt, ast.ClassDef):
+                self._cls_stack.append(self._qual_here(stmt.name))
+                self._scan_defs(stmt.body)
+                self._cls_stack.pop()
+            else:
+                for block in _FnScanner._nested_blocks(stmt):
+                    self._scan_defs(block)
+
+    def _store(self, scanner: _FnScanner) -> None:
+        if scanner.derefs or scanner.passes:
+            self.facts[scanner.qual] = {
+                "path": self.ctx.path,
+                "derefs": scanner.derefs,
+                "passes": scanner.passes}
+
+
+@register_project_checker
+class ObsGuardChecker(ProjectChecker):
+    """Every instrumentation call dominated by a non-None guard."""
+
+    name = "obs-guard"
+    rules = {
+        "obs-guard":
+            "monitor/tracer hook call not dominated by a "
+            "'monitor is not None' guard (zero-perturbation property)",
+    }
+
+    def file_facts(self, ctx: ModuleContext,
+                   config: AnalysisConfig) -> dict:
+        return _ObsIrBuilder(ctx).run(ctx.tree)
+
+    def project_check(self, facts: dict[str, dict], graph: CallGraph,
+                      config: AnalysisConfig) -> Iterator[Finding]:
+        fn_facts: dict[str, dict] = {}
+        for blob in facts.values():
+            fn_facts.update(blob)
+
+        def initial(node: str) -> frozenset:
+            blob = fn_facts.get(node)
+            if blob is None:
+                return frozenset()
+            return frozenset(d["param"] for d in blob["derefs"]
+                             if d["param"] is not None
+                             and not d["guarded"])
+
+        def transfer(node: str, summaries: dict) -> frozenset:
+            blob = fn_facts.get(node)
+            out = set(initial(node))
+            if blob is None:
+                return frozenset(out)
+            for p in blob["passes"]:
+                if p["param"] is None or p["guarded"]:
+                    continue
+                callee = graph.callee_at(blob["path"], p["line"],
+                                         p["col"])
+                if callee is None:
+                    continue
+                if self._callee_pos(graph, callee, p) in \
+                        summaries.get(callee, frozenset()):
+                    out.add(p["param"])
+            return frozenset(out)
+
+        nodes = list(dict.fromkeys(list(fn_facts) +
+                                   list(graph.nodes())))
+        summaries = dataflow.solve(nodes, graph.adjacency(),
+                                   initial, transfer)
+
+        for qual in sorted(fn_facts):
+            blob = fn_facts[qual]
+            for d in blob["derefs"]:
+                if d["param"] is not None or d["guarded"]:
+                    continue
+                yield Finding(
+                    "obs-guard",
+                    f"{d['recv']}.{d['method']}() is not dominated by "
+                    f"a '{d['recv']} is not None' guard; an unattached "
+                    f"run would crash here and a guard is what keeps "
+                    f"instrumentation zero-perturbation",
+                    blob["path"], d["line"], source_line=d["text"])
+            for p in blob["passes"]:
+                if p["param"] is not None or p["guarded"]:
+                    continue
+                callee = graph.callee_at(blob["path"], p["line"],
+                                         p["col"])
+                if callee is None:
+                    continue
+                if self._callee_pos(graph, callee, p) in \
+                        summaries.get(callee, frozenset()):
+                    yield Finding(
+                        "obs-guard",
+                        f"unguarded monitor expression {p['recv']!r} "
+                        f"is passed to {callee}(), which dereferences "
+                        f"that parameter without its own None guard; "
+                        f"guard the call site or the helper",
+                        blob["path"], p["line"], p["col"],
+                        source_line=p["text"])
+
+    @staticmethod
+    def _callee_pos(graph: CallGraph, callee: str, p: dict) -> int:
+        info = graph.functions.get(callee)
+        offset = 1 if (info is not None and info.cls is not None
+                       and (p["form"] == "attr"
+                            or info.name == "__init__")) else 0
+        return p["argpos"] + offset

@@ -1,0 +1,16 @@
+"""Seeded mutant: blocking reachability through methods, including the
+unique-method fallback for an untyped receiver."""
+
+import socket
+
+
+class Transport:
+    def _dial(self, host):
+        return socket.create_connection((host, 80))
+
+    def connect(self, host):
+        return self._dial(host)  # expect: ker-block-deep
+
+
+def open_link(transport):
+    return transport.connect("node0")  # expect: ker-block-deep

@@ -1,0 +1,19 @@
+"""Seeded mutant: mutually recursive pair; the fixpoint must converge
+and both directions of the cycle must carry the summary."""
+
+import time
+
+
+def ping(n):
+    if n:
+        return pong(n - 1)  # expect: ker-block-deep
+    return 0
+
+
+def pong(n):
+    time.sleep(0.01)
+    return ping(n)  # expect: ker-block-deep
+
+
+def drive():
+    return ping(3)  # expect: ker-block-deep

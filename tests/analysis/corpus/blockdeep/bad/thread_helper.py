@@ -1,0 +1,12 @@
+"""Seeded mutant: a helper that manufactures a real thread primitive
+poisons its callers."""
+
+import threading
+
+
+def make_gate():
+    return threading.Event()
+
+
+def install(node):
+    node.gate = make_gate()  # expect: ker-block-deep

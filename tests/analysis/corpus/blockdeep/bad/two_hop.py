@@ -1,0 +1,15 @@
+"""Seeded mutant: the blocking primitive is two calls away."""
+
+import time
+
+
+def nap():
+    time.sleep(1.0)
+
+
+def settle():
+    nap()  # expect: ker-block-deep
+
+
+def drive():
+    settle()  # expect: ker-block-deep

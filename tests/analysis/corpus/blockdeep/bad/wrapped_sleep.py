@@ -1,0 +1,14 @@
+"""Seeded mutant: the wrapper hides time.sleep from the direct ker-*
+rules; every call site of the wrapper must still be flagged."""
+
+import time
+
+
+def backoff(delay):
+    time.sleep(delay)
+
+
+def retry_loop(task):
+    for _ in range(3):
+        task()
+        backoff(0.1)  # expect: ker-block-deep

@@ -1,0 +1,9 @@
+"""Clean: ordinary helpers, nothing blocking anywhere."""
+
+
+def double(x):
+    return x * 2
+
+
+def quadruple(x):
+    return double(double(x))

@@ -1,0 +1,11 @@
+"""Clean: virtual-time sleep through the cooperative kernel."""
+
+
+def backoff(process, delay):
+    process.sleep(delay)
+
+
+def retry_loop(process, task):
+    for _ in range(3):
+        task()
+        backoff(process, 0.1)

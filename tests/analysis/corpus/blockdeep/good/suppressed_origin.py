@@ -1,0 +1,13 @@
+"""Clean: an inline-justified blocking use is sanitized out of the
+summary — the justification covers the callers too."""
+
+import time
+
+
+def calibrate(delay):
+    # wall-clock calibration runs before the kernel starts
+    time.sleep(delay)  # repro-lint: disable=ker-sleep
+
+
+def warm_up():
+    calibrate(0.5)

@@ -1,0 +1,7 @@
+"""Seeded mutant: augmented assignment is an in-place mutation."""
+
+
+def frame(stream, payload):
+    stream.write_bulk(payload)
+    payload += b"trailer"  # expect: buf-mutate-after-publish
+    return payload

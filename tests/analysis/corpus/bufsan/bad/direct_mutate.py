@@ -1,0 +1,7 @@
+"""Seeded mutant: straight-line mutation after a zero-copy publish."""
+
+
+def marshal(stream, payload):
+    stream.write_bulk(payload)
+    payload[0] = 0  # expect: buf-mutate-after-publish
+    return stream

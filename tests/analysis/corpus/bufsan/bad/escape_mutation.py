@@ -1,0 +1,11 @@
+"""Seeded mutant: a published buffer handed to a callee that mutates
+its argument (mut-param summary)."""
+
+
+def fill(dst):
+    dst.append(0)
+
+
+def run(stream, data):
+    stream.write_bulk(data)
+    fill(data)  # expect: buf-escape-mutation

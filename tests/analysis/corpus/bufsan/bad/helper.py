@@ -1,0 +1,5 @@
+"""Wrapper around the zero-copy publish seed (no mutation here)."""
+
+
+def send_zero_copy(stream, arr):
+    stream.write_bulk(arr)

@@ -1,0 +1,9 @@
+"""Seeded mutant: the publish happens inside a project helper, so it is
+only visible through the helper's pub-param summary."""
+
+from helper import send_zero_copy
+
+
+def run(stream, data):
+    send_zero_copy(stream, data)
+    data[0] = 1  # expect: buf-mutate-after-publish

@@ -1,0 +1,9 @@
+"""Seeded mutant: nonblocking send references the buffer until wait();
+scribbling inside that window corrupts the in-flight payload."""
+
+
+def exchange(comm, buf, peer):
+    req = comm.Isend(buf, dest=peer)
+    buf[0] = 99  # expect: buf-mutate-after-publish
+    req.wait()
+    return req

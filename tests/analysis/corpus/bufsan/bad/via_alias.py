@@ -1,0 +1,7 @@
+"""Seeded mutant: the view wrapper must not hide the aliased buffer."""
+
+
+def marshal(stream, buf):
+    view = memoryview(buf)
+    stream.write_bulk(view)
+    buf.extend(b"x")  # expect: buf-mutate-after-publish

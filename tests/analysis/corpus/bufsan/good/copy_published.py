@@ -1,0 +1,7 @@
+"""Clean: a defensive copy was published, not the live buffer."""
+
+
+def marshal(stream, payload):
+    stream.write_bulk(bytes(payload))
+    payload[0] = 0
+    return stream

@@ -1,0 +1,8 @@
+"""Clean: mutation happens before the publish, which is the normal
+fill-then-send order."""
+
+
+def marshal(stream, payload):
+    payload.extend(b"header")
+    payload[0] = 7
+    stream.write_bulk(payload)

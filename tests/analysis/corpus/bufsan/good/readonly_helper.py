@@ -1,0 +1,14 @@
+"""Clean: the callee only reads the published buffer (no mut-param
+summary), so passing it along is fine."""
+
+
+def checksum(view):
+    total = 0
+    for byte in view:
+        total = (total + byte) & 0xFF
+    return total
+
+
+def run(stream, data):
+    stream.write_bulk(data)
+    return checksum(data)

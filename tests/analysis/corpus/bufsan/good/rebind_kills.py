@@ -1,0 +1,8 @@
+"""Clean: rebinding the name severs it from the published object."""
+
+
+def marshal(stream, payload):
+    stream.write_bulk(payload)
+    payload = bytearray(8)
+    payload[0] = 1
+    return payload

@@ -1,0 +1,13 @@
+"""Seeded mutant: a guard inside one branch does not dominate a later
+deref at function scope."""
+
+
+class Link:
+    def __init__(self, monitor=None):
+        self.monitor = monitor
+
+    def send(self, pkt):
+        mon = self.monitor
+        if mon is not None:
+            mon.on_enqueue(pkt)
+        mon.on_send(pkt)  # expect: obs-guard

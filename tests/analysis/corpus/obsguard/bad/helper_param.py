@@ -1,0 +1,14 @@
+"""Seeded mutant: the deref lives in a helper whose contract is
+"caller guards"; passing an unguarded monitor in is the bug."""
+
+
+def note_send(monitor, pkt):
+    monitor.on_send(pkt)
+
+
+class Link:
+    def __init__(self, monitor=None):
+        self.monitor = monitor
+
+    def send(self, pkt):
+        note_send(self.monitor, pkt)  # expect: obs-guard

@@ -1,0 +1,12 @@
+"""Seeded mutant: the None branch falls through instead of returning,
+so the deref below is reachable with monitor=None."""
+
+
+class Link:
+    def __init__(self, monitor=None):
+        self.monitor = monitor
+
+    def send(self, pkt):
+        if self.monitor is None:
+            pkt = b""
+        self.monitor.on_send(pkt)  # expect: obs-guard

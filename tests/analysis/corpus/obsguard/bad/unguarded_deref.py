@@ -1,0 +1,10 @@
+"""Seeded mutant: instrumentation call without the non-None guard."""
+
+
+class Link:
+    def __init__(self, monitor=None):
+        self.monitor = monitor
+
+    def send(self, pkt):
+        self.monitor.on_send(pkt)  # expect: obs-guard
+        return pkt

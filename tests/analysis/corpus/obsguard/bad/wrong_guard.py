@@ -1,0 +1,11 @@
+"""Seeded mutant: guarding one instrument does not license another."""
+
+
+class Link:
+    def __init__(self, monitor=None, tracer=None):
+        self.monitor = monitor
+        self.tracer = tracer
+
+    def send(self, pkt):
+        if self.tracer is not None:
+            self.monitor.on_send(pkt)  # expect: obs-guard

@@ -1,0 +1,13 @@
+"""Clean: short-circuit and truthiness guards."""
+
+
+class Link:
+    def __init__(self, monitor=None):
+        self.monitor = monitor
+        self.debug = False
+
+    def send(self, pkt):
+        self.monitor is not None and self.monitor.on_send(pkt)
+        if self.monitor and self.debug:
+            self.monitor.on_debug(pkt)
+        return pkt

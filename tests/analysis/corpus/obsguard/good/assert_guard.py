@@ -1,0 +1,11 @@
+"""Clean: an assert pins the monitor for the rest of the function."""
+
+
+class Link:
+    def __init__(self, monitor=None):
+        self.monitor = monitor
+
+    def flush(self):
+        mon = self.monitor
+        assert mon is not None
+        mon.on_flush()

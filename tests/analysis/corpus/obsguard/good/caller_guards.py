@@ -1,0 +1,16 @@
+"""Clean: the helper's contract is "caller guards", and the caller
+does."""
+
+
+def note_send(monitor, pkt):
+    monitor.on_send(pkt)
+
+
+class Link:
+    def __init__(self, monitor=None):
+        self.monitor = monitor
+
+    def send(self, pkt):
+        if self.monitor is not None:
+            note_send(self.monitor, pkt)
+        return pkt

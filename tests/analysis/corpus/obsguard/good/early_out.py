@@ -1,0 +1,13 @@
+"""Clean: an early return on None dominates everything below."""
+
+
+class Link:
+    def __init__(self, monitor=None):
+        self.monitor = monitor
+
+    def send(self, pkt):
+        if self.monitor is None:
+            return pkt
+        self.monitor.on_send(pkt)
+        self.monitor.on_flush()
+        return pkt

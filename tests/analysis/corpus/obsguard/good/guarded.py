@@ -1,0 +1,11 @@
+"""Clean: the canonical guard shape."""
+
+
+class Link:
+    def __init__(self, monitor=None):
+        self.monitor = monitor
+
+    def send(self, pkt):
+        if self.monitor is not None:
+            self.monitor.on_send(pkt)
+        return pkt

@@ -1,0 +1,106 @@
+"""Transitive blocking-call detection (``ker-block-deep``)."""
+
+from __future__ import annotations
+
+WRAPPED = {
+    "wrap.py": """\
+        import time
+
+        def backoff(delay):
+            time.sleep(delay)
+
+        def retry_loop(task):
+            task()
+            backoff(0.1)
+    """,
+}
+
+
+def test_direct_rules_miss_the_wrapped_call(lint_project):
+    # regression for the pre-v2 blind spot: the direct ker-* rules see
+    # only the helper's body — the caller's line is invisible to them
+    found = lint_project(WRAPPED)
+    direct = [f for f in found if f.rule == "ker-sleep"]
+    assert [f.line for f in direct] == [4]          # inside the helper
+    assert all(f.line != 8 for f in direct)          # never the caller
+
+
+def test_deep_rule_flags_the_wrapping_call_site(lint_project):
+    found = lint_project(WRAPPED, rules={"ker-block-deep"})
+    (f,) = found
+    assert (f.path, f.line) == ("wrap.py", 8)
+    assert "time.sleep" in f.message
+    assert "ker-sleep at wrap.py:4" in f.message
+    assert "backoff()" in f.message
+
+
+def test_chain_is_reported_across_two_hops(lint_project):
+    found = lint_project({"m.py": """\
+        import time
+
+        def nap():
+            time.sleep(1.0)
+
+        def settle():
+            nap()
+
+        def drive():
+            settle()
+    """}, rules={"ker-block-deep"})
+    by_line = {f.line: f for f in found}
+    assert set(by_line) == {7, 10}
+    assert "settle() -> nap()" in by_line[10].message
+
+
+def test_mutual_recursion_converges_and_flags_all_sites(lint_project):
+    found = lint_project({"m.py": """\
+        import time
+
+        def ping(n):
+            if n:
+                return pong(n - 1)
+            return 0
+
+        def pong(n):
+            time.sleep(0.01)
+            return ping(n)
+
+        def drive():
+            return ping(3)
+    """}, rules={"ker-block-deep"})
+    assert {f.line for f in found} == {5, 10, 13}
+
+
+def test_suppressed_origin_is_sanitized_out(lint_project):
+    # a justified (inline-suppressed) blocking use must not poison its
+    # callers: the justification covers them too
+    found = lint_project({"m.py": """\
+        import time
+
+        def calibrate(delay):
+            time.sleep(delay)  # repro-lint: disable=ker-sleep
+
+        def warm_up():
+            calibrate(0.5)
+    """})
+    assert [f for f in found if f.rule.startswith("ker-")] == []
+
+
+def test_cross_file_blocking_helper(lint_project):
+    found = lint_project({
+        "util.py": """\
+            import threading
+
+            def make_gate():
+                return threading.Event()
+        """,
+        "node.py": """\
+            from util import make_gate
+
+            def install(node):
+                node.gate = make_gate()
+        """,
+    }, rules={"ker-block-deep"})
+    (f,) = found
+    assert (f.path, f.line) == ("node.py", 4)
+    assert "ker-thread" in f.message

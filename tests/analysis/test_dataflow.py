@@ -1,0 +1,87 @@
+"""SCC condensation and summary-fixpoint framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dataflow import (
+    FixpointError,
+    reach_chain,
+    solve,
+    strongly_connected,
+)
+
+
+def test_acyclic_graph_is_singletons_callees_first():
+    adj = {"root": ["mid1", "mid2"], "mid1": ["leaf"],
+           "mid2": ["leaf"], "leaf": []}
+    sccs = strongly_connected(adj, adj)
+    assert [s for s in sccs if len(s) > 1] == []
+    order = {scc[0]: i for i, scc in enumerate(sccs)}
+    # every callee is emitted before its caller
+    assert order["leaf"] < order["mid1"] < order["root"]
+    assert order["leaf"] < order["mid2"] < order["root"]
+
+
+def test_cycle_is_one_component():
+    adj = {"a": ["b"], "b": ["a"], "c": ["a"]}
+    sccs = strongly_connected(adj, adj)
+    assert ["a", "b"] in sccs
+    order = {tuple(s): i for i, s in enumerate(sccs)}
+    assert order[("a", "b")] < order[("c",)]
+
+
+def _reach_solver(adj, seeds):
+    """Reachable-seed-set client: the shape all shipped checkers use."""
+    def initial(node):
+        return frozenset(seeds.get(node, ()))
+
+    def transfer(node, summaries):
+        out = set(initial(node))
+        for callee in adj.get(node, ()):
+            out |= summaries.get(callee, frozenset())
+        return frozenset(out)
+
+    return solve(adj, adj, initial, transfer)
+
+
+def test_fixpoint_terminates_on_self_recursion():
+    adj = {"f": ["f", "g"], "g": []}
+    summaries = _reach_solver(adj, {"g": {"sleep"}})
+    assert summaries["f"] == frozenset({"sleep"})
+
+
+def test_fixpoint_terminates_on_mutual_recursion():
+    adj = {"ping": ["pong"], "pong": ["ping", "nap"], "nap": []}
+    summaries = _reach_solver(adj, {"nap": {"sleep"}})
+    # both cycle members converge to the union
+    assert summaries["ping"] == frozenset({"sleep"})
+    assert summaries["pong"] == frozenset({"sleep"})
+
+
+def test_three_cycle_with_outside_caller():
+    adj = {"a": ["b"], "b": ["c"], "c": ["a"], "drive": ["a"]}
+    summaries = _reach_solver(adj, {"b": {"x"}, "c": {"y"}})
+    assert summaries["drive"] == frozenset({"x", "y"})
+
+
+def test_non_monotone_transfer_raises_loudly():
+    adj = {"a": ["b"], "b": ["a"]}
+
+    def initial(node):
+        return 0
+
+    def transfer(node, summaries):
+        # oscillates 0 -> 1 -> 0: never converges
+        return 1 - summaries[node]
+
+    with pytest.raises(FixpointError):
+        solve(adj, adj, initial, transfer)
+
+
+def test_reach_chain_formatting_and_elision():
+    assert reach_chain(("m.a", "m.B.b")) == "a() -> b()"
+    long = tuple(f"m.f{i}" for i in range(8))
+    rendered = reach_chain(long)
+    assert rendered.endswith("...")
+    assert rendered.count("->") == 5

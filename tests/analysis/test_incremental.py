@@ -1,0 +1,100 @@
+"""``--changed`` incremental mode: content-addressed caching and
+summary invalidation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.cli import main as cli_main
+
+HELPER_CLEAN = """\
+def backoff(process, delay):
+    process.sleep(delay)
+"""
+
+HELPER_BLOCKING = """\
+import time
+
+def backoff(process, delay):
+    time.sleep(delay)
+"""
+
+CALLER = """\
+from helper import backoff
+
+def retry(process, task):
+    task()
+    backoff(process, 0.1)
+"""
+
+
+def _fingerprints(findings):
+    return sorted(f.fingerprint for f in findings)
+
+
+def test_second_run_hits_cache_and_agrees(lint_project, tmp_path):
+    cache = AnalysisCache(tmp_path / ".cache.json")
+    first = lint_project({"helper.py": HELPER_BLOCKING,
+                          "caller.py": CALLER}, cache=cache)
+    assert set(cache.misses) == {"helper.py", "caller.py"}
+    cache.save()
+
+    cache2 = AnalysisCache.load(tmp_path / ".cache.json")
+    second = lint_project({}, cache=cache2)
+    assert set(cache2.hits) == {"helper.py", "caller.py"}
+    assert cache2.misses == []
+    assert _fingerprints(second) == _fingerprints(first)
+
+
+def test_callee_change_re_derives_cached_callers(lint_project, tmp_path):
+    # caller.py stays byte-identical (cache hit), yet the deep finding
+    # at its call site must appear/disappear with the callee's body —
+    # the interprocedural phase is never cached
+    cache = AnalysisCache(tmp_path / ".cache.json")
+    clean = lint_project({"helper.py": HELPER_CLEAN,
+                          "caller.py": CALLER}, cache=cache)
+    assert [f for f in clean if f.rule == "ker-block-deep"] == []
+    cache.save()
+
+    cache2 = AnalysisCache.load(tmp_path / ".cache.json")
+    changed = lint_project({"helper.py": HELPER_BLOCKING}, cache=cache2)
+    assert cache2.hits == ["caller.py"]
+    assert cache2.misses == ["helper.py"]
+    deep = [f for f in changed if f.rule == "ker-block-deep"]
+    assert [(f.path, f.line) for f in deep] == [("caller.py", 5)]
+
+
+def test_rule_set_signature_invalidates_the_cache(lint_project, tmp_path):
+    cache = AnalysisCache(tmp_path / ".cache.json")
+    lint_project({"helper.py": HELPER_CLEAN}, cache=cache)
+    cache.save()
+
+    doc = json.loads((tmp_path / ".cache.json").read_text())
+    doc["signature"] = "0" * 12          # a different checker generation
+    (tmp_path / ".cache.json").write_text(json.dumps(doc))
+    stale = AnalysisCache.load(tmp_path / ".cache.json")
+    assert stale.entries == {}
+
+
+def test_save_prunes_deleted_files(lint_project, tmp_path):
+    cache = AnalysisCache(tmp_path / ".cache.json")
+    lint_project({"helper.py": HELPER_CLEAN,
+                  "gone.py": "X = 1\n"}, cache=cache)
+    (tmp_path / "gone.py").unlink()
+    cache.save()
+    doc = json.loads((tmp_path / ".cache.json").read_text())
+    assert sorted(doc["entries"]) == ["helper.py"]
+
+
+def test_cli_changed_round_trip(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text("def f():\n    return 1\n")
+    cache_path = tmp_path / ".cache.json"
+    argv = ["--changed", "--cache", str(cache_path), str(tmp_path)]
+
+    assert cli_main(argv) == 0
+    assert cache_path.exists()
+    assert "reused 0/1" in capsys.readouterr().err
+
+    assert cli_main(argv) == 0
+    assert "reused 1/1" in capsys.readouterr().err

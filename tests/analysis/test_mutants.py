@@ -1,0 +1,64 @@
+"""The seeded-mutant harness and the committed golden corpora."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.analysis import mutants
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def test_committed_corpora_score_perfectly():
+    # the acceptance bar: 100% of seeded defects caught, zero false
+    # positives, for every family
+    failures = []
+    for family in mutants.FAMILIES:
+        failures.extend(mutants.run_family(family, CORPUS,
+                                           out=io.StringIO()))
+    assert failures == []
+
+
+def test_main_is_a_usable_gate():
+    assert mutants.main([str(CORPUS)]) == 0
+
+
+def test_every_bad_file_is_annotated():
+    for family in mutants.FAMILIES:
+        for path in sorted((CORPUS / family / "bad").glob("*.py")):
+            if path.name == "helper.py":   # support module, no defect
+                continue
+            assert mutants.expected_findings(path), \
+                f"{family}/bad/{path.name} has no # expect: annotation"
+
+
+def test_harness_reports_missed_defects(tmp_path):
+    # a bad file whose expectation nothing matches must fail the gate
+    bad = tmp_path / "bufsan" / "bad"
+    good = tmp_path / "bufsan" / "good"
+    bad.mkdir(parents=True)
+    good.mkdir(parents=True)
+    (bad / "nothing.py").write_text(
+        "def f(x):\n"
+        "    return x  # expect: buf-mutate-after-publish\n")
+    failures = mutants.run_family("bufsan", tmp_path, out=io.StringIO())
+    assert any("MISSED" in f for f in failures)
+
+
+def test_harness_reports_false_positives(tmp_path):
+    # a seeded defect placed in the good corpus must fail the gate
+    bad = tmp_path / "bufsan" / "bad"
+    good = tmp_path / "bufsan" / "good"
+    bad.mkdir(parents=True)
+    good.mkdir(parents=True)
+    (bad / "seed.py").write_text(
+        "def f(stream, b):\n"
+        "    stream.write_bulk(b)\n"
+        "    b[0] = 1  # expect: buf-mutate-after-publish\n")
+    (good / "oops.py").write_text(
+        "def f(stream, b):\n"
+        "    stream.write_bulk(b)\n"
+        "    b[0] = 1\n")
+    failures = mutants.run_family("bufsan", tmp_path, out=io.StringIO())
+    assert any("FALSE POSITIVE" in f for f in failures)

@@ -1,0 +1,102 @@
+"""Instrumentation guard-dominance analysis (``obs-guard``)."""
+
+from __future__ import annotations
+
+OBS = {"obs-guard"}
+
+
+def test_unguarded_deref_flagged(lint_project):
+    found = lint_project({"link.py": """\
+        class Link:
+            def __init__(self, monitor=None):
+                self.monitor = monitor
+
+            def send(self, pkt):
+                self.monitor.on_send(pkt)
+    """}, rules=OBS)
+    (f,) = found
+    assert f.line == 6
+    assert "monitor" in f.message
+
+
+def test_guarded_variants_are_clean(lint_project):
+    found = lint_project({"link.py": """\
+        class Link:
+            def __init__(self, monitor=None):
+                self.monitor = monitor
+                self.debug = False
+
+            def a(self, pkt):
+                if self.monitor is not None:
+                    self.monitor.on_send(pkt)
+
+            def b(self, pkt):
+                if self.monitor is None:
+                    return
+                self.monitor.on_send(pkt)
+
+            def c(self, pkt):
+                self.monitor is not None and self.monitor.on_send(pkt)
+
+            def d(self, pkt):
+                if self.monitor and self.debug:
+                    self.monitor.on_debug(pkt)
+
+            def e(self):
+                mon = self.monitor
+                assert mon is not None
+                mon.on_flush()
+    """}, rules=OBS)
+    assert found == []
+
+
+def test_branch_local_guard_does_not_dominate(lint_project):
+    found = lint_project({"link.py": """\
+        class Link:
+            def __init__(self, monitor=None):
+                self.monitor = monitor
+
+            def send(self, pkt):
+                mon = self.monitor
+                if mon is not None:
+                    mon.on_enqueue(pkt)
+                mon.on_send(pkt)
+    """}, rules=OBS)
+    assert [f.line for f in found] == [9]
+
+
+def test_guarding_the_wrong_instrument(lint_project):
+    found = lint_project({"link.py": """\
+        class Link:
+            def __init__(self, monitor=None, tracer=None):
+                self.monitor = monitor
+                self.tracer = tracer
+
+            def send(self, pkt):
+                if self.tracer is not None:
+                    self.monitor.on_send(pkt)
+    """}, rules=OBS)
+    assert [f.line for f in found] == [8]
+
+
+def test_helper_param_contract_is_transitive(lint_project):
+    files = {"link.py": """\
+        def note_send(monitor, pkt):
+            monitor.on_send(pkt)
+
+        class Link:
+            def __init__(self, monitor=None):
+                self.monitor = monitor
+
+            def bad(self, pkt):
+                note_send(self.monitor, pkt)
+
+            def good(self, pkt):
+                if self.monitor is not None:
+                    note_send(self.monitor, pkt)
+    """}
+    found = lint_project(files, rules=OBS)
+    # the helper itself is clean (caller-guards contract); only the
+    # unguarded pass-through is the bug
+    assert [(f.line,) for f in found] == [(9,)]
+    assert "note_send" in found[0].message

@@ -66,6 +66,66 @@ def test_pragma_inside_string_literal_is_not_a_suppression():
     assert [f.rule for f in findings] == ["det-wallclock"]
 
 
+def test_pragma_on_last_line_covers_the_whole_statement():
+    # the finding is reported at the statement's first line; the pragma
+    # sits where a human writes it — after the closing paren
+    findings = lint_text("""
+        import time
+        stamps = dict(
+            t0=time.time(),
+            t1=time.time(),
+        )  # repro-lint: disable=det-wallclock
+    """)
+    assert findings == []
+
+
+def test_pragma_on_first_line_covers_the_whole_statement():
+    findings = lint_text("""
+        import time
+        stamps = dict(  # repro-lint: disable=det-wallclock
+            t0=time.time(),
+        )
+    """)
+    assert findings == []
+
+
+def test_multiline_suppression_does_not_leak_to_neighbours():
+    findings = lint_text("""
+        import time
+        a = dict(
+            t=time.time(),
+        )  # repro-lint: disable=det-wallclock
+        b = time.time()
+    """)
+    assert [(f.rule, f.line) for f in findings] == [("det-wallclock", 6)]
+
+
+def test_standalone_comment_pragma_covers_only_its_own_line():
+    # a pragma on a comment line between statements is not attached to
+    # the statement below it — trailing placement is the contract
+    findings = lint_text("""
+        import time
+        # repro-lint: disable=det-wallclock
+        t = time.time()
+    """)
+    assert [f.rule for f in findings] == ["det-wallclock"]
+
+
+def test_suppressions_json_round_trip():
+    from repro.analysis.suppress import Suppressions
+    source = ("import time\n"
+              "a = dict(\n"
+              "    t=time.time(),\n"
+              ")  # repro-lint: disable=det-wallclock\n"
+              "# repro-lint: disable-file=ker-sleep\n")
+    scanned = Suppressions.scan(source)
+    restored = Suppressions.from_json(scanned.to_json())
+    for line in range(1, 6):
+        for rule in ("det-wallclock", "ker-sleep", "det-random"):
+            assert restored.is_suppressed(rule, line) == \
+                scanned.is_suppressed(rule, line)
+
+
 # ---------------------------------------------------------------------------
 # baseline mechanics
 # ---------------------------------------------------------------------------
