@@ -17,12 +17,14 @@ check: lint lint-mutants test copy-budget schedule-smoke bench-smoke \
 # always re-runs, so a callee change re-derives its cached callers.
 lint:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis.cli --changed \
-		src examples
+		--stats src examples
 
 # Full run, no cache — what CI gates on (cold containers have no cache
-# to trust anyway)
+# to trust anyway).  --stats prints per-checker wall time and per-rule
+# finding counts into the CI log.
 lint-full:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis.cli src examples
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis.cli --stats \
+		src examples
 
 # Seeded-mutant gate: every buf-*/ker-block-deep/obs-guard corpus
 # defect must be caught, every good-corpus pattern must stay clean

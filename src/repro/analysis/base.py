@@ -141,6 +141,7 @@ def _load_builtin_families() -> None:
         layering,
         obsguard,
         perf,
+        simrace,
         typestate,
     )
 

@@ -45,18 +45,24 @@ class FunctionInfo:
     params: tuple[str, ...]   # positional parameter names, incl. self
     cls: str | None = None    # qualified class name for methods
     end: int = 0              # last physical line of the definition
+    #: dotted quals of project-resolvable decorators (factory calls
+    #: resolve to the factory), so the graph can route calls of the
+    #: decorated function into the decorator's wrapper closure
+    decorators: tuple[str, ...] = ()
 
     def to_json(self) -> dict:
         return {"qual": self.qual, "name": self.name,
                 "module": self.module, "path": self.path,
                 "line": self.line, "params": list(self.params),
-                "cls": self.cls, "end": self.end}
+                "cls": self.cls, "end": self.end,
+                "decorators": list(self.decorators)}
 
     @classmethod
     def from_json(cls, blob: dict) -> "FunctionInfo":
         return cls(blob["qual"], blob["name"], blob["module"],
                    blob["path"], blob["line"], tuple(blob["params"]),
-                   blob["cls"], blob.get("end", 0))
+                   blob["cls"], blob.get("end", 0),
+                   tuple(blob.get("decorators", ())))
 
 
 @dataclass(frozen=True)
@@ -179,25 +185,44 @@ class _SliceVisitor(ast.NodeVisitor):
         self._local_defs.pop()
         self._cls_stack.pop()
 
+    def _resolve_decorator(self, deco: ast.expr) -> str | None:
+        """Best dotted name for a decorator expression; factory calls
+        (``@_collective("bcast")``) resolve to the factory itself."""
+        expr = deco.func if isinstance(deco, ast.Call) else deco
+        qual = self.imap.qualify(expr)
+        if qual is not None:
+            return qual
+        if isinstance(expr, ast.Name):
+            for scope in reversed(self._local_defs):
+                if expr.id in scope:
+                    return scope[expr.id]
+        return None
+
     def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef
                     ) -> None:
         qual = self._qual_here(node.name)
         in_class = bool(self._cls_stack) and not self._fn_stack
         params = tuple(a.arg for a in (node.args.posonlyargs
                                        + node.args.args))
+        decorators = tuple(
+            d for d in map(self._resolve_decorator, node.decorator_list)
+            if d is not None)
         self.slice.functions.append(FunctionInfo(
             qual, node.name, self.module, self.ctx.path, node.lineno,
             params, self._cls_stack[-1] if in_class else None,
-            node.end_lineno or node.lineno))
+            node.end_lineno or node.lineno, decorators))
         if in_class:
             self.slice.classes[self._cls_stack[-1]]["methods"][
                 node.name] = qual
+        # decoration executes in the enclosing scope, not inside the
+        # decorated function — visit it there so decorator-expression
+        # calls are not mis-attributed to the function body
+        for deco in node.decorator_list:
+            self.visit(deco)
         self._local_defs[-1][node.name] = qual
         self._fn_stack.append(qual)
         self._local_defs.append({})
         self._preregister(node.body)
-        for deco in node.decorator_list:
-            self.visit(deco)
         for child in node.body:
             self.visit(child)
         self._local_defs.pop()
@@ -302,9 +327,36 @@ class CallGraph:
                     (site, callee))
                 graph.site_index[(site.path, site.line, site.col)] = \
                     callee
+        graph._add_decorator_edges()
         for sites in graph.edges.values():
             sites.sort(key=lambda e: (e[0].line, e[0].col, e[1]))
         return graph
+
+    def _add_decorator_edges(self) -> None:
+        """Calling a decorated function really runs the decorator's
+        wrapper closure, so wrapper-side effects (blocking, monitor
+        hooks, buffer escapes) belong to every decorated callee: add
+        ``f -> <each function nested under the decorator>`` for every
+        project-resolvable decorator on ``f``.  The wrapper's own call
+        back into ``f`` is deliberately *not* modelled — a shared
+        wrapper would otherwise smear all decorated functions' facts
+        into each other."""
+        for fn in list(self.functions.values()):
+            for deco in fn.decorators:
+                target = self._resolve_dotted(deco)
+                if target is None and deco in self.classes:
+                    continue  # class decorator: no wrapper functions
+                if target is None:
+                    continue
+                prefix = target + "."
+                nested = sorted(q for q in self.functions
+                                if q.startswith(prefix))
+                for callee in nested:
+                    site = CallSite(
+                        fn.qual, fn.path, fn.line, 0,
+                        f"@{deco.rsplit('.', 1)[-1]} on {fn.name}")
+                    self.edges.setdefault(fn.qual, []).append(
+                        (site, callee))
 
     def _resolve(self, site: CallSite) -> str | None:
         if site.target is not None:

@@ -30,6 +30,7 @@ from repro.analysis.baseline import (
 from repro.analysis.cache import DEFAULT_CACHE_NAME, AnalysisCache
 from repro.analysis.config import DEFAULT_CONFIG
 from repro.analysis.engine import find_project_root, run_analysis
+from repro.analysis.stats import RunStats
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -62,6 +63,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="output format (default: text)")
     parser.add_argument("--json", action="store_true",
                         help="alias for --format json")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-checker wall time, per-rule "
+                             "finding counts and the --changed cache "
+                             "hit ratio to stderr")
     parser.add_argument("--list-rules", action="store_true",
                         help="list every rule id and exit")
     parser.add_argument("--list-exceptions", action="store_true",
@@ -99,8 +104,11 @@ def main(argv: list[str] | None = None) -> int:
         cache_path = args.cache or project_root / DEFAULT_CACHE_NAME
         cache = AnalysisCache.load(cache_path)
         cache.path = cache_path
+    stats = RunStats() if args.stats else None
     findings = run_analysis(roots, DEFAULT_CONFIG, project_root,
-                            cache=cache)
+                            cache=cache, stats=stats)
+    if stats is not None:
+        print(stats.render(), file=sys.stderr)
     if cache is not None:
         cache.save()
         total = len(cache.hits) + len(cache.misses)

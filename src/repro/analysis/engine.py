@@ -32,6 +32,7 @@ from repro.analysis.base import (
 from repro.analysis.cache import AnalysisCache, file_sha
 from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
 from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.stats import RunStats, clock
 from repro.analysis.suppress import Suppressions
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hg", "build", "dist", "node_modules"}
@@ -110,7 +111,8 @@ def _filtered(findings, ctx_suppressions: Suppressions,
 
 def _analyze_file(path: Path, project_root: Path,
                   config: AnalysisConfig,
-                  checkers, project_checkers) -> dict:
+                  checkers, project_checkers,
+                  stats: RunStats | None = None) -> dict:
     """One freshly computed analysis unit (same shape as a cache hit)."""
     ctx = build_context(path, project_root)
     unit: dict = {"findings": [], "suppressions": ctx.suppressions,
@@ -124,25 +126,34 @@ def _analyze_file(path: Path, project_root: Path,
     for checker in checkers:
         if not checker.applicable(ctx):
             continue
-        unit["findings"].extend(_filtered(
-            checker.check(ctx, config), ctx.suppressions, config))
+        start = clock()
+        found = checker.check(ctx, config)
+        unit["findings"].extend(_filtered(found, ctx.suppressions, config))
+        if stats is not None:
+            stats.add_file_time(checker.name, clock() - start)
     if ctx.tree is not None:
         unit["slice"] = callgraph.slice_for(ctx)
         for checker in project_checkers:
+            start = clock()
             unit["facts"][checker.name] = checker.file_facts(ctx, config)
+            if stats is not None:
+                stats.add_file_time(checker.name, clock() - start)
     return unit
 
 
 def run_analysis(roots: list[Path],
                  config: AnalysisConfig = DEFAULT_CONFIG,
                  project_root: Path | None = None,
-                 cache: AnalysisCache | None = None) -> list[Finding]:
+                 cache: AnalysisCache | None = None,
+                 stats: RunStats | None = None) -> list[Finding]:
     """Run every registered checker over the roots; returns findings
     that survive inline suppressions and the config allowlist.
 
     With ``cache`` set, unchanged files (by content hash) reuse their
     cached per-file findings, suppressions, call-graph slice and fact
-    blobs; the interprocedural phase still runs in full.
+    blobs; the interprocedural phase still runs in full.  With
+    ``stats`` set, per-checker wall time, per-rule finding counts and
+    the cache hit ratio are accumulated onto it.
     """
     if project_root is None:
         project_root = find_project_root(roots[0] if roots else Path("."))
@@ -160,12 +171,17 @@ def run_analysis(roots: list[Path],
             unit = cache.lookup(relpath, sha)
         if unit is None:
             unit = _analyze_file(path, project_root, config,
-                                 checkers, project_checkers)
+                                 checkers, project_checkers, stats)
             if cache is not None:
                 cache.store(relpath, sha, unit["findings"],
                             unit["suppressions"], unit["slice"],
                             unit["facts"])
         units[relpath] = unit
+    if stats is not None:
+        stats.files_analyzed = len(units)
+        if cache is not None:
+            stats.cache_hits = len(cache.hits)
+            stats.cache_misses = len(cache.misses)
 
     findings: list[Finding] = []
     for unit in units.values():
@@ -179,9 +195,15 @@ def run_analysis(roots: list[Path],
         facts = {path: unit["facts"].get(checker.name)
                  for path, unit in units.items()
                  if checker.name in unit["facts"]}
+        start = clock()
         for finding in checker.project_check(facts, graph, config):
             unit = units.get(finding.path)
             suppressions = (unit["suppressions"] if unit is not None
                             else Suppressions())
             findings.extend(_filtered([finding], suppressions, config))
-    return sort_findings(findings)
+        if stats is not None:
+            stats.add_project_time(checker.name, clock() - start)
+    findings = sort_findings(findings)
+    if stats is not None:
+        stats.count_findings(findings)
+    return findings

@@ -1,0 +1,798 @@
+"""Event IR + lockset interpretation for the ``sim-race`` analysis.
+
+This module is the machinery under :mod:`repro.analysis.simrace`: the
+*fact side* reduces one parsed module to a JSON-serializable event IR
+(shared-attribute reads/writes, primitive operations, call sites,
+spawn/schedule registrations), and the *project side* interprets every
+function's events under the solved callee summaries to produce, per
+function:
+
+* a transitive **may-yield** summary (does calling this function ever
+  reach a kernel switch point?), seeded from the shared primitive
+  registry in :mod:`repro.sim.primitives`;
+* its **accesses**: shared ``self``-attribute (and declared-global)
+  reads/writes with the set of locks held at each site, propagated
+  through the call graph with caller-held locks added;
+* its **atomicity windows**: read → may-yield → write sequences on one
+  key with the common lockset of the two sites and the yield chain;
+* its **channel operations**: release/acquire-style primitive calls
+  (the static mirror of the sanitizer's ``hb_release``/``hb_acquire``
+  edges), used to attenuate pairs that are ordered by a hand-off.
+
+Receiver typing is deliberately syntactic and constructor-based
+(``self._lock = SimLock(kernel)`` types ``C._lock``), with a
+distinctive-name fallback (``.wait()``, ``.acquire()``, ...) for
+receivers the analysis cannot type — a corpus program that defines its
+own primitive-shaped class is still seen.  A missed type means missed
+edges, never invented ones.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.sim.primitives import (
+    PRIMITIVES,
+    YIELD_METHOD_FALLBACK,
+    yield_seed_quals,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.base import ModuleContext
+    from repro.analysis.callgraph import CallGraph
+
+#: method calls on a self-attribute that mutate the underlying container
+_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "insert", "pop", "popleft",
+    "remove", "clear", "add", "discard", "update", "setdefault",
+    "sort", "reverse", "push",
+})
+
+#: tracer/monitor hook names — methods with these names are entry
+#: points driven by the kernel (they run inside arbitrary contexts)
+HOOK_NAMES = frozenset({
+    "on_schedule", "on_fire", "on_switch", "on_exit", "on_join",
+    "on_block", "on_wake", "hb_release", "hb_acquire", "on_access",
+    "on_span_start", "on_span_end",
+})
+
+#: keep summaries bounded on pathological fan-in
+_MAX_ACCESSES = 400
+_MAX_WINDOWS = 80
+_CHAIN_CAP = 6
+
+SEED_QUALS = yield_seed_quals()
+
+
+def _attr_chain(node: ast.expr) -> list[str] | None:
+    """``self.a.b`` -> ["self", "a", "b"]; None when not a pure chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+# ----------------------------------------------------------------------
+# fact side: module AST -> per-function event IR
+# ----------------------------------------------------------------------
+class FactBuilder:
+    """Extract the sim-race fact blob for one module."""
+
+    def __init__(self, ctx: "ModuleContext", module: str):
+        self.ctx = ctx
+        self.module = module
+        self.imap = ctx.import_map
+        self.functions: dict[str, dict] = {}
+        self.typed: dict[str, str] = {}
+        self.entries: list[dict] = []
+        self._scopes: list[dict[str, str]] = [{}]
+        self._cls_stack: list[str] = []
+        self._fn_stack: list[str] = []
+
+    def run(self) -> dict:
+        assert self.ctx.tree is not None
+        self._preregister(self.ctx.tree.body)
+        self._walk_defs(self.ctx.tree.body)
+        return {"functions": self.functions, "typed": self.typed,
+                "entries": self.entries}
+
+    # -- scope bookkeeping (mirrors callgraph._SliceVisitor) -----------
+    def _qual_here(self, name: str) -> str:
+        if self._cls_stack and not self._fn_stack:
+            return f"{self._cls_stack[-1]}.{name}"
+        if self._fn_stack:
+            return f"{self._fn_stack[-1]}.{name}"
+        return f"{self.module}.{name}"
+
+    def _preregister(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                self._scopes[-1][stmt.name] = self._qual_here(stmt.name)
+
+    def _walk_defs(self, body: list[ast.stmt]) -> None:
+        """Collect function facts; non-def statements at class/module
+        level carry no simprocess context and are skipped."""
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                qual = self._qual_here(stmt.name)
+                self._cls_stack.append(qual)
+                self._scopes.append({})
+                self._preregister(stmt.body)
+                self._walk_defs(stmt.body)
+                self._scopes.pop()
+                self._cls_stack.pop()
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._visit_function(stmt)
+
+    def _visit_function(self, node) -> None:
+        qual = self._qual_here(node.name)
+        in_class = bool(self._cls_stack) and not self._fn_stack
+        cls = self._cls_stack[-1] if in_class else self._enclosing_cls()
+        self._fn_stack.append(qual)
+        self._scopes.append({})
+        self._preregister(node.body)
+        scanner = _FunctionScanner(self, qual, cls, node)
+        events = scanner.scan()
+        self.functions[qual] = {
+            "path": self.ctx.path, "line": node.lineno,
+            "name": node.name, "cls": cls, "events": events,
+        }
+        self._walk_defs(node.body)  # nested defs become their own facts
+        self._scopes.pop()
+        self._fn_stack.pop()
+
+    def _enclosing_cls(self) -> str | None:
+        """Closures inside a method still see the method's ``self``."""
+        if not self._fn_stack:
+            return None
+        for fn_qual in reversed(self._fn_stack):
+            info = self.functions.get(fn_qual)
+            if info is not None and info["cls"] is not None:
+                return info["cls"]
+        # the directly enclosing class, when the stack has no facts yet
+        return self._cls_stack[-1] if self._cls_stack else None
+
+    def _lookup_local(self, name: str) -> str | None:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _constructor_leaf(self, call: ast.Call) -> str | None:
+        """Primitive class name when ``call`` constructs one."""
+        qual = self.imap.qualify(call.func)
+        if qual is None and isinstance(call.func, ast.Name):
+            qual = call.func.id
+        if qual is None:
+            return None
+        leaf = qual.rsplit(".", 1)[-1]
+        return leaf if leaf in PRIMITIVES else None
+
+
+class _FunctionScanner:
+    """Emit the event list for one function body (nested defs excluded)."""
+
+    def __init__(self, builder: FactBuilder, qual: str,
+                 cls: str | None, node) -> None:
+        self.b = builder
+        self.qual = qual
+        self.cls = cls
+        self.node = node
+        self.is_init = node.name == "__init__"
+        self._globals: set[str] = set()
+        #: local var -> shared key it aliases / is typed as
+        self._local_keys: dict[str, str] = {}
+        #: local var -> project class qual it was constructed from
+        self._local_cls: dict[str, str] = {}
+        #: locally-constructed vars that may leave this function
+        self._escaped: set[str] = set()
+        self._loop_depth = 0
+
+    # -- pass 1: local typing ------------------------------------------
+    def _shallow_walk(self, node):
+        """Walk without descending into nested function/class defs."""
+        stack = list(ast.iter_child_nodes(node))
+        while stack:
+            child = stack.pop()
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda)):
+                continue
+            yield child
+            stack.extend(ast.iter_child_nodes(child))
+
+    def _pretype(self) -> None:
+        for stmt in self._shallow_walk(self.node):
+            if isinstance(stmt, ast.Global):
+                self._globals.update(stmt.names)
+            if not (isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1):
+                continue
+            target, value = stmt.targets[0], stmt.value
+            key = self._key_of(target)
+            if isinstance(value, ast.Call):
+                leaf = self.b._constructor_leaf(value)
+                if leaf is None and isinstance(value.func, ast.Attribute) \
+                        and value.func.attr == "spawn":
+                    leaf = "SimProcess"  # kernel.spawn() returns one
+                if leaf is not None and key is not None:
+                    self.b.typed[key] = leaf
+                elif leaf is not None and isinstance(target, ast.Name):
+                    local = f"{self.qual}:{target.id}"
+                    self._local_keys[target.id] = local
+                    self.b.typed[local] = leaf
+                elif leaf is None and isinstance(target, ast.Name):
+                    cls = self._class_of_call(value)
+                    if cls is not None:
+                        self._local_cls[target.id] = cls
+            elif isinstance(target, ast.Name):
+                alias = self._key_of(value)
+                if alias is not None:
+                    self._local_keys[target.id] = alias
+        self._scan_escapes()
+
+    def _scan_escapes(self) -> None:
+        """A locally-constructed object escapes when it is returned,
+        stored through an attribute/subscript, or passed as a call
+        argument — from then on another context may alias it.  Pure
+        receiver positions (``out.method()``, ``out.attr``) do not
+        escape."""
+        def names_in(node: ast.expr) -> None:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name):
+                    self._escaped.add(sub.id)
+
+        for node in self._shallow_walk(self.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                names_in(node.value)
+            elif isinstance(node, ast.Assign):
+                if any(not isinstance(t, ast.Name) for t in node.targets):
+                    names_in(node.value)
+            elif isinstance(node, ast.Call):
+                for arg in node.args:
+                    names_in(arg)
+                for kw in node.keywords:
+                    names_in(kw.value)
+
+    def _class_of_call(self, call: ast.Call) -> str | None:
+        """Project class qual when ``call`` looks like a constructor
+        (``c = Counter(...)``) — used to pin spawn targets like
+        ``kernel.spawn(c.bump)`` to a specific class."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = self.b._lookup_local(func.id)
+            if local is not None:
+                return local
+        qual = self.b.imap.qualify(func)
+        if qual is not None and qual.rsplit(".", 1)[-1][:1].isupper():
+            return qual
+        return None
+
+    def _key_of(self, node: ast.expr) -> str | None:
+        """Shared-state key for an expression: a ``self`` attribute
+        chain (``C.attr.sub``), a declared global, or a typed local."""
+        chain = _attr_chain(node) if isinstance(node, ast.Attribute) \
+            else None
+        if chain is not None and chain[0] == "self" and self.cls \
+                and len(chain) > 1:
+            return f"{self.cls}.{'.'.join(chain[1:4])}"
+        if isinstance(node, ast.Name):
+            if node.id in self._globals:
+                return f"{self.b.module}.{node.id}"
+            return self._local_keys.get(node.id)
+        return None
+
+    # -- pass 2: events ------------------------------------------------
+    def scan(self) -> list:
+        self._pretype()
+        return self._block(self.node.body)
+
+    def _block(self, stmts: list[ast.stmt]) -> list:
+        events: list = []
+        for stmt in stmts:
+            self._statement(stmt, events)
+        return events
+
+    def _statement(self, stmt: ast.stmt, out: list) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # separate facts
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, out)
+            for target in stmt.targets:
+                self._target(target, out)
+        elif isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value, out)
+            key = self._read_key_of_target(stmt.target)
+            if key is not None:
+                self._emit_read(key, stmt, out)
+            self._target(stmt.target, out)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value, out)
+                self._target(stmt.target, out)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._target(target, out)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.test, out)
+            out.append(["branch", [self._block(stmt.body),
+                                   self._block(stmt.orelse)]])
+        elif isinstance(stmt, (ast.While, ast.For)):
+            if isinstance(stmt, ast.While):
+                self._expr(stmt.test, out)
+            else:
+                self._expr(stmt.iter, out)
+                self._target(stmt.target, out)
+            self._loop_depth += 1
+            out.extend(self._block(stmt.body))
+            self._loop_depth -= 1
+            out.extend(self._block(stmt.orelse))
+        elif isinstance(stmt, ast.Try):
+            out.extend(self._block(stmt.body))
+            arms = [self._block(h.body) for h in stmt.handlers]
+            arms.append([])  # the no-exception path
+            out.append(["branch", arms])
+            out.extend(self._block(stmt.orelse))
+            out.extend(self._block(stmt.finalbody))
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._expr(item.context_expr, out)
+                if item.optional_vars is not None:
+                    self._target(item.optional_vars, out)
+            out.extend(self._block(stmt.body))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, out)
+        elif isinstance(stmt, (ast.Expr, ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child, out)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child, out)
+
+    # -- write targets -------------------------------------------------
+    def _read_key_of_target(self, target: ast.expr) -> str | None:
+        key = self._key_of(target)
+        if key is not None and not isinstance(target, ast.Name):
+            return key
+        if isinstance(target, ast.Name) and target.id in self._globals:
+            return key
+        return None
+
+    def _target(self, target: ast.expr, out: list) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._target(elt, out)
+            return
+        if isinstance(target, ast.Starred):
+            self._target(target.value, out)
+            return
+        if isinstance(target, ast.Subscript):
+            key = self._key_of(target.value)
+            if key is not None:
+                self._emit_write(key, target, out)
+            else:
+                self._expr(target.value, out)
+            self._expr(target.slice, out)
+            return
+        key = self._key_of(target)
+        if isinstance(target, ast.Name):
+            if target.id in self._globals:
+                self._emit_write(key, target, out)
+            return
+        if key is not None:
+            self._emit_write(key, target, out)
+
+    # -- expressions ---------------------------------------------------
+    def _emit_read(self, key: str, node, out: list) -> None:
+        out.append(["read", key, node.lineno,
+                    self.b.ctx.line_text(node.lineno), self.is_init])
+
+    def _emit_write(self, key: str, node, out: list,
+                    mut: bool = False) -> None:
+        out.append(["write", key, node.lineno,
+                    self.b.ctx.line_text(node.lineno), self.is_init,
+                    mut])
+
+    def _expr(self, node: ast.expr, out: list) -> None:
+        if isinstance(node, ast.Call):
+            self._call(node, out)
+            return
+        if isinstance(node, ast.Attribute):
+            key = self._key_of(node)
+            if key is not None:
+                self._emit_read(key, node, out)
+            else:
+                self._expr(node.value, out)
+            return
+        if isinstance(node, ast.Subscript):
+            key = self._key_of(node.value)
+            if key is not None:
+                self._emit_read(key, node, out)
+            else:
+                self._expr(node.value, out)
+            self._expr(node.slice, out)
+            return
+        if isinstance(node, ast.Name):
+            if node.id in self._globals:
+                self._emit_read(f"{self.b.module}.{node.id}", node, out)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # deferred body: no events at this site
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child, out)
+
+    def _call(self, node: ast.Call, out: list) -> None:
+        func = node.func
+        prov = None
+        if isinstance(func, ast.Attribute):
+            recv_key = self._key_of(func.value)
+            method = func.attr
+            self._record_entry(method, node)
+            if isinstance(func.value, ast.Name) \
+                    and func.value.id in self._local_cls \
+                    and func.value.id not in self._escaped:
+                prov = self._local_cls[func.value.id]
+            if recv_key is not None:
+                if method in _MUTATORS:
+                    self._emit_write(recv_key, node, out, mut=True)
+                else:
+                    self._emit_read(recv_key, node, out)
+                out.append(["op", recv_key, method, node.lineno,
+                            node.col_offset])
+            else:
+                self._expr(func.value, out)
+                out.append(["op", None, method, node.lineno,
+                            node.col_offset])
+        out.append(["call", node.lineno, node.col_offset, prov])
+        for arg in node.args:
+            if not isinstance(arg, ast.Starred):
+                self._expr(arg, out)
+            else:
+                self._expr(arg.value, out)
+        for kw in node.keywords:
+            self._expr(kw.value, out)
+
+    def _record_entry(self, method: str, node: ast.Call) -> None:
+        if method == "spawn":
+            kind, pos = "process", 0
+        elif method in ("schedule", "_schedule"):
+            kind, pos = "callback", 1
+        else:
+            return
+        if len(node.args) <= pos:
+            return
+        spec = self._entry_spec(node.args[pos])
+        if spec is None:
+            return
+        self.b.entries.append({
+            "fn": spec, "kind": kind, "path": self.b.ctx.path,
+            "line": node.lineno, "multi": self._loop_depth > 0,
+        })
+
+    def _entry_spec(self, target: ast.expr) -> str | None:
+        if isinstance(target, ast.Name):
+            local = self.b._lookup_local(target.id)
+            if local is not None:
+                return f"q:{local}"
+            qual = self.b.imap.qualify(target)
+            return f"q:{qual}" if qual is not None else None
+        if isinstance(target, ast.Attribute):
+            chain = _attr_chain(target)
+            if chain and chain[0] == "self" and self.cls \
+                    and len(chain) == 2:
+                return f"a:{self.cls}:{chain[1]}"
+            if chain and len(chain) == 2 \
+                    and chain[0] in self._local_cls:
+                return f"a:{self._local_cls[chain[0]]}:{chain[1]}"
+            qual = self.b.imap.qualify(target)
+            if qual is not None:
+                return f"q:{qual}"
+            return f"m:{target.attr}"
+        return None
+
+
+def build_file_facts(ctx: "ModuleContext", module: str) -> dict:
+    """The sim-race fact blob for one parsed module."""
+    return FactBuilder(ctx, module).run()
+
+
+# ----------------------------------------------------------------------
+# project side: summary interpretation
+# ----------------------------------------------------------------------
+def empty_summary() -> dict:
+    return {"yield": None, "accesses": [], "windows": [],
+            "rel": [], "acq": [], "spans": []}
+
+
+def seed_summary(qual: str) -> dict:
+    summary = empty_summary()
+    if qual in SEED_QUALS:
+        leaf = ".".join(qual.rsplit(".", 2)[-2:])
+        summary["yield"] = {"name": leaf, "site": "", "chain": [leaf]}
+    return summary
+
+
+def _typed_lookup(typed: dict[str, str], key: str) -> str | None:
+    """Type of ``key`` or of a prefix of it (``C.box.x`` is typed when
+    ``C.box`` is)."""
+    probe = key
+    while True:
+        hit = typed.get(probe)
+        if hit is not None:
+            return hit
+        if "." not in probe:
+            return None
+        probe = probe.rsplit(".", 1)[0]
+
+
+class _Interp:
+    """Interpret one function's events under the callee summaries."""
+
+    def __init__(self, qual: str, fact: dict, typed: dict,
+                 summaries: dict, graph: "CallGraph") -> None:
+        self.qual = qual
+        self.fact = fact
+        self.typed = typed
+        self.summaries = summaries
+        self.graph = graph
+        self.held: set[str] = set()
+        #: key -> [path, line, locks(set), yseen, chain]
+        self.last_read: dict[str, list] = {}
+        self.yielded: dict | None = None
+        #: (key, kind, path, line) -> [locks(set), setup, mut, text]
+        self.accesses: dict[tuple, list] = {}
+        self.windows: list[list] = []
+        self.rel: set[str] = set()
+        self.acq: set[str] = set()
+        #: straight-line straddle tracking: key -> [kind, yseen];
+        #: ``spans`` collects keys whose consecutive accesses (one a
+        #: write) straddle a yield on the unconditional path
+        self._last_acc: dict[str, list] = {}
+        self.spans: set[str] = set()
+        self._depth = 0
+
+    # -- event dispatch ------------------------------------------------
+    def run(self) -> dict:
+        self._events(self.fact["events"])
+        accesses = sorted(
+            [key, kind, path, line, sorted(locks), setup, mut, text]
+            for (key, kind, path, line), (locks, setup, mut, text)
+            in self.accesses.items())[:_MAX_ACCESSES]
+        windows = sorted(self.windows)[:_MAX_WINDOWS]
+        return {"yield": self.yielded, "accesses": accesses,
+                "windows": windows, "rel": sorted(self.rel),
+                "acq": sorted(self.acq), "spans": sorted(self.spans)}
+
+    def _events(self, events: list) -> None:
+        for ev in events:
+            kind = ev[0]
+            if kind == "read":
+                self._read(ev[1], self.fact["path"], ev[2], ev[3], ev[4],
+                           self.held)
+            elif kind == "write":
+                self._write(ev[1], self.fact["path"], ev[2], ev[3],
+                            ev[4], self.held,
+                            mut=bool(ev[5]) if len(ev) > 5 else False)
+            elif kind == "op":
+                self._op(ev[1], ev[2])
+            elif kind == "call":
+                self._call(ev[1], ev[2], ev[3] if len(ev) > 3 else None)
+            elif kind == "branch":
+                self._branch(ev[1])
+
+    # -- reads/writes/windows ------------------------------------------
+    def _tracked(self, key: str) -> bool:
+        return _typed_lookup(self.typed, key) is None
+
+    def _span_step(self, key: str, kind: str) -> None:
+        if self._depth > 0:
+            return
+        prior = self._last_acc.get(key)
+        if prior is not None and prior[1] \
+                and (prior[0] == "w" or kind == "w"):
+            self.spans.add(key)
+        self._last_acc[key] = [kind, False]
+
+    def _read(self, key: str, path: str, line: int, text: str,
+              setup: bool, locks: set, span: bool = True) -> None:
+        if not self._tracked(key):
+            return
+        self._note_access(key, "r", path, line, locks, setup, False,
+                          text)
+        if span:
+            self._span_step(key, "r")
+        self.last_read[key] = [path, line, set(locks), False, None]
+
+    def _write(self, key: str, path: str, line: int, text: str,
+               setup: bool, locks: set, mut: bool = False,
+               complete: bool = True, span: bool = True) -> None:
+        if not self._tracked(key):
+            return
+        self._note_access(key, "w", path, line, locks, setup, mut, text)
+        if not setup and span:
+            self._span_step(key, "w")
+        lr = self.last_read.pop(key, None)
+        if complete and lr is not None and lr[3] and not setup:
+            common = sorted(lr[2] & locks)
+            self.windows.append([
+                key, lr[0], lr[1], path, line, text, common,
+                list(lr[4] or ())[:_CHAIN_CAP], self.qual])
+
+    def _note_access(self, key: str, kind: str, path: str, line: int,
+                     locks: set, setup: bool, mut: bool,
+                     text: str) -> None:
+        slot = self.accesses.get((key, kind, path, line))
+        if slot is None:
+            self.accesses[(key, kind, path, line)] = [
+                set(locks), setup, mut, text]
+        else:
+            slot[0] |= locks
+
+    def _mark_yield(self, name: str, chain: list) -> None:
+        if self.yielded is None:
+            self.yielded = {"name": name, "site": "",
+                            "chain": list(chain)[:_CHAIN_CAP]}
+        for entry in self.last_read.values():
+            if not entry[3]:
+                entry[3] = True
+                entry[4] = list(chain)[:_CHAIN_CAP]
+        for acc in self._last_acc.values():
+            acc[1] = True
+
+    # -- primitive operations ------------------------------------------
+    def _op(self, recv_key: str | None, method: str) -> None:
+        prim = None if recv_key is None \
+            else _typed_lookup(self.typed, recv_key)
+        info = PRIMITIVES.get(prim) if prim is not None else None
+        if info is not None:
+            assert recv_key is not None
+            if method in info["yields"]:
+                self._mark_yield(f"{prim}.{method}",
+                                 [f"{prim}.{method}"])
+            if method in info["releases"]:
+                self.rel.add(recv_key)
+            if method in info["acquires"]:
+                self.acq.add(recv_key)
+            if info["lock"]:
+                if method == "acquire":
+                    self.held.add(recv_key)
+                elif method == "release":
+                    self.held.discard(recv_key)
+            return
+        # untyped receiver: distinctive-name fallback
+        if method in YIELD_METHOD_FALLBACK:
+            self._mark_yield(f".{method}()", [f".{method}()"])
+        if recv_key is not None:
+            # acquire/release are distinctive enough to trust as lock
+            # discipline even untyped — over-estimating held locks only
+            # suppresses findings (FP-averse)
+            if method == "acquire":
+                self.held.add(recv_key)
+                self.acq.add(recv_key)
+            elif method == "release":
+                self.held.discard(recv_key)
+                self.rel.add(recv_key)
+
+    # -- calls: summaries flow in --------------------------------------
+    def _call(self, line: int, col: int, local_cls: str | None) -> None:
+        callee = self.graph.callee_at(self.fact["path"], line, col)
+        if callee is None:
+            return
+        if callee in SEED_QUALS:
+            leaf = ".".join(callee.rsplit(".", 2)[-2:])
+            self._mark_yield(leaf, [leaf])
+            return
+        csum = self.summaries.get(callee)
+        if csum is None:
+            return
+
+        def local(key: str) -> bool:
+            # accesses on an object the caller constructed locally (and
+            # that never escapes) cannot be shared with another context
+            return local_cls is not None \
+                and (key == local_cls or key.startswith(local_cls + "."))
+
+        # The internal order of the callee's reads, yield and writes is
+        # unknown at this boundary (its *internal* windows were already
+        # computed precisely and propagate below), so a callee write
+        # may only complete a window whose read was marked *before*
+        # this call — never by the same call's own yield.  Two further
+        # sanity conditions: a callee that *re-reads* the key before
+        # writing acts on its own fresh view, not on the caller's stale
+        # one (memo caches, ``+=`` counters, index maintenance), and a
+        # container-method write (``.append``/``.pop``) consumes no
+        # previously-read value.  Neither completes a stale window.
+        # Propagated accesses also never form yield *spans* here
+        # (``span=False``): a callee re-establishes its own view of the
+        # key on every call, so two sequential calls around a yield are
+        # not the caller holding state across it — the callee's own
+        # internal straddles arrive via ``csum["spans"]`` below, and
+        # helper-mediated read -> yield -> write sequences are exactly
+        # what the window analysis above reports.
+        reads = [a for a in csum["accesses"] if a[1] == "r"]
+        writes = [a for a in csum["accesses"] if a[1] == "w"]
+        fresh = {a[0] for a in reads}
+        for key, _k, apath, aline, locks, setup, mut, text in writes:
+            if local(key):
+                continue
+            self._write(key, apath, aline, text, setup,
+                        self.held | set(locks), mut=mut,
+                        complete=not mut and key not in fresh,
+                        span=False)
+        if csum["yield"] is not None:
+            chain = [callee] + list(csum["yield"]["chain"])
+            self._mark_yield(csum["yield"]["name"], chain)
+        for key, _k, apath, aline, locks, setup, mut, text in reads:
+            if local(key):
+                continue
+            self._read(key, apath, aline, text, setup,
+                       self.held | set(locks), span=False)
+        for win in csum["windows"]:
+            if local(win[0]):
+                continue
+            grown = list(win)
+            grown[6] = sorted(set(win[6]) | self.held)
+            self.windows.append(grown)
+        for key in csum["spans"]:
+            if not local(key):
+                self.spans.add(key)
+        self.rel.update(csum["rel"])
+        self.acq.update(csum["acq"])
+
+    # -- branches ------------------------------------------------------
+    def _branch(self, arms: list) -> None:
+        held0 = set(self.held)
+        lr0 = {k: [v[0], v[1], set(v[2]), v[3], v[4]]
+               for k, v in self.last_read.items()}
+        finals_held: list[set] = []
+        finals_lr: list[dict] = []
+        self._depth += 1
+        for arm in arms:
+            self.held = set(held0)
+            self.last_read = {k: [v[0], v[1], set(v[2]), v[3], v[4]]
+                              for k, v in lr0.items()}
+            self._events(arm)
+            finals_held.append(self.held)
+            finals_lr.append(self.last_read)
+        self._depth -= 1
+        self.held = set().union(*finals_held) if finals_held else held0
+        # keep only window candidates every arm left untouched
+        merged: dict[str, list] = {}
+        for key, entry in lr0.items():
+            probe = [entry[0], entry[1], sorted(entry[2]), entry[3]]
+            same = all(
+                key in flr and [flr[key][0], flr[key][1],
+                                sorted(flr[key][2]), flr[key][3]] == probe
+                for flr in finals_lr)
+            if same:
+                merged[key] = entry
+        self.last_read = merged
+
+
+def solve_summaries(fns: dict[str, dict], typed: dict[str, str],
+                    graph: "CallGraph") -> dict[str, dict]:
+    """Fixpoint of the lockset/yield interpretation over the graph."""
+    from repro.analysis import dataflow
+
+    def initial(node: str) -> dict:
+        return seed_summary(node)
+
+    def transfer(node: str, summaries: dict) -> dict:
+        fact = fns.get(node)
+        if fact is None:
+            return seed_summary(node)
+        return _Interp(node, fact, typed, summaries, graph).run()
+
+    return dataflow.solve(graph.nodes(), graph.adjacency(),
+                          initial, transfer)

@@ -37,6 +37,8 @@ FAMILIES = {
     "bufsan": ("buf-",),
     "blockdeep": ("ker-block-deep",),
     "obsguard": ("obs-guard",),
+    "simrace": ("race-",),
+    "typestate2": ("tys-",),
 }
 
 _EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Za-z0-9_-]+)")

@@ -1,0 +1,310 @@
+"""``sim-race``: static race & atomicity analysis (rules ``race-*``).
+
+The static twin of the dynamic vector-clock detector in
+:mod:`repro.sanitizer.races`.  Where sim-san observes one schedule at a
+time, sim-race reasons over *all* schedules the cooperative kernel
+could pick, using three cooperating interprocedural analyses built on
+the :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.dataflow`
+engine (the event IR and interpreter live in
+:mod:`repro.analysis.locksets`):
+
+1. **yield-point analysis** — a transitive ``may_yield`` summary per
+   function, seeded from the shared primitive registry
+   (:mod:`repro.sim.primitives`: ``SimProcess.sleep``,
+   ``WaitQueue.wait``, ``Mailbox.get``, ...).  Between two yield points
+   the one-at-a-time kernel guarantees atomicity; a yield is where any
+   other runnable process can interleave.
+
+2. **lockset analysis** — for every simprocess entry point (process
+   bodies reached from ``kernel.spawn``, timer callbacks reached from
+   ``kernel.schedule``, monitor hooks), the shared attributes it
+   transitively reads/writes and the ``SimLock``/``SimSemaphore`` set
+   held at each access.
+
+3. **window detection** — read → may-yield → write sequences on one key
+   whose two sites share no lock (``race-atomicity``), plus
+   cross-context access pairs with no common lock and no
+   happens-before hand-off (``race-unlocked-shared``).
+
+Reports mirror the dynamic :class:`~repro.sanitizer.races.RaceReport`
+two-site format: both access sites, the contexts, and (for atomicity
+windows) the yield chain that opens the window.
+
+Deliberate over-approximations (static may flag what a given schedule
+never exhibits — see docs/ANALYSIS.md "static vs dynamic race
+detection"): attribute keys are per-class, not per-instance; loop
+bodies are treated as straight-line; a conditional yield is treated as
+a yield on the path where it occurs.  The converse is kept tight: every
+race the dynamic detector can observe on corpus programs is flagged
+(the differential harness in ``tests/analysis`` enforces this).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis import locksets
+from repro.analysis.base import (
+    ModuleContext,
+    ProjectChecker,
+    register_project_checker,
+)
+from repro.analysis.callgraph import CallGraph, slice_module_name
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+
+#: modules that *implement* the concurrency machinery; their internals
+#: are the trusted computing base of both detectors and are exercised
+#: by dedicated tests, not by this analysis
+_TCB_PREFIXES = (
+    "repro.sim.kernel", "repro.sim.sync", "repro.sim.primitives",
+    "repro.obs", "repro.sanitizer", "repro.analysis",
+)
+
+
+def _is_tcb(module: str | None) -> bool:
+    return module is not None and module.startswith(_TCB_PREFIXES)
+
+
+def _chain_str(chain: list) -> str:
+    return " -> ".join(chain) if chain else "a yield point"
+
+
+class _Context:
+    """One resolvable simprocess entry point."""
+
+    def __init__(self, fn: str, kind: str, multi: bool,
+                 summary: dict) -> None:
+        self.fn = fn
+        self.kind = kind          # "process" | "callback" | "hook"
+        self.multi = multi        # may run as several instances
+        self.summary = summary
+        self.rel = set(summary["rel"])
+        self.acq = set(summary["acq"])
+        #: keys whose consecutive accesses straddle a yield point on
+        #: the unconditional path (one of them a write) — the only
+        #: exposure a run-to-completion kernel cannot make atomic
+        self.spans = set(summary["spans"])
+
+    def label(self) -> str:
+        return f"{self.kind} {self.fn!r}"
+
+
+@register_project_checker
+class SimRaceChecker(ProjectChecker):
+    """Whole-program lockset/atomicity analysis (see module docstring)."""
+
+    name = "sim-race"
+    rules = {
+        "race-atomicity":
+            "read-modify-write on shared state spans a yield point "
+            "with no common lock while another context writes it",
+        "race-unlocked-shared":
+            "shared attribute accessed from concurrent simprocess "
+            "contexts with no common lock and no happens-before "
+            "primitive between them",
+    }
+
+    # -- fact pass -------------------------------------------------------
+    def file_facts(self, ctx: ModuleContext,
+                   config: AnalysisConfig) -> dict:
+        if _is_tcb(ctx.module):
+            return {"functions": {}, "typed": {}, "entries": []}
+        module = ctx.module or slice_module_name(ctx)
+        return locksets.build_file_facts(ctx, module)
+
+    # -- interprocedural pass --------------------------------------------
+    def project_check(self, facts: dict[str, dict], graph: CallGraph,
+                      config: AnalysisConfig) -> Iterator[Finding]:
+        fns: dict[str, dict] = {}
+        typed: dict[str, str] = {}
+        entries: list[dict] = []
+        for blob in facts.values():
+            fns.update(blob["functions"])
+            typed.update(blob["typed"])
+            entries.extend(blob["entries"])
+        if not entries and not any(
+                fn["name"] in locksets.HOOK_NAMES and fn["cls"]
+                for fn in fns.values()):
+            return
+
+        summaries = locksets.solve_summaries(fns, typed, graph)
+        contexts = self._contexts(entries, fns, graph, summaries)
+        if len(contexts) < 1:
+            return
+
+        atomicity, hot_keys = self._atomicity(contexts)
+        yield from atomicity
+        yield from self._unlocked_shared(contexts, hot_keys)
+
+    # -- entry-point resolution ------------------------------------------
+    def _contexts(self, entries: list[dict], fns: dict,
+                  graph: CallGraph, summaries: dict) -> list["_Context"]:
+        sites: dict[tuple[str, str], set] = {}
+        forced_multi: set[tuple[str, str]] = set()
+        for entry in entries:
+            fn = self._resolve_entry(entry["fn"], graph)
+            if fn is None or fn not in fns:
+                continue
+            key = (fn, entry["kind"])
+            sites.setdefault(key, set()).add((entry["path"],
+                                              entry["line"]))
+            if entry["multi"]:
+                forced_multi.add(key)
+        contexts = []
+        for (fn, kind), where in sorted(sites.items()):
+            multi = (fn, kind) in forced_multi or len(where) > 1
+            contexts.append(_Context(
+                fn, kind, multi, summaries.get(fn)
+                or locksets.empty_summary()))
+        spawned = {c.fn for c in contexts}
+        for qual in sorted(fns):
+            fact = fns[qual]
+            if fact["cls"] and fact["name"] in locksets.HOOK_NAMES \
+                    and qual not in spawned:
+                contexts.append(_Context(
+                    qual, "hook", False, summaries.get(qual)
+                    or locksets.empty_summary()))
+        return contexts
+
+    @staticmethod
+    def _resolve_entry(spec: str, graph: CallGraph) -> str | None:
+        form, _, rest = spec.partition(":")
+        if form == "q":
+            if rest in graph.functions:
+                return rest
+            return graph._resolve_dotted(rest)
+        if form == "a":
+            cls, _, name = rest.rpartition(":")
+            return graph._method_on(cls, name)
+        if form == "m":
+            candidates = graph._by_method.get(rest, ())
+            return candidates[0] if len(candidates) == 1 else None
+        return None
+
+    # -- rule: race-atomicity --------------------------------------------
+    def _atomicity(self, contexts: list["_Context"]
+                   ) -> tuple[list[Finding], set[str]]:
+        findings: dict[tuple, Finding] = {}
+        hot_keys: set[str] = set()
+        for ctx in contexts:
+            for win in ctx.summary["windows"]:
+                (key, rpath, rline, wpath, wline, text, locks,
+                 chain, fn) = win
+                writer = self._conflicting_writer(
+                    contexts, ctx, key, set(locks), (wpath, wline))
+                if writer is None:
+                    continue
+                other, acc = writer
+                fkey = (key, wpath, wline)
+                if fkey in findings:
+                    continue
+                hot_keys.add(key)
+                findings[fkey] = Finding(
+                    "race-atomicity",
+                    f"atomicity violation on {key}: read at "
+                    f"{rpath}:{rline} and write at {wpath}:{wline} "
+                    f"(in {fn!r}, reached from {ctx.label()}) span "
+                    f"{_chain_str(chain)} with no common lock; "
+                    f"{other.label()} writes {key} at "
+                    f"{acc[2]}:{acc[3]} and can interleave at the "
+                    f"yield", wpath, wline, 0, source_line=text)
+        ordered = [findings[k] for k in sorted(findings)]
+        return ordered, hot_keys
+
+    @staticmethod
+    def _conflicting_writer(contexts: list["_Context"],
+                            ctx: "_Context", key: str, locks: set,
+                            wsite: tuple) -> tuple | None:
+        best = None
+        for other in contexts:
+            same = other is ctx
+            if same and not ctx.multi:
+                continue
+            if ctx.kind == "hook" and other.kind == "hook":
+                continue
+            for acc in other.summary["accesses"]:
+                akey, kind, apath, aline, alocks, setup = acc[:6]
+                if kind != "w" or akey != key or setup:
+                    continue
+                if same and (apath, aline) == wsite and not ctx.multi:
+                    continue
+                if set(alocks) & locks:
+                    continue
+                cand = ((apath, aline), other, acc)
+                if best is None or cand[0] < best[0]:
+                    best = cand
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # -- rule: race-unlocked-shared --------------------------------------
+    def _unlocked_shared(self, contexts: list["_Context"],
+                         hot_keys: set[str]) -> Iterator[Finding]:
+        # Between two yield points the one-at-a-time kernel executes
+        # atomically, so cross-context access alone is not a hazard:
+        # some involved context must hold the key across a yield (its
+        # ``spans`` set) for the other side's access to interleave
+        # destructively.
+        spanning: set[str] = set()
+        for ctx in contexts:
+            spanning |= ctx.spans
+        by_key: dict[str, list] = {}
+        for idx, ctx in enumerate(contexts):
+            for acc in ctx.summary["accesses"]:
+                key, setup = acc[0], acc[5]
+                if setup or key in hot_keys or key not in spanning:
+                    continue
+                by_key.setdefault(key, []).append((idx, acc))
+
+        for key in sorted(by_key):
+            pair = self._conflicting_pair(contexts, by_key[key])
+            if pair is None:
+                continue
+            (ctx_a, acc_a), (ctx_b, acc_b) = pair
+            kind_b = "write" if acc_b[1] == "w" else "read"
+            yield Finding(
+                "race-unlocked-shared",
+                f"data race on {key}:\n"
+                f"    write by {ctx_a.label()} at "
+                f"{acc_a[2]}:{acc_a[3]}\n"
+                f"    {kind_b} by {ctx_b.label()} at "
+                f"{acc_b[2]}:{acc_b[3]}\n"
+                f"    (no common lock and no happens-before "
+                f"primitive between the two accesses)",
+                acc_a[2], acc_a[3], 0, source_line=acc_a[7])
+
+    @staticmethod
+    def _conflicting_pair(contexts: list["_Context"],
+                          items: list) -> tuple | None:
+        best = None
+        for i, (ia, acc_a) in enumerate(items):
+            if acc_a[1] != "w":
+                continue
+            ctx_a = contexts[ia]
+            for ib, acc_b in items:
+                ctx_b = contexts[ib]
+                if ctx_a is ctx_b and not ctx_a.multi:
+                    continue
+                if ctx_a is ctx_b \
+                        and (acc_a[2], acc_a[3]) == (acc_b[2], acc_b[3]) \
+                        and acc_a[1] == acc_b[1]:
+                    continue
+                if ctx_a.kind == "hook" and ctx_b.kind == "hook":
+                    continue
+                if set(acc_a[4]) & set(acc_b[4]):
+                    continue
+                # a release->acquire chain between the two contexts is
+                # a static happens-before edge: the hand-off orders the
+                # accesses, exactly like the dynamic hb_release /
+                # hb_acquire pair
+                if (ctx_a.rel & ctx_b.acq) or (ctx_b.rel & ctx_a.acq):
+                    continue
+                cand = (((acc_a[2], acc_a[3]), (acc_b[2], acc_b[3])),
+                        (ia, acc_a), (ib, acc_b))
+                if best is None or cand[0] < best[0]:
+                    best = cand
+        if best is None:
+            return None
+        (ia, acc_a), (ib, acc_b) = best[1], best[2]
+        return (contexts[ia], acc_a), (contexts[ib], acc_b)

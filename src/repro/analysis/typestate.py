@@ -1,41 +1,69 @@
-"""Protocol-lifecycle checkers (rule family ``tys-*``).
+"""Protocol-lifecycle checkers (rule family ``tys-*``) — interprocedural.
 
 The static twin of :mod:`repro.sanitizer.monitors`: the VLink/Circuit
 lifecycle DFA (paper §4.3.2 — establish, use, close) enforced over the
-AST, so the obvious misuses fail in ``repro-lint`` before any scenario
-runs.  The analysis is deliberately linear and local — one function at
-a time, statement by statement — tracking only variables whose origin
-is syntactically certain:
+whole program.  Version 2 replaces the linear per-function scan with a
+:class:`~repro.analysis.base.ProjectChecker` on the callgraph/dataflow
+engine: every function gets a summary (which parameters it closes,
+which lifecycle methods it invokes on them, what it returns, whether it
+reaches ``release_claims``), solved to fixpoint callees-first, and each
+function body is then re-interpreted under those summaries.  That makes
+the family *interprocedural* (a helper that closes or uses an endpoint
+is seen from its callers) and *exception-edge-aware* (``try``/
+``finally`` and ``with`` propagate state; an explicit ``raise`` with an
+open endpoint is a leak).
 
 ``tys-send-before-connect``
     ``send``/``recv`` on a :class:`VLinkEndpoint` constructed directly
     (still RAW) — an established stream comes from ``VLink.connect``,
-    ``VLinkEndpoint.make_pair`` or ``listener.accept``.
+    ``VLinkEndpoint.make_pair`` or ``listener.accept``.  Uses reached
+    through a resolvable helper count.
 ``tys-use-after-close``
-    Traffic on a VLink endpoint or Circuit after ``close()`` in the
-    same straight-line block.
+    Traffic on a VLink endpoint or Circuit after ``close()`` — whether
+    the close or the use happens directly or inside a callee that
+    closes/uses its parameter.
 ``tys-double-bind``
     Two ``VLink.listen`` calls binding the same (process, port) with no
     intervening close of the first listener.
 ``tys-unreleased-claim``
     A *direct* NIC claim (``claim_nic(..., cooperative=False)``) in a
-    function that never calls ``release_claims`` — the static analogue
-    of :meth:`TypestateMonitor.unreleased_claims`.  Cooperative claims
-    are multiplexed by PadicoTM and may live for the process lifetime.
+    function that never reaches ``release_claims``, not even through
+    its callees — the static analogue of
+    :meth:`TypestateMonitor.unreleased_claims`.  Cooperative claims are
+    multiplexed by PadicoTM and may live for the process lifetime.
+``tys-leak-on-raise``
+    An explicit ``raise`` on a path where a locally-established
+    endpoint or circuit is still open, not protected by a ``finally``
+    or ``with`` that closes it, and has not escaped the function.
+    (:class:`WireBuffer` needs no close — it is validity-scoped to the
+    blocking send that produced it; its misuse is the ``buf-*``
+    family's business.)
 
-Conditional paths are scanned with a non-propagating copy of the state,
-so a close inside ``if``/``try`` never poisons the fall-through path —
-the family prefers missed reports over false positives.
+State merging stays deliberately FP-averse: ``if``/loop arms are
+interpreted for their own findings but their effects are discarded at
+the join (a conditional ``close`` never poisons the fall-through
+path), ``try`` bodies *do* propagate (the no-exception path runs them
+in full), handlers are treated as arms, and a ``finally`` always runs.
+Only functions are scanned — module-level statements carry no
+lifecycle state worth the false positives.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.analysis.base import Checker, ModuleContext, register_checker
+from repro.analysis.base import (
+    ModuleContext,
+    ProjectChecker,
+    register_project_checker,
+)
+from repro.analysis.callgraph import slice_module_name
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.callgraph import CallGraph
 
 _RAW = "raw"
 _CONNECTED = "connected"
@@ -53,6 +81,10 @@ _USES = {
     "vlink": {"send", "recv", "poll"},
     "circuit": {"send", "recv", "poll", "wait_message"},
 }
+
+#: every method name that is a lifecycle use for *some* kind — the
+#: filter for parameter-use summaries (the caller re-checks the kind)
+_ANY_USE = frozenset().union(*_USES.values())
 
 
 def _creator(qual: str | None) -> tuple[str, str] | None:
@@ -83,195 +115,548 @@ def _listen_key(call: ast.Call) -> tuple[str, str] | None:
     return proc_key, port.value
 
 
-class _Scope:
-    """Linear per-function state: tracked variables and bound ports."""
+# ----------------------------------------------------------------------
+# fact side: module AST -> per-function lifecycle event IR
+# ----------------------------------------------------------------------
+class _TysFactBuilder:
+    """Reduce one module to JSON-serializable lifecycle events."""
 
-    def __init__(self) -> None:
-        #: var name -> (kind, lifecycle state)
-        self.vars: dict[str, tuple[str, str]] = {}
-        #: listen key -> (listener var name or None, first lineno)
-        self.bound: dict[tuple[str, str], tuple[str | None, int]] = {}
-
-    def copy(self) -> "_Scope":
-        child = _Scope()
-        child.vars = dict(self.vars)
-        child.bound = dict(self.bound)
-        return child
-
-
-def _calls_in(stmt: ast.stmt):
-    """Call nodes in ``stmt``'s own expressions — the header of a
-    compound statement, not its nested blocks (those are scanned with
-    their own scope copy) and not nested lambdas."""
-    stack: list[ast.AST] = [stmt]
-    while stack:
-        node = stack.pop()
-        if node is not stmt and isinstance(node, (ast.stmt, ast.Lambda)):
-            continue  # nested statements/scopes are scanned separately
-        if isinstance(node, ast.Call):
-            yield node
-        stack.extend(ast.iter_child_nodes(node))
-
-
-class _TypestateVisitor:
-    def __init__(self, ctx: ModuleContext):
+    def __init__(self, ctx: ModuleContext, module: str) -> None:
         self.ctx = ctx
+        self.module = module
         self.imap = ctx.import_map
-        self.findings: list[Finding] = []
+        self.functions: dict[str, dict] = {}
+        self._cls_stack: list[str] = []
+        self._fn_stack: list[str] = []
 
-    # ------------------------------------------------------------------
-    def run(self, tree: ast.Module) -> None:
-        self._scan_block(tree.body, _Scope())
+    def run(self) -> dict:
+        assert self.ctx.tree is not None
+        self._walk(self.ctx.tree.body)
+        return {"functions": self.functions}
 
-    def _scan_block(self, body: list[ast.stmt], scope: _Scope) -> None:
+    def _qual(self, name: str) -> str:
+        if self._fn_stack:
+            return f"{self._fn_stack[-1]}.{name}"
+        if self._cls_stack:
+            return f"{self._cls_stack[-1]}.{name}"
+        return f"{self.module}.{name}"
+
+    def _walk(self, body: list[ast.stmt]) -> None:
         for stmt in body:
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self._scan_function(stmt)
-                continue
             if isinstance(stmt, ast.ClassDef):
-                self._scan_block(stmt.body, _Scope())
-                continue
-            self._scan_statement(stmt, scope)
-            for nested in self._nested_blocks(stmt):
-                self._scan_block(nested, scope.copy())
+                self._cls_stack.append(self._qual(stmt.name))
+                self._walk(stmt.body)
+                self._cls_stack.pop()
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = self._qual(stmt.name)
+                events = _TysScanner(self, stmt).scan()
+                self.functions[qual] = {
+                    "path": self.ctx.path, "line": stmt.lineno,
+                    "name": stmt.name,
+                    "params": [a.arg for a in stmt.args.args],
+                    "events": events,
+                }
+                self._fn_stack.append(qual)
+                self._walk(stmt.body)  # nested defs get their own facts
+                self._fn_stack.pop()
 
-    def _scan_function(self, fn: ast.FunctionDef) -> None:
-        self._scan_block(fn.body, _Scope())
-        self._check_claim_balance(fn)
 
-    @staticmethod
-    def _nested_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
-        blocks: list[list[ast.stmt]] = []
-        for attr in ("body", "orelse", "finalbody"):
-            nested = getattr(stmt, attr, None)
-            if isinstance(nested, list) and nested and \
-                    isinstance(nested[0], ast.stmt):
-                blocks.append(nested)
-        for handler in getattr(stmt, "handlers", []) or []:
-            blocks.append(handler.body)
-        return blocks
+class _TysScanner:
+    """Emit one function's lifecycle events (nested defs excluded)."""
 
-    # ------------------------------------------------------------------
-    def _scan_statement(self, stmt: ast.stmt, scope: _Scope) -> None:
-        closes: list[str] = []
-        for node in _calls_in(stmt):
-            self._check_listen(node, scope)
-            func = node.func
-            if not (isinstance(func, ast.Attribute)
-                    and isinstance(func.value, ast.Name)):
-                continue
-            var, method = func.value.id, func.attr
-            if method == "close":
-                if var in scope.vars or any(
-                        v == var for v, _ in scope.bound.values()):
-                    closes.append(var)
-                continue
-            tracked = scope.vars.get(var)
-            if tracked is None:
-                continue
-            kind, state = tracked
-            if method not in _USES.get(kind, ()):
-                continue
-            if state == _RAW:
-                self.findings.append(self.ctx.finding(
-                    "tys-send-before-connect",
-                    f"{method}() on {var!r}, a VLinkEndpoint that was "
-                    f"constructed but never connected; establish it via "
-                    f"VLink.connect / make_pair / listener.accept first",
-                    node))
-            elif state == _CLOSED:
-                self.findings.append(self.ctx.finding(
-                    "tys-use-after-close",
-                    f"{method}() on {var!r} after close(); a closed "
-                    f"{kind} endpoint must not carry traffic", node))
-        for var in closes:
-            if var in scope.vars:
-                kind, _ = scope.vars[var]
-                scope.vars[var] = (kind, _CLOSED)
-            for key, (lvar, _line) in list(scope.bound.items()):
-                if lvar == var:
-                    del scope.bound[key]
-        self._track_assignment(stmt, scope)
+    def __init__(self, builder: _TysFactBuilder, node) -> None:
+        self.b = builder
+        self.node = node
 
-    # ------------------------------------------------------------------
-    def _check_listen(self, call: ast.Call, scope: _Scope) -> None:
-        qual = self.imap.qualify(call.func)
-        if qual is None or not qual.endswith(".VLink.listen"):
-            return
-        key = _listen_key(call)
-        if key is None:
-            return
-        if key in scope.bound:
-            _lvar, line = scope.bound[key]
-            self.findings.append(self.ctx.finding(
-                "tys-double-bind",
-                f"port {key[1]!r} is already bound on this process "
-                f"(first bind at line {line}); close the first listener "
-                f"before rebinding", call))
-            return
-        scope.bound[key] = (None, call.lineno)
+    def scan(self) -> list:
+        return self._block(self.node.body)
 
-    def _track_assignment(self, stmt: ast.stmt, scope: _Scope) -> None:
-        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+    def _text(self, line: int) -> str:
+        return self.b.ctx.line_text(line)
+
+    def _block(self, stmts: list[ast.stmt]) -> list:
+        out: list = []
+        for stmt in stmts:
+            self._statement(stmt, out)
+        return out
+
+    # -- statements ----------------------------------------------------
+    def _statement(self, stmt: ast.stmt, out: list) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # separate facts
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            self._assign(stmt.targets[0], stmt.value, stmt, out)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(stmt.target, stmt.value, stmt, out)
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, out)
+        elif isinstance(stmt, ast.Return):
+            self._return(stmt, out)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._expr(stmt.exc, out)
+            out.append(["raise", stmt.lineno, self._text(stmt.lineno)])
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.test, out)
+            out.append(["branch", [self._block(stmt.body),
+                                   self._block(stmt.orelse)]])
+        elif isinstance(stmt, (ast.While, ast.For)):
+            if isinstance(stmt, ast.While):
+                self._expr(stmt.test, out)
+            else:
+                self._expr(stmt.iter, out)
+            out.append(["branch", [self._block(stmt.body), []]])
+            out.extend(self._block(stmt.orelse))
+        elif isinstance(stmt, ast.Try):
+            out.append(["try", self._block(stmt.body),
+                        [self._block(h.body) for h in stmt.handlers],
+                        self._block(stmt.orelse),
+                        self._block(stmt.finalbody)])
+        elif isinstance(stmt, ast.With):
+            self._with(stmt, out)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child, out)
+
+    def _assign(self, target: ast.expr, value: ast.expr,
+                stmt: ast.stmt, out: list) -> None:
+        if isinstance(value, ast.Call):
+            made = self._creation(value)
+            if made is not None:
+                kind, state = made
+                self._args_events(value, out)
+                if kind == "pair" and isinstance(target, ast.Tuple):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            out.append(["create", elt.id, "vlink", state,
+                                        stmt.lineno,
+                                        self._text(stmt.lineno)])
+                    return
+                if kind != "pair" and isinstance(target, ast.Name):
+                    out.append(["create", target.id, kind, state,
+                                stmt.lineno, self._text(stmt.lineno)])
+                    return
+                return
+            qual = self.b.imap.qualify(value.func)
+            if qual is not None and qual.endswith(".VLink.listen"):
+                key = _listen_key(value)
+                if key is not None:
+                    self._args_events(value, out)
+                    var = target.id if isinstance(target, ast.Name) \
+                        else None
+                    out.append(["listen", key[0], key[1], var,
+                                stmt.lineno, self._text(stmt.lineno)])
+                    return
+            ret_var = target.id if isinstance(target, ast.Name) else None
+            self._call_events(value, out, ret_var=ret_var)
             return
-        target = stmt.targets[0]
-        value = stmt.value
-        if not isinstance(value, ast.Call):
-            if isinstance(target, ast.Name):
-                scope.vars.pop(target.id, None)
-            return
-        qual = self.imap.qualify(value.func)
-        created = _creator(qual)
-        if created is None and isinstance(value.func, ast.Attribute) \
-                and value.func.attr == "accept":
-            created = ("vlink", _CONNECTED)  # listener.accept → established
-        if created is not None:
-            kind, state = created
-            if kind == "pair" and isinstance(target, ast.Tuple):
-                for elt in target.elts:
-                    if isinstance(elt, ast.Name):
-                        scope.vars[elt.id] = ("vlink", state)
-            elif kind != "pair" and isinstance(target, ast.Name):
-                scope.vars[target.id] = (kind, state)
-            return
-        if qual is not None and qual.endswith(".VLink.listen") \
-                and isinstance(target, ast.Name):
-            key = _listen_key(value)
-            if key is not None and key in scope.bound:
-                scope.bound[key] = (target.id, scope.bound[key][1])
-            return
+        self._expr(value, out)
         if isinstance(target, ast.Name):
-            scope.vars.pop(target.id, None)
+            out.append(["kill", target.id])
+        elif isinstance(value, ast.Name):
+            # stored through an attribute/subscript: from here on the
+            # object outlives this frame — don't report leaks on it
+            out.append(["escape", value.id])
 
-    # ------------------------------------------------------------------
-    def _check_claim_balance(self, fn: ast.FunctionDef) -> None:
-        direct_claims: list[ast.Call] = []
-        releases = False
-        for node in ast.walk(fn):
-            if isinstance(node, ast.Call) and \
-                    isinstance(node.func, ast.Attribute):
-                if node.func.attr == "release_claims":
-                    releases = True
-                elif node.func.attr == "claim_nic" and any(
-                        kw.arg == "cooperative"
-                        and isinstance(kw.value, ast.Constant)
-                        and kw.value.value is False
-                        for kw in node.keywords):
-                    direct_claims.append(node)
-        if releases:
+    def _return(self, stmt: ast.Return, out: list) -> None:
+        value = stmt.value
+        if isinstance(value, ast.Name):
+            out.append(["ret", value.id])
             return
-        for call in direct_claims:
-            self.findings.append(self.ctx.finding(
-                "tys-unreleased-claim",
-                f"direct NIC claim (cooperative=False) in "
-                f"{fn.name!r} with no release_claims() on any path; "
-                f"legacy middleware must balance open/close on the "
-                f"arbitration driver", call,
-                severity=Severity.WARNING))
+        if isinstance(value, ast.Call):
+            made = self._creation(value)
+            if made is not None and made[0] != "pair":
+                self._args_events(value, out)
+                out.append(["retnew", made[0], made[1]])
+                return
+            self._call_events(value, out, ret_var=None)
+            out.append(["retcall", value.lineno, value.col_offset])
+            return
+        if value is not None:
+            self._expr(value, out)
+
+    def _with(self, stmt: ast.With, out: list) -> None:
+        closes: list = []
+        for item in stmt.items:
+            cexpr = item.context_expr
+            made = self._creation(cexpr) \
+                if isinstance(cexpr, ast.Call) else None
+            var = item.optional_vars.id \
+                if isinstance(item.optional_vars, ast.Name) else None
+            if made is not None and made[0] != "pair" and var is not None:
+                self._args_events(cexpr, out)
+                out.append(["create", var, made[0], made[1],
+                            stmt.lineno, self._text(stmt.lineno)])
+                closes.append(["close", var, stmt.lineno])
+            else:
+                self._expr(cexpr, out)
+        body = self._block(stmt.body)
+        if closes:
+            # ``with`` guarantees close on every exit edge — exactly a
+            # try/finally around the body
+            out.append(["try", body, [], [], closes])
+        else:
+            out.extend(body)
+
+    # -- expressions ---------------------------------------------------
+    def _expr(self, node: ast.expr, out: list) -> None:
+        if isinstance(node, ast.Call):
+            self._call_events(node, out, ret_var=None)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # deferred body: no events at this site
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child, out)
+
+    def _creation(self, call: ast.Call) -> tuple[str, str] | None:
+        qual = self.b.imap.qualify(call.func)
+        made = _creator(qual)
+        if made is not None:
+            return made
+        if isinstance(call.func, ast.Attribute) \
+                and call.func.attr == "accept":
+            return ("vlink", _CONNECTED)  # listener.accept → established
+        return None
+
+    def _argvars(self, call: ast.Call) -> list:
+        return [arg.id if isinstance(arg, ast.Name) else None
+                for arg in call.args]
+
+    def _args_events(self, call: ast.Call, out: list) -> None:
+        for arg in call.args:
+            node = arg.value if isinstance(arg, ast.Starred) else arg
+            self._expr(node, out)
+        for kw in call.keywords:
+            self._expr(kw.value, out)
+
+    def _call_events(self, call: ast.Call, out: list,
+                     ret_var: str | None) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "release_claims":
+                self._args_events(call, out)
+                out.append(["release"])
+                return
+            if func.attr == "claim_nic" and any(
+                    kw.arg == "cooperative"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                    for kw in call.keywords):
+                self._args_events(call, out)
+                out.append(["claim", call.lineno,
+                            self._text(call.lineno)])
+                return
+            qual = self.b.imap.qualify(func)
+            if qual is not None and qual.endswith(".VLink.listen"):
+                key = _listen_key(call)
+                if key is not None:
+                    self._args_events(call, out)
+                    out.append(["listen", key[0], key[1], None,
+                                call.lineno, self._text(call.lineno)])
+                    return
+            if isinstance(func.value, ast.Name):
+                if func.attr == "close":
+                    self._args_events(call, out)
+                    out.append(["close", func.value.id, call.lineno])
+                    return
+                self._args_events(call, out)
+                out.append(["use", func.value.id, func.attr, call.lineno,
+                            self._text(call.lineno)])
+                out.append(["call", call.lineno, call.col_offset,
+                            func.value.id, self._argvars(call), ret_var,
+                            self._text(call.lineno)])
+                return
+            self._expr(func.value, out)
+        self._args_events(call, out)
+        out.append(["call", call.lineno, call.col_offset, None,
+                    self._argvars(call), ret_var,
+                    self._text(call.lineno)])
 
 
-@register_checker
-class TypestateChecker(Checker):
+# ----------------------------------------------------------------------
+# project side: summaries + reporting interpretation
+# ----------------------------------------------------------------------
+def _empty_tsum() -> dict:
+    return {"params": [], "uses": [], "closes": [],
+            "ret": None, "releases": False}
+
+
+class _TysInterp:
+    """Interpret one function's events under the callee summaries.
+
+    The same interpretation computes the summary (fixpoint phase) and,
+    once summaries have converged, the findings (``report=True``).
+    """
+
+    def __init__(self, qual: str, fact: dict, summaries: dict,
+                 graph: "CallGraph", report: bool = False) -> None:
+        self.qual = qual
+        self.fact = fact
+        self.summaries = summaries
+        self.graph = graph
+        self.report = report
+        self.params = list(fact["params"])
+        self._pidx = {name: i for i, name in enumerate(self.params)}
+        #: var -> [kind, state, created_line]
+        self.vars: dict[str, list] = {}
+        #: (proc_key, port) -> [listener var | None, first line]
+        self.bound: dict[tuple, list] = {}
+        self.protected: set[str] = set()
+        self.escaped: set[str] = set()
+        self.closes: set[int] = set()
+        self.uses: set[tuple[int, str]] = set()
+        self.rets: set[str] = set()
+        self.releases = False
+        self.claims: list[tuple[int, str]] = []
+        self.findings: list[Finding] = []
+        self._flagged: set[tuple] = set()
+        self._arm = 0     # > 0 inside a discarded if/loop/handler arm
+        self._caught = 0  # > 0 inside a try body that has handlers
+
+    # -- driver --------------------------------------------------------
+    def run(self) -> dict:
+        self._events(self.fact["events"])
+        if self.report and self.claims and not self.releases:
+            for line, text in self.claims:
+                self._finding(
+                    "tys-unreleased-claim",
+                    f"direct NIC claim (cooperative=False) in "
+                    f"{self.fact['name']!r} with no release_claims() "
+                    f"on any path (callees included); legacy middleware "
+                    f"must balance open/close on the arbitration "
+                    f"driver", line, text, Severity.WARNING)
+        ret = None
+        if len(self.rets) == 1:
+            ret = next(iter(self.rets))
+            # only an *established* return propagates a type to the
+            # caller: a helper handing back a raw endpoint usually
+            # establishes it through paths this model cannot see
+            if not ret.endswith(":" + _CONNECTED):
+                ret = None
+        return {"params": self.params,
+                "uses": sorted([p, m] for p, m in self.uses),
+                "closes": sorted(self.closes), "ret": ret,
+                "releases": self.releases}
+
+    def _finding(self, rule: str, message: str, line: int, text: str,
+                 severity: Severity = Severity.ERROR) -> None:
+        self.findings.append(Finding(
+            rule, message, self.fact["path"], line, 0, severity, text))
+
+    def _events(self, events: list) -> None:
+        for ev in events:
+            getattr(self, "_ev_" + ev[0])(*ev[1:])
+
+    # -- lifecycle events ----------------------------------------------
+    def _ev_create(self, var: str, kind: str, state: str, line: int,
+                   text: str) -> None:
+        self.vars[var] = [kind, state, line]
+        self.escaped.discard(var)
+
+    def _ev_kill(self, var: str) -> None:
+        self.vars.pop(var, None)
+
+    def _ev_escape(self, var: str) -> None:
+        self.escaped.add(var)
+
+    def _ev_use(self, var: str, method: str, line: int,
+                text: str) -> None:
+        if var in self._pidx and method in _ANY_USE:
+            self.uses.add((self._pidx[var], method))
+        self._check_use(var, method, line, text, via=None)
+
+    def _check_use(self, var: str, method: str, line: int, text: str,
+                   via: str | None) -> None:
+        tracked = self.vars.get(var)
+        if tracked is None:
+            return
+        kind, state, _created = tracked
+        if method not in _USES.get(kind, ()):
+            return
+        how = f" (inside {via!r})" if via else ""
+        if state == _RAW:
+            self._flag_once(
+                ("tys-send-before-connect", var, line),
+                "tys-send-before-connect",
+                f"{method}(){how} on {var!r}, a VLinkEndpoint that was "
+                f"constructed but never connected; establish it via "
+                f"VLink.connect / make_pair / listener.accept first",
+                line, text)
+        elif state == _CLOSED:
+            self._flag_once(
+                ("tys-use-after-close", var, line),
+                "tys-use-after-close",
+                f"{method}(){how} on {var!r} after close(); a closed "
+                f"{kind} endpoint must not carry traffic", line, text)
+
+    def _flag_once(self, key: tuple, rule: str, message: str, line: int,
+                   text: str,
+                   severity: Severity = Severity.ERROR) -> None:
+        if not self.report or key in self._flagged:
+            return
+        self._flagged.add(key)
+        self._finding(rule, message, line, text, severity)
+
+    def _ev_close(self, var: str, line: int) -> None:
+        tracked = self.vars.get(var)
+        if tracked is not None:
+            tracked[1] = _CLOSED
+        if var in self._pidx and self._arm == 0:
+            self.closes.add(self._pidx[var])
+        for key, (lvar, _line) in list(self.bound.items()):
+            if lvar == var:
+                del self.bound[key]
+
+    def _ev_listen(self, proc_key: str, port: str, var: str | None,
+                   line: int, text: str) -> None:
+        key = (proc_key, port)
+        if key in self.bound:
+            self._flag_once(
+                ("tys-double-bind", port, line), "tys-double-bind",
+                f"port {port!r} is already bound on this process "
+                f"(first bind at line {self.bound[key][1]}); close the "
+                f"first listener before rebinding", line, text)
+            return
+        self.bound[key] = [var, line]
+
+    # -- claims --------------------------------------------------------
+    def _ev_claim(self, line: int, text: str) -> None:
+        self.claims.append((line, text))
+
+    def _ev_release(self) -> None:
+        self.releases = True
+
+    # -- returns -------------------------------------------------------
+    def _ev_ret(self, var: str) -> None:
+        tracked = self.vars.get(var)
+        if tracked is not None:
+            self.rets.add(f"{tracked[0]}:{tracked[1]}")
+        self.escaped.add(var)
+
+    def _ev_retnew(self, kind: str, state: str) -> None:
+        self.rets.add(f"{kind}:{state}")
+
+    def _ev_retcall(self, line: int, col: int) -> None:
+        callee = self.graph.callee_at(self.fact["path"], line, col)
+        csum = self.summaries.get(callee) if callee else None
+        if csum is not None and csum["ret"]:
+            self.rets.add(csum["ret"])
+
+    # -- exception edges -----------------------------------------------
+    def _ev_raise(self, line: int, text: str) -> None:
+        if self._caught or not self.report:
+            return
+        for var in sorted(self.vars):
+            kind, state, created = self.vars[var]
+            if state != _CONNECTED or var in self.protected \
+                    or var in self.escaped:
+                continue
+            self._flag_once(
+                ("tys-leak-on-raise", var), "tys-leak-on-raise",
+                f"raise with {var!r} still open ({kind} established at "
+                f"line {created}); close it in a finally or with block "
+                f"so the exception edge does not leak the endpoint",
+                line, text, Severity.WARNING)
+
+    # -- calls: summaries flow in --------------------------------------
+    def _ev_call(self, line: int, col: int, recv: str | None,
+                 argvars: list, ret_var: str | None,
+                 text: str = "") -> None:
+        callee = self.graph.callee_at(self.fact["path"], line, col)
+        csum = self.summaries.get(callee) if callee else None
+        if csum is None:
+            # unknown callee: anything passed in may be retained
+            for var in argvars:
+                if var is not None:
+                    self.escaped.add(var)
+            if ret_var is not None:
+                self.vars.pop(ret_var, None)
+            return
+        args = list(argvars)
+        if csum["params"][:1] == ["self"] and recv is not None:
+            args = [recv] + args
+        for pidx, method in csum["uses"]:
+            if pidx < len(args) and args[pidx] is not None:
+                var = args[pidx]
+                self._check_use(var, method, line, text, via=callee)
+                if var in self._pidx:
+                    self.uses.add((self._pidx[var], method))
+        for pidx in csum["closes"]:
+            if pidx < len(args) and args[pidx] is not None:
+                self._ev_close(args[pidx], line)
+        if csum["releases"]:
+            self.releases = True
+        if ret_var is not None:
+            if csum["ret"]:
+                kind, state = csum["ret"].split(":")
+                self.vars[ret_var] = [kind, state, line]
+                self.escaped.discard(ret_var)
+            else:
+                self.vars.pop(ret_var, None)
+
+    # -- control flow --------------------------------------------------
+    def _snapshot(self) -> tuple:
+        return ({k: list(v) for k, v in self.vars.items()},
+                {k: list(v) for k, v in self.bound.items()},
+                set(self.protected), set(self.escaped))
+
+    def _restore(self, snap: tuple) -> None:
+        vars0, bound0, prot0, esc0 = snap
+        self.vars = {k: list(v) for k, v in vars0.items()}
+        self.bound = {k: list(v) for k, v in bound0.items()}
+        self.protected = set(prot0)
+        self.escaped = set(esc0)
+
+    def _ev_branch(self, arms: list) -> None:
+        snap = self._snapshot()
+        self._arm += 1
+        for arm in arms:
+            self._restore(snap)
+            self._events(arm)
+        self._arm -= 1
+        self._restore(snap)
+
+    def _ev_try(self, body: list, handlers: list, orelse: list,
+                final: list) -> None:
+        prot = self._final_closes(final)
+        added = prot - self.protected
+        self.protected |= added
+        if handlers:
+            self._caught += 1
+        self._events(body)
+        if handlers:
+            self._caught -= 1
+        if handlers:
+            snap = self._snapshot()
+            self._arm += 1
+            for arm in handlers:
+                self._restore(snap)
+                self._events(arm)
+            self._arm -= 1
+            self._restore(snap)
+        self._events(orelse)
+        self.protected -= added
+        self._events(final)
+
+    def _final_closes(self, events: list) -> set[str]:
+        out: set[str] = set()
+        for ev in events:
+            if ev[0] == "close":
+                out.add(ev[1])
+            elif ev[0] == "branch":
+                for arm in ev[1]:
+                    out |= self._final_closes(arm)
+            elif ev[0] == "try":
+                out |= self._final_closes(ev[1])
+                out |= self._final_closes(ev[4])
+        return out
+
+
+@register_project_checker
+class TypestateChecker(ProjectChecker):
     name = "typestate"
     rules = {
         "tys-send-before-connect":
@@ -281,11 +666,40 @@ class TypestateChecker(Checker):
         "tys-double-bind":
             "VLink.listen on a (process, port) that is already bound",
         "tys-unreleased-claim":
-            "direct NIC claim with no matching release_claims",
+            "direct NIC claim that never reaches release_claims",
+        "tys-leak-on-raise":
+            "raise with an established endpoint open and unprotected",
     }
 
-    def check(self, ctx: ModuleContext,
-              config: AnalysisConfig) -> Iterator[Finding]:
-        visitor = _TypestateVisitor(ctx)
-        visitor.run(ctx.tree)
-        yield from visitor.findings
+    def file_facts(self, ctx: ModuleContext,
+                   config: AnalysisConfig) -> dict:
+        if ctx.tree is None:
+            return {"functions": {}}
+        module = ctx.module or slice_module_name(ctx)
+        return _TysFactBuilder(ctx, module).run()
+
+    def project_check(self, facts: dict[str, dict], graph: "CallGraph",
+                      config: AnalysisConfig) -> Iterator[Finding]:
+        from repro.analysis import dataflow
+
+        fns: dict[str, dict] = {}
+        for blob in facts.values():
+            fns.update(blob.get("functions", {}))
+        if not fns:
+            return
+
+        def transfer(node: str, summaries: dict) -> dict:
+            fact = fns.get(node)
+            if fact is None:
+                return _empty_tsum()
+            return _TysInterp(node, fact, summaries, graph).run()
+
+        summaries = dataflow.solve(
+            graph.nodes(), graph.adjacency(),
+            lambda node: _empty_tsum(), transfer)
+
+        for qual in sorted(fns):
+            interp = _TysInterp(qual, fns[qual], summaries, graph,
+                                report=True)
+            interp.run()
+            yield from interp.findings

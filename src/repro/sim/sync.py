@@ -27,6 +27,7 @@ from collections import deque
 from typing import Any, Deque
 
 from repro.sim.kernel import SimKernel, SimProcess
+from repro.sim.primitives import trace_acquire, trace_release
 
 
 class SimTimeout(Exception):
@@ -125,9 +126,7 @@ class SimEvent:
 
     def set(self, value: Any = None) -> None:
         """Set the flag and release every waiter."""
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_release(self)
+        trace_release(self.kernel, self)
         self._flag = True
         self._value = value
         self._queue.wake_all()
@@ -145,9 +144,7 @@ class SimEvent:
             remaining = None if deadline is None else \
                 max(deadline - self.kernel.now, 0.0)
             self._queue.wait(proc, timeout=remaining)
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_acquire(self)
+        trace_acquire(self.kernel, self)
         return self._value
 
 
@@ -175,14 +172,10 @@ class SimSemaphore:
         while self._value == 0:
             self._queue.wait(proc)
         self._value -= 1
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_acquire(self)
+        trace_acquire(self.kernel, self)
 
     def release(self) -> None:
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_release(self)
+        trace_release(self.kernel, self)
         self._value += 1
         self._queue.wake_one()
 
@@ -234,17 +227,13 @@ class SimCondition:
             self.lock.acquire(proc)
 
     def notify(self, n: int = 1) -> None:
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_release(self)
+        trace_release(self.kernel, self)
         for _ in range(n):
             if not self._queue.wake_one():
                 break
 
     def notify_all(self) -> None:
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_release(self)
+        trace_release(self.kernel, self)
         self._queue.wake_all()
 
 
@@ -262,9 +251,7 @@ class SimBarrier:
 
     def wait(self, proc: SimProcess) -> int:
         """Block until ``parties`` processes arrive; returns arrival index."""
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_release(self)
+        trace_release(self.kernel, self)
         gen = self._generation
         index = self._count
         self._count += 1
@@ -275,8 +262,7 @@ class SimBarrier:
         else:
             while gen == self._generation:
                 self._queue.wait(proc)
-        if tracer is not None:
-            tracer.hb_acquire(self)
+        trace_acquire(self.kernel, self)
         return index
 
 
@@ -300,9 +286,7 @@ class MatchQueue:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_release(self)
+        trace_release(self.kernel, self)
         self._items.append(item)
         self._waiters.wake_all()
 
@@ -318,9 +302,7 @@ class MatchQueue:
         while True:
             for i, item in enumerate(self._items):
                 if predicate is None or predicate(item):
-                    tracer = self.kernel.tracer
-                    if tracer is not None:
-                        tracer.hb_acquire(self)
+                    trace_acquire(self.kernel, self)
                     return self._items.pop(i)
             remaining = None if deadline is None else \
                 max(deadline - self.kernel.now, 0.0)
@@ -329,9 +311,7 @@ class MatchQueue:
     def get_nowait(self, predicate=None) -> Any:
         for i, item in enumerate(self._items):
             if predicate is None or predicate(item):
-                tracer = self.kernel.tracer
-                if tracer is not None:
-                    tracer.hb_acquire(self)
+                trace_acquire(self.kernel, self)
                 return self._items.pop(i)
         raise LookupError("no matching item")
 
@@ -343,9 +323,7 @@ class MatchQueue:
         while True:
             for item in self._items:
                 if predicate is None or predicate(item):
-                    tracer = self.kernel.tracer
-                    if tracer is not None:
-                        tracer.hb_acquire(self)
+                    trace_acquire(self.kernel, self)
                     return item
             remaining = None if deadline is None else \
                 max(deadline - self.kernel.now, 0.0)
@@ -385,9 +363,7 @@ class Mailbox:
         """Append ``item``; blocks while the mailbox is full."""
         while self.capacity is not None and len(self._items) >= self.capacity:
             self._putters.wait(proc)
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_release(self)
+        trace_release(self.kernel, self)
         self._items.append(item)
         self._getters.wake_all()
 
@@ -395,9 +371,7 @@ class Mailbox:
         """Append without blocking (kernel callbacks use this); raises if full."""
         if self.capacity is not None and len(self._items) >= self.capacity:
             raise OverflowError("mailbox full")
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_release(self)
+        trace_release(self.kernel, self)
         self._items.append(item)
         self._getters.wake_all()
 
@@ -410,9 +384,7 @@ class Mailbox:
             remaining = None if deadline is None else \
                 max(deadline - self.kernel.now, 0.0)
             self._getters.wait(proc, timeout=remaining)
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_acquire(self)
+        trace_acquire(self.kernel, self)
         item = self._items.popleft()
         self._putters.wake_all()
         return item
@@ -420,9 +392,7 @@ class Mailbox:
     def get_nowait(self) -> Any:
         if not self._items:
             raise LookupError("mailbox empty")
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.hb_acquire(self)
+        trace_acquire(self.kernel, self)
         item = self._items.popleft()
         self._putters.wake_all()
         return item

@@ -1,0 +1,37 @@
+"""Seeded mutant: a timer callback mutates state a process straddles.
+
+The process arms ``self.slot`` and suspends across the very window in
+which the scheduled callback fires and overwrites the slot — the
+classic timer-vs-waiter interleaving with no ordering primitive.
+"""
+
+from repro.sim.kernel import SimKernel
+
+
+class Mailbox:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.slot = None
+
+    def waiter(self, proc):
+        self.slot = "armed"  # expect: race-unlocked-shared
+        proc.suspend()
+        self.slot = None
+
+    def on_timer(self):
+        self.slot = "late"
+
+
+def main():
+    kernel = SimKernel()
+    box = Mailbox(kernel)
+    kernel.spawn(box.waiter)
+    kernel.schedule(5.0, box.on_timer)
+    kernel.run()
+
+
+def scenario(kernel, san):
+    box = san.tracked(Mailbox(kernel), label="box")
+    kernel.spawn(lambda p: Mailbox.waiter(box, p))
+    kernel.schedule(5.0, lambda: Mailbox.on_timer(box))
+    kernel.run()

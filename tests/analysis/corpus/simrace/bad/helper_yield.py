@@ -1,0 +1,40 @@
+"""Seeded mutant: the yield hides two calls deep in helper functions.
+
+``bump`` never calls a kernel primitive directly — it calls ``settle``
+which calls ``pause`` which sleeps.  Only a transitive may-yield
+summary sees that the read-modify-write window straddles a yield.
+"""
+
+from repro.sim.kernel import SimKernel
+
+
+class Meter:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.level = 0
+
+    def pause(self, proc):
+        proc.sleep(0.5)
+
+    def settle(self, proc):
+        self.pause(proc)
+
+    def bump(self, proc):
+        v = self.level
+        self.settle(proc)
+        self.level = v + 1  # expect: race-atomicity
+
+
+def main():
+    kernel = SimKernel()
+    meter = Meter(kernel)
+    kernel.spawn(meter.bump)
+    kernel.spawn(meter.bump)
+    kernel.run()
+
+
+def scenario(kernel, san):
+    meter = san.tracked(Meter(kernel), label="meter")
+    kernel.spawn(lambda p: Meter.bump(meter, p))
+    kernel.spawn(lambda p: Meter.bump(meter, p))
+    kernel.run()

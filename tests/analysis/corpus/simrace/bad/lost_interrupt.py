@@ -1,0 +1,41 @@
+"""Seeded mutant: the PR 2 WaitQueue lost-interrupt race, reintroduced.
+
+``wait`` arms ``self.sleeper``, schedules an expiry callback and
+suspends; the timer callback reads the field with no lock and no
+ordering primitive.  When the waiter is woken and clears the field in
+the same tick the timer fires, the interrupt is delivered to the wrong
+(or no) process — exactly the bug the dynamic sanitizer caught in the
+real WaitQueue before it grew its cancel-on-wake handshake.
+"""
+
+from repro.sim.kernel import SimKernel
+
+
+class MiniWaitQueue:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.sleeper = None
+
+    def wait(self, proc):
+        self.sleeper = proc  # expect: race-unlocked-shared
+        self.kernel.schedule(5.0, self._expire)
+        proc.suspend()
+        self.sleeper = None
+
+    def _expire(self):
+        waiter = self.sleeper
+        if waiter is not None:
+            self.kernel.wake(waiter)
+
+
+def main():
+    kernel = SimKernel()
+    queue = MiniWaitQueue(kernel)
+    kernel.spawn(queue.wait)
+    kernel.run()
+
+
+def scenario(kernel, san):
+    queue = san.tracked(MiniWaitQueue(kernel), label="queue")
+    kernel.spawn(lambda p: MiniWaitQueue.wait(queue, p))
+    kernel.run()

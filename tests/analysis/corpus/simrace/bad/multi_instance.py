@@ -1,0 +1,34 @@
+"""Seeded mutant: a loop spawns many workers over one shared object.
+
+A single ``spawn`` call inside a ``for`` means an unbounded number of
+concurrent instances of the same body — the RMW window races against
+its own siblings even though the source names only one entry point.
+"""
+
+from repro.sim.kernel import SimKernel
+
+
+class Pool:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.busy = 0
+
+    def work(self, proc):
+        n = self.busy
+        proc.sleep(1.0)
+        self.busy = n + 1  # expect: race-atomicity
+
+
+def main():
+    kernel = SimKernel()
+    pool = Pool(kernel)
+    for _ in range(4):
+        kernel.spawn(pool.work)
+    kernel.run()
+
+
+def scenario(kernel, san):
+    pool = san.tracked(Pool(kernel), label="pool")
+    for _ in range(4):
+        kernel.spawn(lambda p: Pool.work(pool, p))
+    kernel.run()

@@ -1,0 +1,42 @@
+"""Seeded mutant: the lock only covers one side of the conflict.
+
+``bump`` holds the lock across its read-modify-write window, but the
+sibling ``reset`` writes the same counter without acquiring anything —
+the lock protects nothing when only one party takes it.
+"""
+
+from repro.sim.kernel import SimKernel
+from repro.sim.sync import SimLock
+
+
+class Tally:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.lock = SimLock(kernel)
+        self.count = 0
+
+    def bump(self, proc):
+        self.lock.acquire(proc)
+        v = self.count
+        proc.sleep(1.0)
+        self.count = v + 1  # expect: race-atomicity
+        self.lock.release(proc)
+
+    def reset(self, proc):
+        proc.sleep(0.5)
+        self.count = 0
+
+
+def main():
+    kernel = SimKernel()
+    tally = Tally(kernel)
+    kernel.spawn(tally.bump)
+    kernel.spawn(tally.reset)
+    kernel.run()
+
+
+def scenario(kernel, san):
+    tally = san.tracked(Tally(kernel), label="tally")
+    kernel.spawn(lambda p: Tally.bump(tally, p))
+    kernel.spawn(lambda p: Tally.reset(tally, p))
+    kernel.run()

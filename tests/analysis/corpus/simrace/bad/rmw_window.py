@@ -1,0 +1,34 @@
+"""Seeded mutant: unlocked read-modify-write across a sleep.
+
+The canonical atomicity violation — the stale read survives a yield
+where the sibling process increments the same counter.
+"""
+
+from repro.sim.kernel import SimKernel
+
+
+class Counter:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.value = 0
+
+    def bump(self, proc):
+        v = self.value
+        proc.sleep(1.0)
+        self.value = v + 1  # expect: race-atomicity
+
+
+def main():
+    kernel = SimKernel()
+    counter = Counter(kernel)
+    kernel.spawn(counter.bump)
+    kernel.spawn(counter.bump)
+    kernel.run()
+
+
+def scenario(kernel, san):
+    """Differential twin: the same shape through the dynamic detector."""
+    counter = san.tracked(Counter(kernel), label="counter")
+    kernel.spawn(lambda p: Counter.bump(counter, p))
+    kernel.spawn(lambda p: Counter.bump(counter, p))
+    kernel.run()

@@ -1,0 +1,36 @@
+"""Good twin: a SimEvent set()/wait() pair orders the two accesses.
+
+The producer publishes, then signals; the consumer waits on the same
+event before reading.  The matching release/acquire on one primitive is
+a static happens-before edge — the same attenuation the dynamic
+detector derives from vector-clock joins at hb_release/hb_acquire.
+"""
+
+from repro.sim.kernel import SimKernel
+from repro.sim.sync import SimEvent
+
+
+class Handoff:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.ready = SimEvent(kernel)
+        self.payload = None
+
+    def producer(self, proc):
+        self.payload = "data"
+        proc.sleep(1.0)
+        self.payload = "more"
+        self.ready.set()
+
+    def consumer(self, proc):
+        self.ready.wait(proc)
+        value = self.payload
+        return value
+
+
+def main():
+    kernel = SimKernel()
+    box = Handoff(kernel)
+    kernel.spawn(box.producer)
+    kernel.spawn(box.consumer)
+    kernel.run()

@@ -1,0 +1,33 @@
+"""Good twin: constructor writes are setup, not racing accesses.
+
+Everything written inside ``__init__`` happens before any process is
+spawned on the object; the analysis excludes setup writes from window
+and cross-context pairing.
+"""
+
+from repro.sim.kernel import SimKernel
+
+
+class Gauge:
+    def __init__(self, kernel, limit):
+        self.kernel = kernel
+        self.limit = limit
+        self.reading = 0
+
+    def watch(self, proc):
+        proc.sleep(1.0)
+        if self.reading > self.limit:
+            return True
+        return False
+
+    def sample(self, proc):
+        proc.sleep(2.0)
+        self.reading = 7
+
+
+def main():
+    kernel = SimKernel()
+    gauge = Gauge(kernel, limit=10)
+    kernel.spawn(gauge.watch)
+    kernel.spawn(gauge.sample)
+    kernel.run()

@@ -1,0 +1,26 @@
+"""Good twin: the RMW window is protected by a lock both sides take."""
+
+from repro.sim.kernel import SimKernel
+from repro.sim.sync import SimLock
+
+
+class Counter:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.lock = SimLock(kernel)
+        self.value = 0
+
+    def bump(self, proc):
+        self.lock.acquire(proc)
+        v = self.value
+        proc.sleep(1.0)
+        self.value = v + 1
+        self.lock.release(proc)
+
+
+def main():
+    kernel = SimKernel()
+    counter = Counter(kernel)
+    kernel.spawn(counter.bump)
+    kernel.spawn(counter.bump)
+    kernel.run()

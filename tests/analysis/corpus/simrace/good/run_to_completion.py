@@ -1,0 +1,37 @@
+"""Good twin: unordered writes with no straddling window are benign.
+
+Two processes each write ``self.last`` exactly once, atomically
+between yields.  The schedule decides which write lands last, but no
+reader ever observes a half-updated state: under run-to-completion
+semantics this is last-writer-wins, not a race.
+
+NOTE: no ``scenario`` here on purpose.  The dynamic vector-clock
+detector flags any unordered write/write pair, so it WOULD report
+this shape — that is the documented static attenuation: sim-race
+requires straddle evidence (an access window spanning a yield) before
+calling unordered accesses a hazard.  See docs/ANALYSIS.md.
+"""
+
+from repro.sim.kernel import SimKernel
+
+
+class Blackboard:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.last = None
+
+    def left(self, proc):
+        proc.sleep(1.0)
+        self.last = "left"
+
+    def right(self, proc):
+        proc.sleep(2.0)
+        self.last = "right"
+
+
+def main():
+    kernel = SimKernel()
+    board = Blackboard(kernel)
+    kernel.spawn(board.left)
+    kernel.spawn(board.right)
+    kernel.run()

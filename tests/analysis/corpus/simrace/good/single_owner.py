@@ -1,0 +1,32 @@
+"""Good twin: one process owns the object; nobody can interleave.
+
+A single spawn of a single body means the RMW window straddles a yield
+with no second context to observe it — run-to-completion semantics
+make it atomic in every schedule.
+"""
+
+from repro.sim.kernel import SimKernel
+
+
+class Counter:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.value = 0
+
+    def bump(self, proc):
+        v = self.value
+        proc.sleep(1.0)
+        self.value = v + 1
+
+
+def main():
+    kernel = SimKernel()
+    counter = Counter(kernel)
+    kernel.spawn(counter.bump)
+    kernel.run()
+
+
+def scenario(kernel, san):
+    counter = san.tracked(Counter(kernel), label="counter")
+    kernel.spawn(lambda p: Counter.bump(counter, p))
+    kernel.run()

@@ -1,0 +1,9 @@
+"""Seeded mutant: two listeners bound to the same (process, port)."""
+
+from repro.padicotm.abstraction.vlink import VLink
+
+
+def broken(p0):
+    first = VLink.listen(p0, "svc")
+    second = VLink.listen(p0, "svc")  # expect: tys-double-bind
+    return first, second

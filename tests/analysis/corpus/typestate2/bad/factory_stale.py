@@ -1,0 +1,18 @@
+"""Seeded mutant: a factory's return value carries its typestate.
+
+``dial`` returns a connected link; the caller closes it and then
+recvs.  Only return-type propagation makes the caller's ``ep`` a
+tracked endpoint at all.
+"""
+
+from repro.padicotm.abstraction.vlink import VLink
+
+
+def dial(sp, p0):
+    return VLink.connect(sp, p0, "peer", "port")
+
+
+def broken(sp, p0):
+    ep = dial(sp, p0)
+    ep.close()
+    ep.recv(sp)  # expect: tys-use-after-close

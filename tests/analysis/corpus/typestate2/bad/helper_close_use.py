@@ -1,0 +1,17 @@
+"""Seeded mutant: the close happens inside a helper the caller trusts.
+
+Only an interprocedural close summary connects ``shutdown(ep)`` to the
+caller's variable; the linear v1 scan was blind to this shape.
+"""
+
+from repro.padicotm.abstraction.vlink import VLink
+
+
+def shutdown(link):
+    link.close()
+
+
+def broken(sp, p0):
+    ep = VLink.connect(sp, p0, "peer", "port")
+    shutdown(ep)
+    ep.send(sp, "x", 8)  # expect: tys-use-after-close

@@ -1,0 +1,15 @@
+"""Seeded mutant: an exception edge leaks a connected endpoint.
+
+The raise between connect and close escapes the function with the
+link still open — no finally, no with, no handler.
+"""
+
+from repro.padicotm.abstraction.vlink import VLink
+
+
+def broken(sp, p0, ready):
+    ep = VLink.connect(sp, p0, "peer", "port")
+    if not ready:
+        raise RuntimeError("peer not ready")  # expect: tys-leak-on-raise
+    ep.send(sp, "x", 8)
+    ep.close()

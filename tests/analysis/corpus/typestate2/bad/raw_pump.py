@@ -1,0 +1,17 @@
+"""Seeded mutant: a never-connected endpoint is used inside a helper.
+
+The caller constructs a raw endpoint and hands it to ``pump``; the
+send fault is the helper's, but the blame belongs to the call site
+that passed an unconnected link.
+"""
+
+from repro.padicotm.abstraction.vlink import VLinkEndpoint
+
+
+def pump(sp, link):
+    link.send(sp, "x", 8)
+
+
+def broken(sp, rt, p0, p1, choice):
+    ep = VLinkEndpoint(rt, p0, p1, choice)
+    pump(sp, ep)  # expect: tys-send-before-connect

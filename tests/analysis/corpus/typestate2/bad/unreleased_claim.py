@@ -1,0 +1,10 @@
+"""Seeded mutant: a non-cooperative NIC claim with no release path.
+
+Exclusive claims park every other driver on the interface; leaking one
+wedges the network until process exit.
+"""
+
+
+def leak(process):
+    process.arbitration.claim_nic(  # expect: tys-unreleased-claim
+        "san0", "BIP", "legacy", cooperative=False)

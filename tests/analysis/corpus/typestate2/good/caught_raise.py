@@ -1,0 +1,15 @@
+"""Good twin: a raise with a matching handler never escapes the
+function, so it is not a leak edge for the open endpoint."""
+
+from repro.padicotm.abstraction.vlink import VLink
+
+
+def fine(sp, p0, ready):
+    ep = VLink.connect(sp, p0, "peer", "port")
+    try:
+        if not ready:
+            raise RuntimeError("retry")
+    except RuntimeError:
+        pass
+    ep.send(sp, "x", 8)
+    ep.close()

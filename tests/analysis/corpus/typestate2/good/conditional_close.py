@@ -1,0 +1,16 @@
+"""Good twin: a close on one branch must not poison the join point.
+
+The fall-through path still holds a connected link; flagging the send
+would be a path-insensitivity false positive."""
+
+from repro.padicotm.abstraction.vlink import VLink
+
+
+def fine(sp, p0, flaky):
+    ep = VLink.connect(sp, p0, "peer", "port")
+    if flaky:
+        ep.close()
+        return None
+    ep.send(sp, "x", 8)
+    ep.close()
+    return True

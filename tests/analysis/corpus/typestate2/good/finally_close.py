@@ -1,0 +1,15 @@
+"""Good twin: a finally-close covers both the fall-through and the
+raise edge, and the post-try recv correctly faults nowhere because
+the function ends right after the close."""
+
+from repro.padicotm.abstraction.vlink import VLink
+
+
+def fine(sp, p0, ready):
+    ep = VLink.connect(sp, p0, "peer", "port")
+    try:
+        if not ready:
+            raise RuntimeError("peer not ready")
+        ep.send(sp, "x", 8)
+    finally:
+        ep.close()

@@ -1,0 +1,17 @@
+"""Good twin: closing the listener frees the (process, port) slot, so
+the second listen is a legitimate rebind, and rebinding a variable to
+a fresh link resets its typestate."""
+
+from repro.padicotm.abstraction.vlink import VLink
+
+
+def fine(sp, p0):
+    listener = VLink.listen(p0, "svc")
+    listener.close()
+    again = VLink.listen(p0, "svc")
+    ep = VLink.connect(sp, p0, "peer", "a")
+    ep.close()
+    ep = VLink.connect(sp, p0, "peer", "b")
+    ep.send(sp, "x", 8)
+    ep.close()
+    again.close()

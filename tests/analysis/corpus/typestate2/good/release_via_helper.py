@@ -1,0 +1,12 @@
+"""Good twin: the release lives in a cleanup helper; the transitive
+release summary balances the direct claim."""
+
+
+def cleanup(process):
+    process.arbitration.release_claims("legacy")
+
+
+def balanced(process):
+    process.arbitration.claim_nic(
+        "san0", "BIP", "legacy", cooperative=False)
+    cleanup(process)

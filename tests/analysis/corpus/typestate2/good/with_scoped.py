@@ -1,0 +1,11 @@
+"""Good twin: a with-block scopes the endpoint; the raise edge is
+protected by __exit__ and every use stays inside the block."""
+
+from repro.padicotm.abstraction.vlink import VLink
+
+
+def fine(sp, p0, ready):
+    with VLink.connect(sp, p0, "peer", "port") as ep:
+        if not ready:
+            raise RuntimeError("peer not ready")
+        ep.send(sp, "x", 8)

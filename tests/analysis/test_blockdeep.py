@@ -104,3 +104,37 @@ def test_cross_file_blocking_helper(lint_project):
     (f,) = found
     assert (f.path, f.line) == ("node.py", 4)
     assert "ker-thread" in f.message
+
+
+def test_blocking_wrapper_of_decorated_collective_flags_callers(lint_project):
+    # regression: calling a decorated function runs the decorator's
+    # wrapper closure, so wrapper-side blocking must reach call sites
+    # of the *decorated* function — the exact shape of the MPI
+    # ``@_collective`` observability wrapper
+    found = lint_project({"comm.py": """\
+        import functools
+        import time
+
+        def _collective(op):
+            def deco(fn):
+                @functools.wraps(fn)
+                def wrapper(self, *args, **kwargs):
+                    time.sleep(0.001)
+                    return fn(self, *args, **kwargs)
+                return wrapper
+            return deco
+
+        class Comm:
+            @_collective("bcast")
+            def bcast(self, buf):
+                return buf
+
+        def exchange(comm, buf):
+            comm.bcast(buf)
+    """}, rules={"ker-block-deep"})
+    by_line = {f.line: f for f in found}
+    # the caller of the decorated collective is flagged, and the chain
+    # goes through the wrapper closure the decorator installed
+    assert 19 in by_line
+    assert "time.sleep" in by_line[19].message
+    assert "bcast() -> wrapper()" in by_line[19].message

@@ -1,0 +1,64 @@
+"""The shared primitive registry must match the real primitives.
+
+Both race detectors — the dynamic vector-clock sanitizer and the
+static ``sim-race`` analysis — are driven by the one table in
+:mod:`repro.sim.primitives`.  A registry entry naming a method that
+does not exist (or a module that moved) would silently blind both
+tools, so this is pinned here.
+"""
+
+import importlib
+
+from repro.sim.primitives import (
+    PRIMITIVES,
+    YIELD_METHOD_FALLBACK,
+    lock_classes,
+    yield_seed_quals,
+)
+
+
+def _real_class(name):
+    info = PRIMITIVES[name]
+    module = importlib.import_module(info["module"])
+    return getattr(module, name)
+
+
+def test_every_registered_class_exists():
+    for name in PRIMITIVES:
+        assert _real_class(name) is not None
+
+
+def test_every_registered_method_exists_on_the_class():
+    for name, info in PRIMITIVES.items():
+        cls = _real_class(name)
+        for table in ("yields", "releases", "acquires"):
+            for method in info[table]:
+                assert callable(getattr(cls, method)), (
+                    f"{name}.{method} in {table!r} is not a method of "
+                    f"the real class")
+
+
+def test_lock_classes_carry_acquire_and_release():
+    locks = lock_classes()
+    assert "SimLock" in locks and "SimSemaphore" in locks
+    for name in locks:
+        cls = _real_class(name)
+        assert callable(getattr(cls, "acquire"))
+        assert callable(getattr(cls, "release"))
+
+
+def test_yield_seeds_resolve_to_real_functions():
+    seeds = yield_seed_quals()
+    assert seeds  # never empty: the analysis would be blind
+    for qual in seeds:
+        module_name, cls_name, method = qual.rsplit(".", 2)
+        module = importlib.import_module(module_name)
+        cls = getattr(module, cls_name)
+        assert callable(getattr(cls, method)), qual
+
+
+def test_fallback_names_do_not_include_ambiguous_ones():
+    # ``get``/``put``/``set``/``join`` collide with dict/list/str
+    # methods; the untyped-receiver fallback must never treat them as
+    # yield points or every container in the tree becomes a primitive
+    assert not YIELD_METHOD_FALLBACK & {"get", "put", "set", "join"}

@@ -1,0 +1,303 @@
+"""The race-* family: static lockset/atomicity analysis (sim-race).
+
+Every test drives the full engine over a mini-project: entry points
+come from real ``kernel.spawn`` / ``kernel.schedule`` registrations,
+yield summaries from the shared primitive registry, and findings from
+the interprocedural interpretation — exactly the production pipeline.
+"""
+
+RACE = {"race-atomicity", "race-unlocked-shared"}
+
+_HEADER = """
+        from repro.sim.kernel import SimKernel
+        from repro.sim.sync import SimLock
+"""
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+# ----------------------------------------------------------------------
+# race-atomicity: read -> yield -> write windows
+# ----------------------------------------------------------------------
+def test_unlocked_rmw_across_sleep_is_flagged(lint_project):
+    findings = lint_project({"prog.py": _HEADER + """
+        class Counter:
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.value = 0
+
+            def bump(self, proc):
+                v = self.value
+                proc.sleep(1.0)
+                self.value = v + 1
+
+        def main():
+            k = SimKernel()
+            c = Counter(k)
+            k.spawn(c.bump)
+            k.spawn(c.bump)
+            k.run()
+    """}, rules=RACE)
+    assert rules_of(findings) == ["race-atomicity"]
+    f = findings[0]
+    assert "Counter.value" in f.message
+    assert "span" in f.message and "no common lock" in f.message
+    assert "can interleave at the yield" in f.message
+
+
+def test_lock_held_across_the_window_is_clean(lint_project):
+    findings = lint_project({"prog.py": _HEADER + """
+        class Counter:
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.lock = SimLock(kernel)
+                self.value = 0
+
+            def bump(self, proc):
+                self.lock.acquire(proc)
+                v = self.value
+                proc.sleep(1.0)
+                self.value = v + 1
+                self.lock.release()
+
+        def main():
+            k = SimKernel()
+            c = Counter(k)
+            k.spawn(c.bump)
+            k.spawn(c.bump)
+            k.run()
+    """}, rules=RACE)
+    assert findings == []
+
+
+def test_single_instance_single_context_is_clean(lint_project):
+    # one process, spawned once: nobody can interleave at the yield
+    findings = lint_project({"prog.py": _HEADER + """
+        class Counter:
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.value = 0
+
+            def bump(self, proc):
+                v = self.value
+                proc.sleep(1.0)
+                self.value = v + 1
+
+        def main():
+            k = SimKernel()
+            c = Counter(k)
+            k.spawn(c.bump)
+            k.run()
+    """}, rules=RACE)
+    assert findings == []
+
+
+def test_spawn_in_loop_counts_as_multiple_instances(lint_project):
+    findings = lint_project({"prog.py": _HEADER + """
+        class Counter:
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.value = 0
+
+            def bump(self, proc):
+                v = self.value
+                proc.sleep(1.0)
+                self.value = v + 1
+
+        def main():
+            k = SimKernel()
+            c = Counter(k)
+            for _ in range(4):
+                k.spawn(c.bump)
+            k.run()
+    """}, rules=RACE)
+    assert rules_of(findings) == ["race-atomicity"]
+
+
+def test_yield_is_found_transitively_through_helpers(lint_project):
+    findings = lint_project({"prog.py": _HEADER + """
+        class Counter:
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.value = 0
+
+            def settle(self, proc):
+                self.pause(proc)
+
+            def pause(self, proc):
+                proc.sleep(0.5)
+
+            def bump(self, proc):
+                v = self.value
+                self.settle(proc)
+                self.value = v + 1
+
+        def main():
+            k = SimKernel()
+            c = Counter(k)
+            k.spawn(c.bump)
+            k.spawn(c.bump)
+            k.run()
+    """}, rules=RACE)
+    assert rules_of(findings) == ["race-atomicity"]
+    # the yield chain names the helper path to the primitive
+    assert "settle" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# race-unlocked-shared: cross-context exposure across a yield
+# ----------------------------------------------------------------------
+def test_lost_interrupt_shape_is_flagged(lint_project):
+    # the PR 2 WaitQueue bug shape: arm a token, suspend, clear it —
+    # while a second context overwrites the token concurrently
+    findings = lint_project({"prog.py": _HEADER + """
+        class Box:
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.token = None
+
+            def waiter(self, proc):
+                self.token = "armed"
+                proc.suspend()
+                self.token = None
+
+            def firer(self, proc):
+                proc.sleep(0.5)
+                self.token = "fired"
+
+        def main():
+            k = SimKernel()
+            b = Box(k)
+            k.spawn(b.waiter)
+            k.spawn(b.firer)
+            k.run()
+    """}, rules=RACE)
+    assert rules_of(findings) == ["race-unlocked-shared"]
+    msg = findings[0].message
+    # mirrors the dynamic RaceReport two-site format
+    assert msg.startswith("data race on prog.Box.token:")
+    assert "write by process" in msg
+    assert "no common lock and no happens-before" in msg
+
+
+def test_plain_cross_context_access_without_straddle_is_clean(lint_project):
+    # between yield points the kernel runs to completion: two contexts
+    # touching the same attribute atomically is not a hazard
+    findings = lint_project({"prog.py": _HEADER + """
+        class Box:
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.last = None
+
+            def producer(self, proc):
+                proc.sleep(1.0)
+                self.last = "p"
+
+            def consumer(self, proc):
+                proc.sleep(2.0)
+                self.last = "c"
+
+        def main():
+            k = SimKernel()
+            b = Box(k)
+            k.spawn(b.producer)
+            k.spawn(b.consumer)
+            k.run()
+    """}, rules=RACE)
+    assert findings == []
+
+
+def test_event_handoff_orders_the_accesses(lint_project):
+    # a SimEvent set()/wait() pair is a static happens-before edge —
+    # the exact attenuation the dynamic detector gets from
+    # hb_release/hb_acquire
+    findings = lint_project({"prog.py": """
+        from repro.sim.kernel import SimKernel
+        from repro.sim.sync import SimEvent
+
+        class Box:
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.ready = SimEvent(kernel)
+                self.payload = None
+
+            def producer(self, proc):
+                self.payload = "data"
+                proc.sleep(1.0)
+                self.payload = "more"
+                self.ready.set()
+
+            def consumer(self, proc):
+                self.ready.wait(proc)
+                value = self.payload
+
+        def main():
+            k = SimKernel()
+            b = Box(k)
+            k.spawn(b.producer)
+            k.spawn(b.consumer)
+            k.run()
+    """}, rules=RACE)
+    assert findings == []
+
+
+def test_timer_callback_vs_process_is_a_context_pair(lint_project):
+    findings = lint_project({"prog.py": _HEADER + """
+        class Box:
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.slot = None
+
+            def waiter(self, proc):
+                self.slot = "armed"
+                proc.suspend()
+                self.slot = None
+
+            def expire(self):
+                self.slot = "late"
+
+        def main():
+            k = SimKernel()
+            b = Box(k)
+            k.spawn(b.waiter)
+            k.schedule(5.0, b.expire)
+            k.run()
+    """}, rules=RACE)
+    assert rules_of(findings) == ["race-unlocked-shared"]
+    assert "callback" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# integration
+# ----------------------------------------------------------------------
+def test_rules_are_registered():
+    from repro.analysis.base import all_rules
+    assert RACE <= set(all_rules())
+
+
+def test_inline_suppression_applies(lint_project):
+    findings = lint_project({"prog.py": _HEADER + """
+        class Box:
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.token = None
+
+            def waiter(self, proc):
+                self.token = "armed"  # repro-lint: disable=race-unlocked-shared
+                proc.suspend()
+                self.token = None
+
+            def firer(self, proc):
+                proc.sleep(0.5)
+                self.token = "fired"
+
+        def main():
+            k = SimKernel()
+            b = Box(k)
+            k.spawn(b.waiter)
+            k.spawn(b.firer)
+            k.run()
+    """}, rules=RACE)
+    assert findings == []

@@ -1,7 +1,11 @@
-"""The tys-* family: static VLink/Circuit lifecycle checking."""
+"""The tys-* family: interprocedural VLink/Circuit lifecycle checking.
+
+v2 is a project checker — every test runs the full engine (call graph
++ summaries) over a mini-project via the ``lint_project`` fixture.
+"""
 
 TYS = {"tys-send-before-connect", "tys-use-after-close",
-       "tys-double-bind", "tys-unreleased-claim"}
+       "tys-double-bind", "tys-unreleased-claim", "tys-leak-on-raise"}
 
 
 def rules_of(findings):
@@ -11,20 +15,20 @@ def rules_of(findings):
 # ----------------------------------------------------------------------
 # tys-send-before-connect
 # ----------------------------------------------------------------------
-def test_send_on_raw_endpoint_flagged(lint):
-    findings = lint("""
+def test_send_on_raw_endpoint_flagged(lint_project):
+    findings = lint_project({"prog.py": """
         from repro.padicotm.abstraction.vlink import VLinkEndpoint
 
         def broken(sp, rt, p0, p1, choice):
             ep = VLinkEndpoint(rt, p0, p1, choice)
             ep.send(sp, "x", 8)
-    """, rules=TYS)
+    """}, rules=TYS)
     assert rules_of(findings) == ["tys-send-before-connect"]
     assert "never connected" in findings[0].message
 
 
-def test_connected_endpoints_are_clean(lint):
-    findings = lint("""
+def test_connected_endpoints_are_clean(lint_project):
+    findings = lint_project({"prog.py": """
         from repro.padicotm.abstraction.vlink import VLink, VLinkEndpoint
 
         def fine(sp, rt, p0, p1, choice, listener):
@@ -35,15 +39,31 @@ def test_connected_endpoints_are_clean(lint):
             c.send(sp, "y", 8)
             d = listener.accept(sp)
             d.recv(sp)
-    """, rules=TYS)
+    """}, rules=TYS)
     assert findings == []
+
+
+def test_raw_use_through_helper_is_flagged(lint_project):
+    findings = lint_project({"prog.py": """
+        from repro.padicotm.abstraction.vlink import VLinkEndpoint
+
+        def pump(sp, link):
+            link.send(sp, "x", 8)
+
+        def broken(sp, rt, p0, p1, choice):
+            ep = VLinkEndpoint(rt, p0, p1, choice)
+            pump(sp, ep)
+    """}, rules=TYS)
+    assert rules_of(findings) == ["tys-send-before-connect"]
+    assert "inside" in findings[0].message
+    assert findings[0].line == 9  # the call site, not the helper
 
 
 # ----------------------------------------------------------------------
 # tys-use-after-close
 # ----------------------------------------------------------------------
-def test_vlink_use_after_close_flagged(lint):
-    findings = lint("""
+def test_vlink_use_after_close_flagged(lint_project):
+    findings = lint_project({"prog.py": """
         from repro.padicotm.abstraction.vlink import VLink
 
         def broken(sp, p0):
@@ -51,25 +71,25 @@ def test_vlink_use_after_close_flagged(lint):
             ep.send(sp, "x", 8)
             ep.close()
             ep.recv(sp)
-    """, rules=TYS)
+    """}, rules=TYS)
     assert rules_of(findings) == ["tys-use-after-close"]
 
 
-def test_circuit_use_after_close_flagged(lint):
-    findings = lint("""
+def test_circuit_use_after_close_flagged(lint_project):
+    findings = lint_project({"prog.py": """
         from repro.padicotm.abstraction.circuit import Circuit
 
         def broken(sp, rt, members):
             circ = Circuit.establish(rt, "ring", members)
             circ.close()
             circ.wait_message(sp, 0)
-    """, rules=TYS)
+    """}, rules=TYS)
     assert rules_of(findings) == ["tys-use-after-close"]
     assert "circuit" in findings[0].message
 
 
-def test_conditional_close_does_not_poison_fall_through(lint):
-    findings = lint("""
+def test_conditional_close_does_not_poison_fall_through(lint_project):
+    findings = lint_project({"prog.py": """
         from repro.padicotm.abstraction.vlink import VLink
 
         def fine(sp, p0, flaky):
@@ -77,12 +97,12 @@ def test_conditional_close_does_not_poison_fall_through(lint):
             if flaky:
                 ep.close()
             ep.send(sp, "x", 8)
-    """, rules=TYS)
+    """}, rules=TYS)
     assert findings == []
 
 
-def test_close_inside_branch_flags_later_use_in_same_branch(lint):
-    findings = lint("""
+def test_close_inside_branch_flags_later_use_in_same_branch(lint_project):
+    findings = lint_project({"prog.py": """
         from repro.padicotm.abstraction.vlink import VLink
 
         def broken(sp, p0, flag):
@@ -90,12 +110,12 @@ def test_close_inside_branch_flags_later_use_in_same_branch(lint):
             if flag:
                 ep.close()
                 ep.send(sp, "x", 8)
-    """, rules=TYS)
+    """}, rules=TYS)
     assert rules_of(findings) == ["tys-use-after-close"]
 
 
-def test_rebinding_variable_resets_tracking(lint):
-    findings = lint("""
+def test_rebinding_variable_resets_tracking(lint_project):
+    findings = lint_project({"prog.py": """
         from repro.padicotm.abstraction.vlink import VLink
 
         def fine(sp, p0):
@@ -103,64 +123,139 @@ def test_rebinding_variable_resets_tracking(lint):
             ep.close()
             ep = VLink.connect(sp, p0, "peer", "b")
             ep.send(sp, "x", 8)
-    """, rules=TYS)
+    """}, rules=TYS)
     assert findings == []
+
+
+def test_close_in_callee_is_seen_by_caller(lint_project):
+    findings = lint_project({"prog.py": """
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def shutdown(link):
+            link.close()
+
+        def broken(sp, p0):
+            ep = VLink.connect(sp, p0, "peer", "port")
+            shutdown(ep)
+            ep.send(sp, "x", 8)
+    """}, rules=TYS)
+    assert rules_of(findings) == ["tys-use-after-close"]
+
+
+def test_close_in_callee_two_hops(lint_project):
+    findings = lint_project({"prog.py": """
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def inner(link):
+            link.close()
+
+        def outer(link):
+            inner(link)
+
+        def broken(sp, p0):
+            ep = VLink.connect(sp, p0, "peer", "port")
+            outer(ep)
+            ep.recv(sp)
+    """}, rules=TYS)
+    assert rules_of(findings) == ["tys-use-after-close"]
+
+
+def test_factory_return_types_the_caller(lint_project):
+    findings = lint_project({"prog.py": """
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def dial(sp, p0):
+            return VLink.connect(sp, p0, "peer", "port")
+
+        def broken(sp, p0):
+            ep = dial(sp, p0)
+            ep.close()
+            ep.send(sp, "x", 8)
+    """}, rules=TYS)
+    assert rules_of(findings) == ["tys-use-after-close"]
+
+
+def test_close_in_finally_applies_after_try(lint_project):
+    findings = lint_project({"prog.py": """
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def broken(sp, p0):
+            ep = VLink.connect(sp, p0, "peer", "port")
+            try:
+                ep.send(sp, "x", 8)
+            finally:
+                ep.close()
+            ep.recv(sp)
+    """}, rules=TYS)
+    assert rules_of(findings) == ["tys-use-after-close"]
+
+
+def test_with_block_closes_on_exit(lint_project):
+    findings = lint_project({"prog.py": """
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def broken(sp, p0):
+            with VLink.connect(sp, p0, "peer", "port") as ep:
+                ep.send(sp, "x", 8)
+            ep.recv(sp)
+    """}, rules=TYS)
+    assert rules_of(findings) == ["tys-use-after-close"]
 
 
 # ----------------------------------------------------------------------
 # tys-double-bind
 # ----------------------------------------------------------------------
-def test_double_bind_same_port_flagged(lint):
-    findings = lint("""
+def test_double_bind_same_port_flagged(lint_project):
+    findings = lint_project({"prog.py": """
         from repro.padicotm.abstraction.vlink import VLink
 
         def broken(p0):
             first = VLink.listen(p0, "svc")
             second = VLink.listen(p0, "svc")
-    """, rules=TYS)
+    """}, rules=TYS)
     assert rules_of(findings) == ["tys-double-bind"]
     assert "'svc'" in findings[0].message
 
 
-def test_distinct_ports_and_processes_are_clean(lint):
-    findings = lint("""
+def test_distinct_ports_and_processes_are_clean(lint_project):
+    findings = lint_project({"prog.py": """
         from repro.padicotm.abstraction.vlink import VLink
 
         def fine(p0, p1):
             a = VLink.listen(p0, "svc")
             b = VLink.listen(p0, "other")
             c = VLink.listen(p1, "svc")
-    """, rules=TYS)
+    """}, rules=TYS)
     assert findings == []
 
 
-def test_rebind_after_close_is_clean(lint):
-    findings = lint("""
+def test_rebind_after_close_is_clean(lint_project):
+    findings = lint_project({"prog.py": """
         from repro.padicotm.abstraction.vlink import VLink
 
         def fine(p0):
             listener = VLink.listen(p0, "svc")
             listener.close()
             again = VLink.listen(p0, "svc")
-    """, rules=TYS)
+    """}, rules=TYS)
     assert findings == []
 
 
 # ----------------------------------------------------------------------
 # tys-unreleased-claim
 # ----------------------------------------------------------------------
-def test_direct_claim_without_release_is_warned(lint):
-    findings = lint("""
+def test_direct_claim_without_release_is_warned(lint_project):
+    findings = lint_project({"prog.py": """
         def leak(process):
             process.arbitration.claim_nic(
                 "san0", "BIP", "legacy", cooperative=False)
-    """, rules=TYS)
+    """}, rules=TYS)
     assert rules_of(findings) == ["tys-unreleased-claim"]
     assert findings[0].severity.name == "WARNING"
 
 
-def test_balanced_direct_claim_is_clean(lint):
-    findings = lint("""
+def test_balanced_direct_claim_is_clean(lint_project):
+    findings = lint_project({"prog.py": """
         def balanced(process):
             process.arbitration.claim_nic(
                 "san0", "BIP", "legacy", cooperative=False)
@@ -168,16 +263,106 @@ def test_balanced_direct_claim_is_clean(lint):
                 pass
             finally:
                 process.arbitration.release_claims("legacy")
-    """, rules=TYS)
+    """}, rules=TYS)
     assert findings == []
 
 
-def test_cooperative_claims_need_no_release(lint):
-    findings = lint("""
+def test_release_through_helper_balances_the_claim(lint_project):
+    findings = lint_project({"prog.py": """
+        def cleanup(process):
+            process.arbitration.release_claims("legacy")
+
+        def balanced(process):
+            process.arbitration.claim_nic(
+                "san0", "BIP", "legacy", cooperative=False)
+            cleanup(process)
+    """}, rules=TYS)
+    assert findings == []
+
+
+def test_cooperative_claims_need_no_release(lint_project):
+    findings = lint_project({"prog.py": """
         def multiplexed(process):
             process.arbitration.claim_nic(
                 "san0", "TCP", "PadicoTM/sockets", cooperative=True)
-    """, rules=TYS)
+    """}, rules=TYS)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# tys-leak-on-raise
+# ----------------------------------------------------------------------
+def test_raise_with_open_endpoint_is_warned(lint_project):
+    findings = lint_project({"prog.py": """
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def broken(sp, p0, ready):
+            ep = VLink.connect(sp, p0, "peer", "port")
+            if not ready:
+                raise RuntimeError("peer not ready")
+            ep.send(sp, "x", 8)
+            ep.close()
+    """}, rules=TYS)
+    assert rules_of(findings) == ["tys-leak-on-raise"]
+    assert findings[0].severity.name == "WARNING"
+    assert "'ep'" in findings[0].message
+
+
+def test_finally_close_protects_the_raise_edge(lint_project):
+    findings = lint_project({"prog.py": """
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def fine(sp, p0, ready):
+            ep = VLink.connect(sp, p0, "peer", "port")
+            try:
+                if not ready:
+                    raise RuntimeError("peer not ready")
+                ep.send(sp, "x", 8)
+            finally:
+                ep.close()
+    """}, rules=TYS)
+    assert findings == []
+
+
+def test_with_block_protects_the_raise_edge(lint_project):
+    findings = lint_project({"prog.py": """
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def fine(sp, p0, ready):
+            with VLink.connect(sp, p0, "peer", "port") as ep:
+                if not ready:
+                    raise RuntimeError("peer not ready")
+                ep.send(sp, "x", 8)
+    """}, rules=TYS)
+    assert findings == []
+
+
+def test_caught_raise_is_not_a_leak_edge(lint_project):
+    findings = lint_project({"prog.py": """
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def fine(sp, p0, ready):
+            ep = VLink.connect(sp, p0, "peer", "port")
+            try:
+                if not ready:
+                    raise RuntimeError("retry")
+            except RuntimeError:
+                pass
+            ep.close()
+    """}, rules=TYS)
+    assert findings == []
+
+
+def test_escaped_endpoint_is_not_reported_as_leak(lint_project):
+    findings = lint_project({"prog.py": """
+        from repro.padicotm.abstraction.vlink import VLink
+
+        def fine(self, sp, p0, ready):
+            ep = VLink.connect(sp, p0, "peer", "port")
+            self.link = ep
+            if not ready:
+                raise RuntimeError("caller owns self.link now")
+    """}, rules=TYS)
     assert findings == []
 
 
@@ -189,13 +374,13 @@ def test_rules_are_registered():
     assert TYS <= set(all_rules())
 
 
-def test_inline_suppression_applies(lint):
-    findings = lint("""
+def test_inline_suppression_applies(lint_project):
+    findings = lint_project({"prog.py": """
         from repro.padicotm.abstraction.vlink import VLink
 
         def demo(sp, p0):
             ep = VLink.connect(sp, p0, "peer", "port")
             ep.close()
             ep.send(sp, "x", 8)  # repro-lint: disable=tys-use-after-close
-    """, rules=TYS)
+    """}, rules=TYS)
     assert findings == []
