@@ -15,6 +15,13 @@ the document carries no wall-clock timestamps on purpose.
 instead: simulator *wall-clock* throughput (kernel events/s, concurrent
 flow churn, CDR MB/s) under the machine-varying ``padico-wallclock/1``
 schema.  The default output path follows the mode.
+
+``--gate-backend-speedup N`` (wall-clock mode only) fails the run
+unless the fastest non-thread switch backend clears ``N``x the thread
+backend on the ``wallclock.kernel.switch`` series measured in the same
+run.  CI smoke uses a conservative bar (quick sizes on shared runners
+are noisy); regenerating the committed full document uses the
+acceptance bar of 10.
 """
 
 from __future__ import annotations
@@ -79,6 +86,19 @@ def collect(quick: bool, log=lambda msg: None) -> list[BenchResult]:
     return results
 
 
+def _backend_speedup(results: list[BenchResult]) -> float | None:
+    """Best non-thread rate over the thread rate on the
+    ``wallclock.kernel.switch`` series; None if thread is the only
+    backend measured."""
+    series = next(r for r in results
+                  if r.name == "wallclock.kernel.switch")
+    rates = dict(series.points)
+    others = [rate for name, rate in rates.items() if name != "thread"]
+    if not others:
+        return None
+    return max(others) / rates["thread"]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="benchmarks.run",
@@ -91,13 +111,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--wallclock", action="store_true",
                         help="run the wall-clock suite (padico-wallclock/1) "
                              "instead of the virtual-clock sweep")
+    parser.add_argument("--gate-backend-speedup", type=float, default=None,
+                        metavar="N",
+                        help="with --wallclock: fail unless the fastest "
+                             "non-thread switch backend reaches N x the "
+                             "thread backend on wallclock.kernel.switch")
     args = parser.parse_args(argv)
+
+    if args.gate_backend_speedup is not None and not args.wallclock:
+        parser.error("--gate-backend-speedup requires --wallclock")
 
     if args.wallclock:
         out = args.out or "BENCH_wallclock.json"
         results = collect_wallclock(args.quick, log=print)
         write_bench_json(out, results, meta=document_meta(args.quick),
                          schema=WALLCLOCK_SCHEMA)
+        if args.gate_backend_speedup is not None:
+            speedup = _backend_speedup(results)
+            bar = args.gate_backend_speedup
+            if speedup is None:
+                print("backend-speedup gate: only the thread backend is "
+                      "available; nothing to compare")
+            elif speedup < bar:
+                print(f"backend-speedup gate FAILED: best non-thread "
+                      f"backend is {speedup:.1f}x thread (< {bar:g}x)")
+                return 1
+            else:
+                print(f"backend-speedup gate: {speedup:.1f}x thread "
+                      f"(>= {bar:g}x)")
     else:
         out = args.out or "BENCH_padico.json"
         results = collect(args.quick, log=print)

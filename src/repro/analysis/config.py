@@ -86,12 +86,16 @@ DEFAULT_LAYER_EXCEPTIONS: dict[tuple[str, str], str] = {
 DEFAULT_FILE_ALLOW: dict[tuple[str, str], str] = {
     # The cooperative kernel's semaphore handshake is the one place real
     # threading primitives are legal: each SimProcess parks on its own
-    # semaphore and the kernel serialises execution (kernel.py docstring).
-    # Re-audited with the sim-san instrumentation PR: the tracer/seed
-    # hooks added there are pure-Python bookkeeping and introduce no new
-    # threading primitives, so this remains the single exemption.
-    ("src/repro/sim/kernel.py", "ker-thread"):
-        "the kernel's own one-at-a-time semaphore handshake",
+    # semaphore and the kernel serialises execution.  The handshake
+    # lived in kernel.py until the switch-backend refactor extracted it
+    # into ThreadBackend (backends.py); same audit, same justification
+    # — kernel.py itself is threading-free now, and the
+    # greenlet/trampoline backends in backends.py use no threading
+    # primitives at all, so this remains the single ker-thread
+    # exemption.
+    ("src/repro/sim/backends.py", "ker-thread"):
+        "ThreadBackend hosts the extracted one-at-a-time semaphore "
+        "handshake (historical kernel core)",
     # The linter measures its own wall time for --stats; that is
     # tooling latency, not simulated time, and the clock reads are
     # confined to stats.clock() (same reasoning that keeps the

@@ -8,6 +8,7 @@ threads (the paper's Marcel threads)."""
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
@@ -95,6 +96,9 @@ class PadicoRuntime:
     def monitor(self, value: Any) -> None:
         # legacy compat: assigning the bare attribute replaces the whole
         # monitor set (None clears it)
+        warnings.warn(
+            "assigning PadicoRuntime.monitor directly is deprecated; use "
+            "observe()/unobserve()", DeprecationWarning, stacklevel=2)
         for member in list(self._monitors):
             self.unobserve(member)
         if value is not None:

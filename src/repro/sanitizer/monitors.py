@@ -8,7 +8,7 @@ surface much later.  :class:`TypestateMonitor` enforces the DFA at the
 moment of violation.
 
 The monitor is attached to a :class:`~repro.padicotm.runtime.
-PadicoRuntime` (``runtime.monitor = TypestateMonitor()`` or via
+PadicoRuntime` (``runtime.observe(TypestateMonitor())`` or via
 :class:`~repro.sanitizer.api.Sanitizer`); the abstraction and
 arbitration layers notify it through duck-typed hooks guarded by
 ``is not None`` tests, so a runtime without a monitor pays one attribute

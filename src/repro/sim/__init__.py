@@ -1,9 +1,9 @@
 """Deterministic discrete-event simulation kernel.
 
 This package provides the execution substrate for the whole Padico
-reproduction: simulated grid processes are ordinary Python threads, but
-the kernel hands out a single "run token" so exactly one simulated
-process executes at any instant and every run is fully deterministic.
+reproduction: the kernel hands out a single "run token" so exactly one
+simulated process executes at any instant and every run is fully
+deterministic — a total order over ``(time, shuffle, seq)`` event keys.
 
 The virtual clock (:attr:`SimKernel.now`, seconds as ``float``) stands in
 for the wall clock of the paper's testbed; all latencies and bandwidths
@@ -12,13 +12,31 @@ reported by the benchmarks are read off this clock.
 Public API
 ----------
 - :class:`SimKernel` — event loop, virtual clock, process management.
-- :class:`SimProcess` — a simulated process (thread-backed coroutine).
+- :class:`SimProcess` — a simulated process, run by a switch backend.
 - :class:`Timer` — cancellable scheduled callback handle.
+- :func:`run_processes` — run a batch of process functions to completion.
 - Exceptions: :class:`SimShutdown`, :class:`SimInterrupt`,
-  :class:`SimDeadlockError`, :class:`SimProcessError`.
+  :class:`SimDeadlockError`, :class:`SimProcessError`,
+  :class:`BackendUnavailableError`.
+- Switch backends (:mod:`repro.sim.backends`): :class:`SwitchBackend`
+  protocol, :class:`ThreadBackend`, :class:`GreenletBackend`,
+  :class:`TrampolineBackend`, plus :func:`available_backends` and
+  :func:`best_available_backend`.
 - Synchronisation primitives in :mod:`repro.sim.sync`: :class:`Mailbox`,
   :class:`SimEvent`, :class:`SimLock`, :class:`SimSemaphore`,
   :class:`SimCondition`, :class:`SimBarrier`, :class:`WaitQueue`.
+
+Backend selection contract
+--------------------------
+``SimKernel(backend=...)`` accepts a backend name (``"thread"`` — the
+default, ``"greenlet"``, ``"trampoline"``), a :class:`SwitchBackend`
+instance, or None.  With None, the ``REPRO_SIM_BACKEND`` environment
+variable is consulted before falling back to the default.  Unknown
+names raise ``ValueError`` listing the valid set; ``"greenlet"``
+raises :class:`BackendUnavailableError` when the optional package (the
+``repro[sim-fast]`` extra) is missing.  Every backend preserves the
+same event order bit for bit — see :mod:`repro.sim.backends` for the
+determinism contract and ``docs/KERNEL.md`` for the architecture.
 """
 
 from repro.sim.kernel import (
@@ -29,6 +47,16 @@ from repro.sim.kernel import (
     SimProcessError,
     SimShutdown,
     Timer,
+    run_processes,
+)
+from repro.sim.backends import (
+    BackendUnavailableError,
+    GreenletBackend,
+    SwitchBackend,
+    ThreadBackend,
+    TrampolineBackend,
+    available_backends,
+    best_available_backend,
 )
 from repro.sim.sync import (
     Mailbox,
@@ -47,10 +75,18 @@ __all__ = [
     "SimKernel",
     "SimProcess",
     "Timer",
+    "run_processes",
     "SimShutdown",
     "SimInterrupt",
     "SimDeadlockError",
     "SimProcessError",
+    "BackendUnavailableError",
+    "SwitchBackend",
+    "ThreadBackend",
+    "GreenletBackend",
+    "TrampolineBackend",
+    "available_backends",
+    "best_available_backend",
     "Mailbox",
     "MatchQueue",
     "SimTimeout",

@@ -146,7 +146,7 @@ def channel_ops() -> tuple[dict, dict]:
 def trace_release(kernel: Any, primitive: Any) -> None:
     """Report a release-style operation on ``primitive`` to the kernel's
     tracer, if one is installed (free when none is)."""
-    tracer = kernel.tracer
+    tracer = kernel._tracer
     if tracer is not None:
         tracer.hb_release(primitive)
 
@@ -154,6 +154,6 @@ def trace_release(kernel: Any, primitive: Any) -> None:
 def trace_acquire(kernel: Any, primitive: Any) -> None:
     """Report an acquire-style operation on ``primitive`` to the kernel's
     tracer, if one is installed (free when none is)."""
-    tracer = kernel.tracer
+    tracer = kernel._tracer
     if tracer is not None:
         tracer.hb_acquire(primitive)

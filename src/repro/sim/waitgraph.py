@@ -40,6 +40,12 @@ def _describe(target: Any, numbers: dict[int, int]) -> str:
 
     if target is None:
         return "suspend() with no registered waker"
+    if isinstance(target, str):
+        # waker hint recorded by ``suspend(waiting_on=...)``; the bare
+        # sentinel means suspend() was called with no hint at all
+        if target == "suspend":
+            return "bare suspend() awaiting an external wake()"
+        return f"suspend() awaiting {target}"
     if isinstance(target, SimProcess):
         return f"join on process {target.name!r} (state={target.state})"
     label = _label(target, numbers)
@@ -76,8 +82,8 @@ def wait_edges(kernel: Any) -> list[tuple[Any, Any]]:
     """(blocked process, wait target) pairs, in process-creation order.
 
     The target is whatever the process registered when it blocked: a
-    sync primitive, a :class:`SimProcess` being joined, or None for a
-    bare ``suspend()``.
+    sync primitive, a :class:`SimProcess` being joined, or a string
+    waker hint (the ``"suspend"`` sentinel for a bare ``suspend()``).
     """
     return [(proc, proc._waiting_on)
             for proc in kernel.blocked_processes()]

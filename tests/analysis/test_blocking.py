@@ -45,19 +45,23 @@ def test_true_negative(source):
     assert ker(source) == []
 
 
-def test_kernel_file_is_allowlisted():
-    """The kernel's own semaphore handshake is exempt — in kernel.py
-    only, and only for ker-thread."""
+def test_backend_file_is_allowlisted():
+    """The ThreadBackend semaphore handshake is exempt — in backends.py
+    only (where the switch-backend refactor moved it out of kernel.py),
+    and only for ker-thread."""
     source = """
         import threading
         sem = threading.Semaphore(0)
     """
     assert ker(source) == ["ker-thread"]
+    assert ker(source, path="src/repro/sim/backends.py",
+               module="repro.sim.backends") == []
+    # kernel.py itself is threading-free now and no longer exempt
     assert ker(source, path="src/repro/sim/kernel.py",
-               module="repro.sim.kernel") == []
-    # the exemption is per-rule: a time.sleep in kernel.py still fires
+               module="repro.sim.kernel") == ["ker-thread"]
+    # the exemption is per-rule: a time.sleep in backends.py still fires
     assert ker("import time\ntime.sleep(1)",
-               path="src/repro/sim/kernel.py",
-               module="repro.sim.kernel") == ["ker-sleep"]
-    assert DEFAULT_CONFIG.file_allow[("src/repro/sim/kernel.py",
+               path="src/repro/sim/backends.py",
+               module="repro.sim.backends") == ["ker-sleep"]
+    assert DEFAULT_CONFIG.file_allow[("src/repro/sim/backends.py",
                                       "ker-thread")]

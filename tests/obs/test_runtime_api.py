@@ -90,14 +90,17 @@ def test_fan_dispatches_to_all_monitors_in_order(runtime):
     assert second.calls[-1] == ("start", "op2")
 
 
-def test_legacy_monitor_setter(runtime):
+def test_legacy_monitor_setter_is_deprecated(runtime):
     probe = _Probe("legacy")
-    runtime.monitor = probe
+    with pytest.warns(DeprecationWarning, match="observe"):
+        runtime.monitor = probe
+    # the delegation to observe() still works for stragglers
     assert probe.attached_to is runtime
     runtime.monitor.on_span_start("x")
     assert probe.calls == [("start", "x")]
     # assigning None clears everything (the pre-observe idiom)
-    runtime.monitor = None
+    with pytest.warns(DeprecationWarning, match="observe"):
+        runtime.monitor = None
     assert runtime.monitor is None
     assert probe.attached_to is None
 

@@ -1,0 +1,27 @@
+"""Backend matrix for the sanitizer tests.
+
+The dynamic sanitizer (race detector, typestate monitors, schedule
+exploration) instruments the kernel through the tracer hooks, which the
+switch backends must keep semantics-identical; running the whole
+directory under each available general-purpose backend pins that.
+"""
+
+import pytest
+
+from repro.sim.backends import BACKEND_ENV_VAR, available_backends
+
+_MATRIX = [
+    pytest.param("thread", id="thread"),
+    pytest.param(
+        "greenlet", id="greenlet",
+        marks=pytest.mark.skipif(
+            "greenlet" not in available_backends(),
+            reason="greenlet package not installed (repro[sim-fast])")),
+]
+
+
+@pytest.fixture(autouse=True, params=_MATRIX)
+def sim_backend(request, monkeypatch):
+    """Select the switch backend for every kernel the test constructs."""
+    monkeypatch.setenv(BACKEND_ENV_VAR, request.param)
+    return request.param

@@ -79,7 +79,7 @@ def test_default_label_is_the_type_name():
 def test_single_process_accesses_never_race():
     kernel = SimKernel()
     detector = RaceDetector(kernel)
-    kernel.tracer = detector
+    kernel.attach_tracer(detector)
     shared = tracked({}, detector, label="solo")
 
     def worker(p):
@@ -96,7 +96,7 @@ def test_single_process_accesses_never_race():
 def test_disjoint_keys_do_not_collide():
     kernel = SimKernel()
     detector = RaceDetector(kernel)
-    kernel.tracer = detector
+    kernel.attach_tracer(detector)
     shared = tracked({"a": 0, "b": 0}, detector, label="split")
 
     def worker(p, key):
@@ -114,7 +114,7 @@ def test_disjoint_keys_do_not_collide():
 def test_unhashable_keys_fall_back_to_repr():
     kernel = SimKernel()
     detector = RaceDetector(kernel)
-    kernel.tracer = detector
+    kernel.attach_tracer(detector)
     shared = tracked({}, detector, label="odd")
     with pytest.raises(TypeError):
         {}[["unhashable"]]  # sanity: lists are unhashable as dict keys
