@@ -7,10 +7,10 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: check lint lint-full lint-mutants test copy-budget \
-	schedule-smoke bench-smoke bench-wallclock sarif
+	schedule-smoke bench-smoke bench-wallclock bench-topology sarif
 
 check: lint lint-mutants test copy-budget schedule-smoke bench-smoke \
-	bench-wallclock
+	bench-wallclock bench-topology
 
 # Incremental: per-file results and call-graph summaries are cached by
 # content hash in .repro-lint-cache.json; the interprocedural phase
@@ -64,6 +64,17 @@ bench-wallclock:
 		--out BENCH_wallclock_smoke.json
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.trace bench \
 		BENCH_wallclock_smoke.json
+
+# Grid-scale smoke: the 100-host slice of the topology-scaling series
+# (the full 10k-host sweep lives in the committed BENCH_wallclock.json,
+# regenerated with `python -m benchmarks.run --wallclock`).  The run
+# itself asserts the sharded and flat solvers produce byte-identical
+# flow logs, so this is an exactness gate as much as a perf smoke.
+bench-topology:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m benchmarks.run \
+		--topology-scaling --quick --out BENCH_topology_smoke.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.trace bench \
+		BENCH_topology_smoke.json
 
 # SARIF findings for CI/PR annotation (exit status intentionally ignored:
 # the gating run is `lint`, this one only produces the report artifact)

@@ -16,6 +16,12 @@ instead: simulator *wall-clock* throughput (kernel events/s, concurrent
 flow churn, CDR MB/s) under the machine-varying ``padico-wallclock/1``
 schema.  The default output path follows the mode.
 
+``--topology-scaling`` runs just the grid-scale
+``wallclock.topology.scaling`` series (hierarchical site-sharded solver
+on :func:`repro.net.build_grid` topologies up to 10k hosts / 100k
+flows) and writes it under the wall-clock schema — the CI smoke slice
+is ``make bench-topology``.
+
 ``--gate-backend-speedup N`` (wall-clock mode only) fails the run
 unless the fastest non-thread switch backend clears ``N``x the thread
 backend on the ``wallclock.kernel.switch`` series measured in the same
@@ -39,7 +45,11 @@ from benchmarks.harness import (
     mpi_one_way_latency_us,
     proxy_vs_direct,
 )
-from benchmarks.wallclock import collect_wallclock, document_meta
+from benchmarks.wallclock import (
+    bench_topology_scaling,
+    collect_wallclock,
+    document_meta,
+)
 from repro.corba import MICO, OMNIORB3, OMNIORB4, ORBACUS
 from repro.obs import WALLCLOCK_SCHEMA, BenchResult, write_bench_json
 
@@ -111,6 +121,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--wallclock", action="store_true",
                         help="run the wall-clock suite (padico-wallclock/1) "
                              "instead of the virtual-clock sweep")
+    parser.add_argument("--topology-scaling", action="store_true",
+                        help="run only the wallclock.topology.scaling "
+                             "series (grid-scale hierarchical-solver "
+                             "bench); implies the wall-clock schema")
     parser.add_argument("--gate-backend-speedup", type=float, default=None,
                         metavar="N",
                         help="with --wallclock: fail unless the fastest "
@@ -120,8 +134,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.gate_backend_speedup is not None and not args.wallclock:
         parser.error("--gate-backend-speedup requires --wallclock")
+    if args.topology_scaling and args.wallclock:
+        parser.error("--topology-scaling already implies the wall-clock "
+                     "schema; drop --wallclock")
 
-    if args.wallclock:
+    if args.topology_scaling:
+        out = args.out or "BENCH_topology.json"
+        results = [bench_topology_scaling(args.quick)]
+        print(results[-1].render())
+        write_bench_json(out, results, meta=document_meta(args.quick),
+                         schema=WALLCLOCK_SCHEMA)
+    elif args.wallclock:
         out = args.out or "BENCH_wallclock.json"
         results = collect_wallclock(args.quick, log=print)
         write_bench_json(out, results, meta=document_meta(args.quick),

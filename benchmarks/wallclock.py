@@ -23,6 +23,16 @@ on the **process wall clock**:
   executed under both solver modes; the solver-iteration counts (the
   ``net.maxmin.iterations`` obs counter) land in the series meta, where
   CI asserts the incremental solver does ≥ 5× less work at F = 1000;
+* ``wallclock.topology.scaling`` — grid-scale event throughput
+  (events/s) on :func:`repro.net.build_grid` topologies at 100 / 1 000 /
+  10 000 hosts (500 hosts per site, 10 ring flows per host plus one WAN
+  flow per site — 100k+ concurrent flows at the top size), solved by
+  the hierarchical site-sharded tier with the vectorized fill.  At
+  sizes the flat incremental solver can still stomach the identical
+  workload is replayed flat: the run asserts the flow logs are
+  byte-identical (exactness at scale) and the meta records the sharded
+  speedup, which is what ``--topology-scaling`` publishes and CI's
+  smoke slice (``make bench-topology``) keeps honest;
 * ``wallclock.cdr.marshal`` / ``wallclock.cdr.unmarshal`` — CDR
   encode/decode throughput (MB/s, MB = 1e6 bytes) for bulk octet and
   double sequences plus a scalar-struct torture case;
@@ -60,7 +70,7 @@ import numpy as np
 from repro.corba.cdr import CdrInputStream, CdrOutputStream, decode_value, \
     encode_value
 from repro.corba.idl.types import PrimitiveType, SequenceType, StructType
-from repro.net import MYRINET_2000, Topology, build_cluster
+from repro.net import MYRINET_2000, Topology, build_cluster, build_grid
 from repro.net.flows import FlowNetwork
 from repro.obs import BenchResult, TraceRecorder
 from repro.sim import SimKernel, available_backends
@@ -221,6 +231,7 @@ def bench_flows(quick: bool) -> BenchResult:
                                "workload": "disjoint-pair flow churn",
                                "rounds": rounds}
     recorder = TraceRecorder()
+    meta["max_pairs"] = MAX_PAIRS
     for f in levels:
         total = f * rounds
         elapsed, net, kernel = _run_churn(f, total, incremental=True)
@@ -228,6 +239,9 @@ def bench_flows(quick: bool) -> BenchResult:
         # with the from-scratch solver to count the work saved
         _, net_scratch, _ = _run_churn(f, total, incremental=False)
         points.append((f, total / elapsed))
+        # above MAX_PAIRS the F "concurrent" flows share min(F, MAX_PAIRS)
+        # routes, so record what the level actually exercised
+        meta[f"effective_pairs_F{f}"] = min(f, MAX_PAIRS)
         # the new obs counter: solver rounds per churn level, recorded
         # post-run so the traced run itself stays mode-independent
         recorder.counter(f"net.maxmin.iterations.incremental.F{f}",
@@ -243,6 +257,225 @@ def bench_flows(quick: bool) -> BenchResult:
         meta[f"timer_reuses_F{f}"] = net.timer_reuses
     meta["counter_names"] = sorted(recorder.counters)
     return BenchResult(name="wallclock.flows", unit="flows/s",
+                       points=tuple(points), meta=meta)
+
+
+# ---------------------------------------------------------------------------
+# grid-scale topology churn (the hierarchical solver's reason to exist)
+# ---------------------------------------------------------------------------
+
+#: host-count axis for the scaling series
+GRID_HOSTS = (100, 1_000, 10_000)
+QUICK_GRID_HOSTS = (100,)
+#: hosts per site: large Myrinet islands behind leaf/spine switches, so
+#: the host axis scales both the site count and the per-site coupling
+GRID_HOSTS_PER_SITE = 500
+#: concurrent intra-site flows per host, plus one WAN flow per site for
+#: the coupling tier — 10k hosts = 100k+ concurrent flows
+GRID_FLOWS_PER_HOST = 10
+GRID_SWITCH_FANOUT = 32
+#: completions measured inside the timed churn window, per host count —
+#: solver cost per completion grows with shard size, so the window
+#: shrinks as the grid grows (the solver-time *ratio* is the metric and
+#: every completion contributes two solves to each side of it)
+GRID_CHURN_TARGETS = {100: 2_000, 1_000: 600, 10_000: 200}
+QUICK_GRID_CHURN_TARGETS = {100: 500}
+#: largest size replayed with the flat (non-sharded) incremental solver
+#: for the speedup comparison; batched admission and refills keep the
+#: flat replay tractable even at the 10k-host / 100k-flow top size
+GRID_FLAT_MAX_HOSTS = 10_000
+#: virtual-clock chunk the churn window advances by between completion
+#: checks; chunking run(until=...) never changes the event order
+GRID_CHUNK_S = 2e-3
+#: flows admitted per ramp batch (one ``start_flows`` call each)
+GRID_RAMP_BATCH = 2_000
+
+
+def _instrument_solver(net: FlowNetwork) -> Callable[[], float]:
+    """Wrap the network's solve + component-walk entry points with
+    wall-clock accumulation; returns a ``read()`` closure.
+
+    The instrumented quantity is exactly the per-event allocator work
+    the solver modes differ on — the component/shard walk plus the
+    progressive fill — excluding the mode-independent kernel costs
+    (event dispatch, eager byte accounting, completion-timer scans)
+    that both replays pay identically.  Wall-clock reads live here in
+    the bench harness because the src tree bans them (det-wallclock).
+    """
+    acc = [0.0]
+    solve, component = net._solve, net._component
+
+    def timed_solve(*args, **kwargs):
+        t0 = time.perf_counter()
+        solve(*args, **kwargs)
+        acc[0] += time.perf_counter() - t0
+
+    def timed_component(*args, **kwargs):
+        t0 = time.perf_counter()
+        out = component(*args, **kwargs)
+        acc[0] += time.perf_counter() - t0
+        return out
+
+    net._solve = timed_solve
+    net._component = timed_component
+    return lambda: acc[0]
+
+
+def _run_grid_churn(n_hosts: int, sharded: bool, churn_target: int,
+                    ) -> dict:
+    """Self-refilling flow churn on a :func:`build_grid` topology.
+
+    Each host sends ``GRID_FLOWS_PER_HOST - 1`` flows one switch-leaf
+    over (host *i* → host *i + fanout*, so the traffic crosses the
+    site's leaf-spine links) and one flow to the site's first host.
+    The shared spine links and the hub's downlink weld every site into
+    a single link-connected component — the regime where the flat
+    solver's per-event component walk covers the whole site and the
+    hierarchical shard tier earns its keep.  One cross-site WAN flow
+    per site feeds the coupling tier.
+
+    The ramp admits flows in :data:`GRID_RAMP_BATCH`-sized
+    ``start_flows`` batches (bit-identical to sequential same-instant
+    adds, one re-solve per batch) and is timed separately from the
+    churn window, which advances the virtual clock in
+    :data:`GRID_CHUNK_S` chunks until ``churn_target`` completions
+    land.  Solver wall time (component walks + fills) is accumulated
+    via :func:`_instrument_solver` and split at the window boundary.
+    """
+    n_sites = max(2, n_hosts // GRID_HOSTS_PER_SITE)
+    per_site = max(2, n_hosts // n_sites)
+    topo, sites = build_grid(sites=n_sites, hosts_per_site=per_site,
+                             switch_fanout=GRID_SWITCH_FANOUT)
+    kernel = SimKernel()
+    net = FlowNetwork(kernel, topo, incremental=True, sharded=sharded)
+    solver_wall = _instrument_solver(net)
+    site_names = list(sites)
+    intra: list = []
+    for s in site_names:
+        names = [h.name for h in sites[s]]
+        for i in range(len(names)):
+            cross = names[(i + GRID_SWITCH_FANOUT) % len(names)]
+            hub = names[0] if i else names[1]
+            intra.append(topo.route(names[i], cross, f"{s}-san"))
+            intra.append(topo.route(names[i], hub, f"{s}-san"))
+    wan_routes = []
+    for si, s in enumerate(site_names):
+        a = sites[s][0].name
+        b = sites[site_names[(si + 1) % len(site_names)]][0].name
+        wan_routes.append(topo.route(a, b, "g-wan"))
+    routes = intra + wan_routes
+    launched = [0]
+
+    def flow_size() -> float:
+        launched[0] += 1
+        # deterministic size spread so completions interleave
+        return 1_000_000.0 * (1 + launched[0] % 7)
+
+    # churn refills are collected per completion instant and re-issued
+    # as one ``start_flows`` batch at the same virtual time (symmetric
+    # rates complete flows in large simultaneous batches; re-admitting
+    # them one by one would re-solve the allocation once per flow in
+    # both modes, drowning the workload in driver-induced solves)
+    pending: list = []
+
+    def flush() -> None:
+        reqs = [(routes[i], flow_size(), lambda flow, r=i: refill(r))
+                for i in pending]
+        pending.clear()
+        net.start_flows(reqs)
+
+    def refill(route_i: int) -> None:
+        if not pending:
+            kernel.schedule(0.0, flush)
+        pending.append(route_i)
+
+    def start_batch(slots: list) -> None:
+        net.start_flows([
+            (routes[i], flow_size(), lambda flow, r=i: refill(r))
+            for i in slots])
+
+    # round-robin the adds so every route ramps evenly: 9 waves on the
+    # cross-leaf routes (even slots), one on the hub routes (odd slots)
+    cross_slots = range(0, len(intra), 2)
+    adds = [i for _ in range(GRID_FLOWS_PER_HOST - 1) for i in cross_slots]
+    adds.extend(range(1, len(intra), 2))
+    adds.extend(range(len(intra), len(routes)))
+    batches = [adds[k:k + GRID_RAMP_BATCH]
+               for k in range(0, len(adds), GRID_RAMP_BATCH)]
+    for k, slots in enumerate(batches):
+        kernel.schedule(k * 1e-6, start_batch, slots)
+    ramp_end = len(batches) * 1e-6
+    t0 = time.perf_counter()
+    kernel.run(until=ramp_end)
+    t_ramp = time.perf_counter() - t0
+    solver_ramp = solver_wall()
+
+    ev0 = kernel.events_processed
+    c0 = net.completed_flows
+    horizon = ramp_end
+    t1 = time.perf_counter()
+    while net.completed_flows - c0 < churn_target:
+        horizon += GRID_CHUNK_S
+        kernel.run(until=horizon)
+    t_churn = time.perf_counter() - t1
+    return {
+        "ramp_wall": t_ramp,
+        "churn_wall": t_churn,
+        "events": kernel.events_processed - ev0,
+        "completions": net.completed_flows - c0,
+        "solver_ramp": solver_ramp,
+        "solver_churn": solver_wall() - solver_ramp,
+        "net": net,
+        "topo": topo,
+    }
+
+
+def bench_topology_scaling(quick: bool) -> BenchResult:
+    levels = QUICK_GRID_HOSTS if quick else GRID_HOSTS
+    targets = QUICK_GRID_CHURN_TARGETS if quick else GRID_CHURN_TARGETS
+    points = []
+    meta: dict[str, object] = {
+        "clock": "wall",
+        "workload": f"per-site flow rings ({GRID_FLOWS_PER_HOST}/host) + "
+                    f"one WAN flow per site, {GRID_HOSTS_PER_SITE} "
+                    f"hosts/site, switch fanout {GRID_SWITCH_FANOUT}",
+        "churn_targets": {f"H{n}": t for n, t in sorted(targets.items())},
+        "flat_max_hosts": GRID_FLAT_MAX_HOSTS,
+        "speedup_metric": "flat churn-window solver wall (component walk "
+                          "+ fill) over sharded ditto, same virtual "
+                          "workload",
+    }
+    recorder = TraceRecorder()
+    for n in levels:
+        churn = targets[n]
+        run = _run_grid_churn(n, sharded=True, churn_target=churn)
+        net, topo = run["net"], run["topo"]
+        points.append((n, run["events"] / run["churn_wall"]))
+        hits, misses = topo.route_cache_stats()
+        recorder.counter(f"net.route_cache.hits.H{n}", hits)
+        recorder.counter(f"net.route_cache.misses.H{n}", misses)
+        recorder.counter(f"net.maxmin.iterations.sharded.H{n}",
+                         net.solver_iterations)
+        meta[f"concurrent_flows_H{n}"] = len(net.active_flows)
+        meta[f"ramp_wall_s_H{n}"] = round(run["ramp_wall"], 3)
+        meta[f"solver_wall_s_H{n}"] = round(
+            run["solver_ramp"] + run["solver_churn"], 3)
+        meta[f"completions_per_s_H{n}"] = round(
+            run["completions"] / run["churn_wall"], 1)
+        meta[f"route_cache_hit_rate_H{n}"] = round(
+            hits / (hits + misses), 3) if hits + misses else 0.0
+        if n <= GRID_FLAT_MAX_HOSTS:
+            flat = _run_grid_churn(n, sharded=False, churn_target=churn)
+            # exactness at scale: flat and sharded replays of the same
+            # virtual workload must transfer the very same bytes
+            assert flat["net"].flow_log == net.flow_log, \
+                f"sharded solve diverged from flat at {n} hosts"
+            meta[f"flat_solver_wall_s_H{n}"] = round(
+                flat["solver_ramp"] + flat["solver_churn"], 3)
+            meta[f"sharded_speedup_H{n}"] = round(
+                flat["solver_churn"] / run["solver_churn"], 2)
+    meta["counter_names"] = sorted(recorder.counters)
+    return BenchResult(name="wallclock.topology.scaling", unit="events/s",
                        points=tuple(points), meta=meta)
 
 
@@ -458,6 +691,8 @@ def collect_wallclock(quick: bool,
     results.append(bench_kernel_switch(quick))
     log(results[-1].render())
     results.append(bench_flows(quick))
+    log(results[-1].render())
+    results.append(bench_topology_scaling(quick))
     log(results[-1].render())
     for result in bench_cdr(quick):
         results.append(result)

@@ -37,6 +37,7 @@ FAMILIES = {
     "bufsan": ("buf-",),
     "blockdeep": ("ker-block-deep",),
     "obsguard": ("obs-guard",),
+    "perf": ("perf-",),
     "simrace": ("race-",),
     "typestate2": ("tys-",),
 }

@@ -2,7 +2,7 @@
 
 Everything under ``src/repro`` runs inside the simulation's event loop,
 so an accidentally quadratic idiom is not a style nit — it multiplies
-into every kernel event.  Three rules catch the accumulation patterns
+into every kernel event.  These rules catch the accumulation patterns
 that have actually bitten this codebase:
 
 ``perf-list-pop0``
@@ -29,6 +29,15 @@ that have actually bitten this codebase:
     copied one without showing up in ``wire.copied_bytes`` review.
     Outside the hot directories the rule stays silent (generic code may
     legitimately materialise).
+``perf-route-in-loop``
+    ``<obj>.route(src, dst, ...)`` inside a loop where the receiver and
+    every argument are provably loop-invariant: the same path is
+    re-resolved each iteration.  The fabric route cache makes repeats
+    cheap, but hot loops should not pay even the cache hit (plus the
+    per-call key tuple) — hoist the lookup (or the returned route) out
+    of the loop.  Any argument that mentions a name rebound inside the
+    loop, or an expression the checker cannot prove invariant (calls,
+    comprehensions), keeps the rule silent.
 
 Like every family, findings are suppressible with
 ``# repro-lint: disable=perf-...`` where the pattern is deliberate
@@ -53,6 +62,25 @@ def _is_pop0(node: ast.Call) -> bool:
             and isinstance(node.args[0], ast.Constant)
             and node.args[0].value == 0
             and not isinstance(node.args[0].value, bool))
+
+
+def _rebound_names(loop: ast.AST) -> set[str]:
+    """Names rebound anywhere inside ``loop`` (targets, stores, dels,
+    nested defs) — i.e. names that may change between iterations."""
+    names: set[str] = set()
+    for sub in ast.walk(loop):
+        if isinstance(sub, ast.Name) \
+                and isinstance(sub.ctx, (ast.Store, ast.Del)):
+            names.add(sub.id)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+            names.add(sub.name)
+        elif isinstance(sub, ast.Import):
+            names.update(a.asname or a.name.split(".")[0]
+                         for a in sub.names)
+        elif isinstance(sub, ast.ImportFrom):
+            names.update(a.asname or a.name for a in sub.names)
+    return names
 
 
 #: directories (project-relative prefixes) under the zero-copy wire
@@ -102,6 +130,9 @@ class _PerfVisitor(ast.NodeVisitor):
         self.findings: list[Finding] = []
         self.scope = _Scope()
         self._loop_depth = 0
+        #: per enclosing loop, the names rebound inside it (loop targets
+        #: and any store in the body) — the variant set for invariance
+        self._loop_volatile: list[set[str]] = []
         self._hot = ctx.path.startswith(HOT_WIRE_DIRS)
 
     # -- scope management ---------------------------------------------------
@@ -110,9 +141,11 @@ class _PerfVisitor(ast.NodeVisitor):
         # a fresh loop depth as well as a fresh name scope
         outer_scope, self.scope = self.scope, _Scope(self.scope)
         outer_depth, self._loop_depth = self._loop_depth, 0
+        outer_volatile, self._loop_volatile = self._loop_volatile, []
         self.generic_visit(node)
         self.scope = outer_scope
         self._loop_depth = outer_depth
+        self._loop_volatile = outer_volatile
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._in_new_scope(node)
@@ -166,7 +199,9 @@ class _PerfVisitor(ast.NodeVisitor):
     # -- loops --------------------------------------------------------------
     def _in_loop(self, node: ast.AST) -> None:
         self._loop_depth += 1
+        self._loop_volatile.append(_rebound_names(node))
         self.generic_visit(node)
+        self._loop_volatile.pop()
         self._loop_depth -= 1
 
     def visit_For(self, node: ast.For) -> None:
@@ -174,6 +209,31 @@ class _PerfVisitor(ast.NodeVisitor):
 
     def visit_While(self, node: ast.While) -> None:
         self._in_loop(node)
+
+    # -- loop-invariance ----------------------------------------------------
+    def _loop_invariant(self, node: ast.expr) -> bool:
+        """Provably the same value on every iteration of the enclosing
+        loops.  Conservative: anything not recognised is variant."""
+        if isinstance(node, ast.Constant):
+            return True
+        if isinstance(node, ast.Name):
+            return not any(node.id in vol for vol in self._loop_volatile)
+        if isinstance(node, ast.Attribute):
+            return self._loop_invariant(node.value)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return all(self._loop_invariant(e) for e in node.elts)
+        if isinstance(node, ast.BinOp):
+            return (self._loop_invariant(node.left)
+                    and self._loop_invariant(node.right))
+        if isinstance(node, ast.JoinedStr):
+            return all(self._loop_invariant(v.value) if
+                       isinstance(v, ast.FormattedValue) else True
+                       for v in node.values)
+        if isinstance(node, ast.Subscript):
+            return (self._loop_invariant(node.value)
+                    and not isinstance(node.slice, ast.Slice)
+                    and self._loop_invariant(node.slice))
+        return False
 
     # -- rules --------------------------------------------------------------
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -231,6 +291,21 @@ class _PerfVisitor(ast.NodeVisitor):
                 "bytes(memoryview) materialises a copy of the payload "
                 "on the wire path; keep the view and forward it by "
                 "reference", node))
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "route" \
+                and self._loop_depth > 0 \
+                and len(node.args) >= 2 \
+                and not any(isinstance(a, ast.Starred) for a in node.args) \
+                and self._loop_invariant(node.func.value) \
+                and all(self._loop_invariant(a) for a in node.args) \
+                and all(self._loop_invariant(kw.value)
+                        for kw in node.keywords if kw.arg is not None) \
+                and not any(kw.arg is None for kw in node.keywords):
+            self.findings.append(self.ctx.finding(
+                "perf-route-in-loop",
+                "route() re-resolves the same loop-invariant endpoints "
+                "every iteration; hoist the lookup (or the returned "
+                "route) out of the loop", node))
         self.generic_visit(node)
 
 
@@ -244,6 +319,9 @@ class PerfChecker(Checker):
         "perf-tobytes-hot":
             "payload copy (tobytes/bytes(memoryview)/getvalue-in-loop) "
             "inside the zero-copy wire directories",
+        "perf-route-in-loop":
+            "route() with loop-invariant receiver and endpoints inside "
+            "a loop",
     }
 
     def check(self, ctx: ModuleContext,

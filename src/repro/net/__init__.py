@@ -36,6 +36,7 @@ from repro.net.topology import (
     NoRouteError,
     Topology,
     build_cluster,
+    build_grid,
     build_two_site_grid,
 )
 
@@ -53,6 +54,7 @@ __all__ = [
     "Link",
     "NoRouteError",
     "build_cluster",
+    "build_grid",
     "build_two_site_grid",
     "FlowNetwork",
     "Flow",

@@ -24,11 +24,37 @@ order, same link insertion order, same subtraction sequence), the
 incremental rates are *exactly* — not approximately — equal to the
 from-scratch ones.  ``FlowNetwork(..., incremental=False)`` keeps the
 historical full re-solve for differential testing.
+
+Grid scale adds a second, *hierarchical* tier on top of the component
+machinery.  Fabrics carry an optional ``site`` locality tag
+(:class:`repro.net.topology.Fabric`); a flow whose route stays inside
+one site's fabrics belongs to that site's **shard**, everything else
+(wide-area traffic, mixed routes) to the site-less **coupling tier**.
+A shard is a union of link-connected components — intra-site links are
+never shared with another site — so re-solving a whole dirty shard is
+exactly as bit-for-bit correct as re-solving the minimal component,
+but needs no per-event graph search: shard membership is one dict
+lookup.  A dirty shard is solved wholesale once it holds
+``shard_threshold`` live flows *and* the last component walked inside
+it spanned at least half the shard (a decaying estimate — densely
+coupled sites graduate to shard solves, shards full of small disjoint
+components keep the cheaper PR 4 component walk).  Large
+subsets additionally switch from the scalar progressive fill to a
+numpy-vectorised twin (:func:`_progressive_fill_vec`) above
+``vec_threshold`` — same shares, same rounds, same subtraction
+sequence, so the results remain byte-identical (the differential suite
+pins the cross-over).  Topologies where a flow's route mixes tagged and
+untagged fabrics *taint* the sites it touches, and tainted shards fall
+back to the always-correct component walk.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from struct import pack
 from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from repro.net.topology import Link, Topology
 from repro.sim.kernel import SimKernel, SimProcess, Timer
@@ -46,7 +72,9 @@ class Flow:
     """One in-flight message on the network."""
 
     __slots__ = ("route", "size", "remaining", "rate", "waiter",
-                 "callback", "error", "done", "start_time", "fid", "seq")
+                 "callback", "error", "done", "start_time", "fid", "seq",
+                 "shard", "route_id_bytes", "route_bw_bytes",
+                 "route_len_bytes")
 
     def __init__(self, route: Sequence[Link], size: float,
                  waiter: SimProcess | None, callback: Callable | None,
@@ -66,6 +94,17 @@ class Flow:
         #: position in the active list so component re-solves can
         #: reproduce the full solve's iteration order exactly
         self.seq = 0
+        #: site tag when every link on the route lives in fabrics of one
+        #: site; ``None`` for wide-area / mixed routes (coupling tier)
+        self.shard: str | None = None
+        #: route as interned link ids / link bandwidths / length, cached
+        #: once at add time by the owning FlowNetwork as raw little
+        #: buffers: ``bytes.join`` + ``np.frombuffer`` assembles a
+        #: 100k-flow subset's link arrays in one C pass, where
+        #: concatenating 100k tiny numpy arrays would dominate the solve
+        self.route_id_bytes: bytes = b""
+        self.route_bw_bytes: bytes = b""
+        self.route_len_bytes: bytes = b""
 
     @property
     def progress(self) -> float:
@@ -88,6 +127,63 @@ class Flow:
             return f"<Flow {self.size:.0f}B remaining={self.remaining:.0f}>"
         return (f"<Flow {self.size:.0f}B remaining={self.remaining:.0f} "
                 f"rate={self.rate/1e6:.1f}MB/s done={self.done}>")
+
+
+class _ShardBuf:
+    """Incrementally-maintained concatenation of one shard's per-flow
+    route byte caches, in member (ascending ``Flow.seq``) order.
+
+    The vectorised fill assembles its link tables from three byte
+    buffers (route lengths, interned link ids, link bandwidths).
+    Rebuilding them per solve costs a Python listcomp over every member
+    flow; this cache keeps them as ``bytearray`` blobs instead —
+    admission appends (amortised O(1)), departure splices the member's
+    slice out (a C-level ``memmove``, with the splice point found by
+    bisecting the ascending seq list) — so a whole-shard solve starts
+    from ready-made buffers.  The blob contents are *by construction*
+    byte-identical to ``b"".join(f.route_*_bytes for f in members)``:
+    both follow admission order, and removals preserve relative order.
+
+    ``rates`` mirrors the members' current ``Flow.rate`` values the
+    same way (valid only while ``rates_valid``; any rate write outside
+    the whole-shard solve path invalidates it).  A valid mirror lets
+    the solve diff new rates against old ones *in numpy* and assign
+    only the changed flows' attributes — under steady churn a couple
+    of percent of the shard — instead of looping over every member.
+    """
+
+    __slots__ = ("lens", "ids", "bw", "rates", "rates_valid",
+                 "seqs", "elens")
+
+    def __init__(self) -> None:
+        self.lens = bytearray()
+        self.ids = bytearray()
+        self.bw = bytearray()
+        self.rates = bytearray()
+        self.rates_valid = True
+        self.seqs: list[int] = []
+        self.elens: list[int] = []
+
+    def add(self, flow: Flow) -> None:
+        self.seqs.append(flow.seq)
+        self.elens.append(len(flow.route))
+        self.lens += flow.route_len_bytes
+        self.ids += flow.route_id_bytes
+        self.bw += flow.route_bw_bytes
+        self.rates += pack("=d", flow.rate)
+
+    def remove(self, flow: Flow) -> None:
+        i = bisect_left(self.seqs, flow.seq)
+        if i >= len(self.seqs) or self.seqs[i] != flow.seq:
+            return
+        e0 = sum(self.elens[:i])
+        n = self.elens[i]
+        del self.seqs[i]
+        del self.elens[i]
+        del self.lens[8 * i:8 * (i + 1)]
+        del self.ids[8 * e0:8 * (e0 + n)]
+        del self.bw[8 * e0:8 * (e0 + n)]
+        del self.rates[8 * i:8 * (i + 1)]
 
 
 def _progressive_fill(
@@ -139,6 +235,207 @@ def _progressive_fill(
     return rates, iterations
 
 
+def _route_shard(route: Sequence[Link]) -> str | None:
+    """Site tag owning every link of ``route``, or ``None``.
+
+    ``None`` marks the coupling tier: wide-area routes (a link in an
+    untagged fabric) and routes mixing two sites' fabrics.
+    """
+    shard: str | None = None
+    for link in route:
+        tag = link.fabric.site
+        if tag is None:
+            return None
+        if shard is None:
+            shard = tag
+        elif tag != shard:
+            return None
+    return shard
+
+
+def _progressive_fill_vec(
+        flows: Sequence[Flow],
+        n_ids: int | None = None,
+        groups: Sequence[int] | None = None,
+        buffers: tuple[bytes, bytes, bytes] | None = None,
+        out_array: bool = False,
+) -> tuple[list[float] | np.ndarray, int]:
+    """Vectorised progressive fill for large flow sets.
+
+    Performs *bit-for-bit* the same computation as
+    :func:`_progressive_fill` — identical bottleneck choices (ties
+    break on first link in insertion order, which is ``np.argmin``'s
+    contract too), identical equal-share divisions, and identical
+    capacity-subtraction sequences (every subtraction in one round uses
+    the same share value, so the accumulation order inside
+    ``np.subtract.at`` cannot change the result) — but replaces the
+    per-round Python scan over all links with numpy reductions over
+    flat link arrays, themselves assembled by array ops from the
+    ``route_ids``/``route_bw`` arrays cached per flow at add time.  The
+    per-round cost drops from O(L) dict iterations to a handful of
+    array ops and the setup cost to a concatenate-and-rank pass, which
+    is what lets one shard hold 100k concurrent flows.
+
+    ``groups`` (optional) declares ``flows`` to be a concatenation of
+    *link-disjoint* blocks of the given sizes — the shape
+    ``_reallocate_sharded`` produces when several dirty shards pass the
+    whole-shard gate in one event.  Because first-appearance ranking
+    assigns each block a contiguous link range, the round loop can run
+    per block over array *views*: the same rounds, the same float ops
+    (rounds of different blocks never touch each other's links, so the
+    global fill's interleaving of them is immaterial), but each round's
+    reductions cost O(block links) instead of O(all links).  With one
+    group (or ``None``) this degenerates to the plain global loop.
+
+    ``buffers`` (optional) supplies the three concatenated byte buffers
+    — ``(lens, ids, bw)``, as produced by joining :class:`_ShardBuf`
+    blobs — ready-made, skipping the per-flow listcomp assembly
+    entirely.  They must equal exactly what the listcomps would build
+    for ``flows``; the shard caches guarantee that by construction.
+    """
+    n = len(flows)
+    if n == 0:
+        return (np.empty(0, dtype=np.float64) if out_array else []), 0
+    inf = float("inf")
+    if buffers is not None:
+        lens_b, ids_b, bw_b = buffers
+        lens = np.frombuffer(lens_b, dtype=np.int64)
+    else:
+        lens = np.frombuffer(b"".join([f.route_len_bytes for f in flows]),
+                             dtype=np.int64)
+    total = int(lens.sum())
+    if total == 0:  # no flow crosses any link (empty routes)
+        if out_array:
+            return np.full(n, inf, dtype=np.float64), 1
+        return [inf] * n, 1
+    # assemble the subset's link arrays from the per-flow id/bandwidth
+    # buffers cached at add time — one bytes join + frombuffer per
+    # array, no Link objects and no per-flow numpy calls on this path
+    # (or zero joins at all when the caller hands in shard-cache blobs)
+    if buffers is not None:
+        gids = np.frombuffer(ids_b, dtype=np.int64)
+        bw = np.frombuffer(bw_b, dtype=np.float64)
+    else:
+        gids = np.frombuffer(b"".join([f.route_id_bytes for f in flows]),
+                             dtype=np.int64)
+        bw = np.frombuffer(b"".join([f.route_bw_bytes for f in flows]),
+                           dtype=np.float64)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    # local link ids must follow *first-appearance* order (the scalar
+    # fill's link insertion order, which is what ties break on)
+    if n_ids is None:
+        # np.unique sorts by global id: rank the uniques by their first
+        # position in ``gids`` to recover first-appearance order
+        uniq, first, inv = np.unique(gids, return_index=True,
+                                     return_inverse=True)
+        n_links = len(uniq)
+        order = np.argsort(first)
+        rank = np.empty(n_links, dtype=np.intp)
+        rank[order] = np.arange(n_links, dtype=np.intp)
+        local = rank[inv]
+    else:
+        # ids are dense per-network interns below ``n_ids``: a reversed
+        # scatter records each id's first position (last write wins, so
+        # writing positions back-to-front leaves the smallest), and
+        # only the *present* ids get sorted — much smaller than the 2E
+        # element sort np.unique would do
+        first = np.full(n_ids, total, dtype=np.int64)
+        first[gids[::-1]] = np.arange(total - 1, -1, -1, dtype=np.int64)
+        present = np.flatnonzero(first < total)
+        n_links = len(present)
+        order = np.argsort(first[present], kind="stable")
+        rank = np.empty(n_ids, dtype=np.intp)
+        rank[present[order]] = np.arange(n_links, dtype=np.intp)
+        local = rank[gids]
+    cap = np.empty(n_links, dtype=np.float64)
+    cap[local] = bw  # duplicate writes all carry the same bandwidth
+    counts = np.bincount(local, minlength=n_links)
+    cnt = counts.astype(np.int64)
+    # flows grouped per link; the stable sort preserves subset order
+    # within each group, matching the scalar fill's member lists
+    flow_of = np.repeat(np.arange(n, dtype=np.intp), lens)
+    grouped = flow_of[np.argsort(local, kind="stable")]
+    bounds = np.zeros(n_links + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+
+    shares = np.empty(n_links, dtype=np.float64)
+    fixed = np.zeros(n, dtype=bool)
+    rate_of = np.zeros(n, dtype=np.float64)
+    iterations = 0
+    if groups is None:
+        groups = (n,)
+    f_lo = 0
+    l_lo = 0
+    for gsize in groups:
+        f_hi = f_lo + gsize
+        e_lo, e_hi = int(offsets[f_lo]), int(offsets[f_hi])
+        if e_hi == e_lo:  # block of route-less flows: uncapacitated
+            rate_of[f_lo:f_hi] = inf
+            iterations += 1
+            f_lo = f_hi
+            continue
+        # first-appearance ranking gives each link-disjoint block the
+        # contiguous rank range [l_lo, l_hi); rounds run on views of it
+        l_hi = int(local[e_lo:e_hi].max()) + 1
+        cap_b = cap[l_lo:l_hi]
+        cnt_b = cnt[l_lo:l_hi]
+        shares_b = shares[l_lo:l_hi]
+        remaining = f_hi - f_lo
+        while remaining:
+            iterations += 1
+            valid = cnt_b > 0
+            shares_b.fill(inf)
+            # max(cap, 0.0) keeps -0.0 (Python max semantics), so
+            # compare strictly against 0.0 rather than clipping
+            np.divide(np.where(cap_b < 0.0, 0.0, cap_b), cnt_b,
+                      out=shares_b, where=valid)
+            bi = int(np.argmin(shares_b))
+            if not bool(valid[bi]):
+                if not valid.any():
+                    # only route-less flows remain: uncapacitated
+                    unfixed = ~fixed[f_lo:f_hi]
+                    rate_of[f_lo:f_hi][unfixed] = inf
+                    break
+                # every live share is inf (infinite-bandwidth links):
+                # the scalar scan settles on the first live link
+                # instead of the inf placeholder of a drained one
+                bi = int(np.argmax(valid))
+            best = float(shares_b[bi])
+            gi = l_lo + bi
+            mem = grouped[bounds[gi]:bounds[gi + 1]]
+            newly = mem[~fixed[mem]]
+            fixed[newly] = True
+            rate_of[newly] = best
+            # gather the newly-fixed flows' link rows — the
+            # concatenation of ranges [offsets[fi], offsets[fi] +
+            # lens[fi]) built with the cumsum range trick, no per-flow
+            # Python loop.  Every grouped flow crosses >= 1 link, so
+            # no zero-length range can corrupt the boundary steps.
+            # subtract.at applies element-by-element (unbuffered), so
+            # repeated hits on one link reproduce the scalar fill's
+            # sequential same-value subtractions exactly.
+            if len(newly) == 1:
+                # churn rounds usually fix one straggler: its link rows
+                # are a single contiguous slice, no range trick needed
+                s0 = int(offsets[newly[0]])
+                seg = local[s0:s0 + int(lens[newly[0]])]
+            else:
+                sel_start = offsets[newly]
+                sel_len = lens[newly]
+                step = np.ones(int(sel_len.sum()), dtype=np.int64)
+                ends = np.cumsum(sel_len)
+                step[0] = sel_start[0]
+                step[ends[:-1]] = sel_start[1:] - sel_start[:-1] \
+                    - sel_len[:-1] + 1
+                seg = local[np.cumsum(step)]
+            np.subtract.at(cap, seg, best)
+            np.subtract.at(cnt, seg, 1)
+            remaining -= len(newly)
+        f_lo, l_lo = f_hi, l_hi
+    return (rate_of if out_array else rate_of.tolist()), iterations
+
+
 def maxmin_rates(flows: Sequence[Flow]) -> dict[Flow, float]:
     """Progressive-filling max-min fair allocation.
 
@@ -165,18 +462,66 @@ class FlowNetwork:
     restricted to the link-connected component of the changed flows —
     exactly equivalent to the full solve (see module docstring) but
     O(component) instead of O(network) per event.
+
+    ``sharded=True`` (the default) adds the hierarchical tier: dirty
+    flows whose shard (site tag) holds at least ``shard_threshold``
+    live flows skip the component walk and re-solve the whole shard,
+    and any subset of at least ``vec_threshold`` flows is solved by the
+    vectorised fill.  Both paths are bit-for-bit equal to the scalar
+    from-scratch solve; the thresholds only move work between
+    equally-exact implementations.
     """
 
+    #: live flows a shard needs before whole-shard re-solving beats the
+    #: per-event component walk (dict lookup vs O(component) BFS)
+    SHARD_THRESHOLD = 64
+    #: subset size where the numpy fill's setup cost amortises over the
+    #: saved per-round link scans
+    VEC_THRESHOLD = 64
+
     def __init__(self, kernel: SimKernel, topology: Topology,
-                 incremental: bool = True):
+                 incremental: bool = True, sharded: bool = True,
+                 shard_threshold: int | None = None,
+                 vec_threshold: int | None = None):
         self.kernel = kernel
         self.topology = topology
         self.incremental = incremental
+        self.sharded = sharded
+        self.shard_threshold = (self.SHARD_THRESHOLD
+                                if shard_threshold is None
+                                else shard_threshold)
+        self.vec_threshold = (self.VEC_THRESHOLD if vec_threshold is None
+                              else vec_threshold)
         self._flows: list[Flow] = []
         #: persistent link→flows index (insertion-ordered dicts used as
         #: ordered sets); maintained in both modes, consulted for
         #: component discovery and link-failure victim lookup
         self._link_flows: dict[Link, dict[Flow, None]] = {}
+        #: hierarchical tier: site tag → live flows of that shard, plus
+        #: the site-less coupling tier (wide-area / mixed routes); both
+        #: insertion-ordered, so iteration follows Flow.seq
+        self._shard_flows: dict[str, dict[Flow, None]] = {}
+        self._coupling_flows: dict[Flow, None] = {}
+        #: sites touched by coupling flows (counts): a tainted site's
+        #: shard is not closed under link sharing, so it falls back to
+        #: the component walk; _taint_total gates the coupling tier
+        self._site_taint: dict[str, int] = {}
+        self._taint_total = 0
+        #: link → interned int id, assigned on first sight (deterministic:
+        #: flow-add order); backs the per-flow route_ids arrays the
+        #: vectorised fill assembles its link tables from
+        self._link_ids: dict[Link, int] = {}
+        #: per-shard-key size of the last component solved inside that
+        #: shard (None keys the coupling tier), decremented as member
+        #: flows leave.  Whole-shard solving only pays off when the
+        #: dirty component covers most of the shard, and this estimate
+        #: is how the solver knows without running the BFS; see
+        #: _reallocate_sharded
+        self._shard_comp: dict[str | None, int] = {}
+        #: per-shard-key concatenated route byte caches (None keys the
+        #: coupling tier), kept in lockstep with _shard_flows /
+        #: _coupling_flows so whole-shard solves skip buffer assembly
+        self._shard_buf: dict[str | None, _ShardBuf] = {}
         self._last_update = kernel.now
         self._timer: Timer | None = None
         self.link_bytes: dict[Link, float] = {}
@@ -253,6 +598,38 @@ class FlowNetwork:
             raise ValueError("flow size must be positive")
         return self._add_flow(route, nbytes, callback=callback)
 
+    def start_flows(self, requests: Sequence[
+            tuple[Sequence[Link], float, Callable[[Flow], None]]],
+    ) -> list[Flow]:
+        """Admit many ``(route, nbytes, callback)`` transfers in one
+        re-solve.
+
+        Bit-for-bit equivalent to calling :meth:`start_flow` on each
+        request back-to-back at one virtual instant: no virtual time
+        passes between admissions, so the intermediate allocations the
+        sequential form computes are unobservable — only the rates
+        after the last member joins matter, and those come out of the
+        same per-component solves either way.  What changes is the
+        cost: one re-solve for the whole batch instead of one per flow,
+        which is what makes ramping a grid to 100k concurrent flows
+        tractable.  Validation is atomic — a bad size or downed link
+        anywhere in the batch admits nothing.
+        """
+        reqs = list(requests)
+        for route, nbytes, _callback in reqs:
+            if nbytes <= 0:
+                raise ValueError("flow size must be positive")
+            for link in route:
+                if not link.up:
+                    raise TransferError(f"link {link.name} is down")
+        flows = [self._admit(route, nbytes, None, callback)
+                 for route, nbytes, callback in reqs]
+        if flows:
+            self._reallocate(flows)
+            for flow in flows:
+                self._notify_start(flow)
+        return flows
+
     def current_rate(self, flow: Flow) -> float:
         """Instantaneous fair-share rate of an active flow (bytes/s)."""
         return flow.rate
@@ -278,16 +655,43 @@ class FlowNetwork:
     def _add_flow(self, route: Sequence[Link], nbytes: float,
                   waiter: SimProcess | None = None,
                   callback: Callable | None = None) -> Flow:
+        flow = self._admit(route, nbytes, waiter, callback)
+        self._reallocate((flow,))
+        self._notify_start(flow)
+        return flow
+
+    def _admit(self, route: Sequence[Link], nbytes: float,
+               waiter: SimProcess | None,
+               callback: Callable | None) -> Flow:
+        """Validate, create and index one flow — no re-solve, no monitor
+        notification; callers compose those (see :meth:`start_flows`)."""
         for link in route:
             if not link.up:
                 raise TransferError(f"link {link.name} is down")
         self._advance()
         flow = Flow(route, nbytes, waiter, callback, self.kernel.now)
+        flow.shard = _route_shard(flow.route)
+        if self.sharded:
+            ids = self._link_ids
+            fids = []
+            for link in flow.route:
+                li = ids.get(link)
+                if li is None:
+                    li = len(ids)
+                    ids[link] = li
+                fids.append(li)
+            flow.route_id_bytes = np.array(fids, dtype=np.int64).tobytes()
+            flow.route_bw_bytes = np.array(
+                [l.bandwidth for l in flow.route],
+                dtype=np.float64).tobytes()
+            flow.route_len_bytes = np.int64(len(fids)).tobytes()
         self._flow_counter += 1
         flow.seq = self._flow_counter
         self._flows.append(flow)
         self._index_add(flow)
-        self._reallocate((flow,))
+        return flow
+
+    def _notify_start(self, flow: Flow) -> None:
         mon = self.monitor
         if mon is not None:
             self._flow_seq += 1
@@ -299,7 +703,6 @@ class FlowNetwork:
                 dst=flow.route[-1].dst if flow.route else "",
                 nbytes=flow.size,
                 fabric=first.fabric.name if first else "")
-        return flow
 
     def _index_add(self, flow: Flow) -> None:
         link_flows = self._link_flows
@@ -309,6 +712,23 @@ class FlowNetwork:
                 link_flows[link] = {flow: None}
             else:
                 peers[flow] = None
+        shard = flow.shard
+        if shard is not None:
+            members = self._shard_flows.get(shard)
+            if members is None:
+                self._shard_flows[shard] = {flow: None}
+            else:
+                members[flow] = None
+        else:
+            self._coupling_flows[flow] = None
+            for tag in self._coupling_tags(flow):
+                self._site_taint[tag] = self._site_taint.get(tag, 0) + 1
+                self._taint_total += 1
+        if self.sharded:
+            buf = self._shard_buf.get(shard)
+            if buf is None:
+                buf = self._shard_buf[shard] = _ShardBuf()
+            buf.add(flow)
 
     def _index_remove(self, flow: Flow) -> None:
         link_flows = self._link_flows
@@ -318,6 +738,36 @@ class FlowNetwork:
                 peers.pop(flow, None)
                 if not peers:
                     del link_flows[link]
+        shard = flow.shard
+        comp = self._shard_comp.get(shard, 0)
+        if comp > 0:
+            # a departing member can only shrink the component the
+            # estimate came from; decaying it forces an eventual BFS
+            # re-probe, so the estimate cannot stay optimistic forever
+            self._shard_comp[shard] = comp - 1
+        if self.sharded:
+            buf = self._shard_buf.get(shard)
+            if buf is not None:
+                buf.remove(flow)
+        if shard is not None:
+            members = self._shard_flows.get(shard)
+            if members is not None:
+                members.pop(flow, None)
+        else:
+            self._coupling_flows.pop(flow, None)
+            for tag in self._coupling_tags(flow):
+                left = self._site_taint.get(tag, 0) - 1
+                if left > 0:
+                    self._site_taint[tag] = left
+                else:
+                    self._site_taint.pop(tag, None)
+                self._taint_total -= 1
+
+    @staticmethod
+    def _coupling_tags(flow: Flow) -> set[str]:
+        """Distinct site tags a coupling flow's route touches."""
+        return {link.fabric.site for link in flow.route
+                if link.fabric.site is not None}
 
     def _component(self, seeds: Sequence[Flow]) -> dict[Flow, None]:
         """Flows link-connected to any seed (seeds themselves included).
@@ -374,28 +824,169 @@ class FlowNetwork:
         """Re-solve fair-share rates after a flow-set change.
 
         ``dirty`` lists the flows added/removed since the last solve.
-        In incremental mode only their link-connected component is
-        re-solved (flows elsewhere keep their — provably unchanged —
-        rates); with ``dirty=None`` or ``incremental=False`` the whole
-        network is re-solved from scratch.
+        In incremental mode only their link-connected component — or,
+        with ``sharded=True``, their whole site shard when that is
+        cheaper — is re-solved (flows elsewhere keep their — provably
+        unchanged — rates); with ``dirty=None`` or
+        ``incremental=False`` the whole network is re-solved from
+        scratch by the historical scalar fill, the exactness oracle the
+        differential suite compares every other path against.
         """
         if self.incremental and dirty is not None:
+            if self.sharded:
+                self._reallocate_sharded(dirty)
+                return
             subset = [f for f in self._component(dirty) if not f.done]
             # iterate in active-list order so link insertion order (and
             # therefore every tie-break and float op) matches the full
             # solve restricted to this component
             subset.sort(key=_flow_seq_key)
+            self._solve(subset, vec_ok=False)
         else:
-            subset = self._flows
-        rates, iterations = _progressive_fill(subset)
-        for f in subset:
-            new_rate = rates[f]
-            if new_rate != f.rate:
-                f.rate = new_rate
+            self._solve(self._flows, vec_ok=False)
+        self._reschedule()
+
+    def _reallocate_sharded(self, dirty: Sequence[Flow]) -> None:
+        """Hierarchical re-solve: dirty site shards wholesale, the rest
+        through the component walk.
+
+        A shard is a union of link-connected components (see module
+        docstring), so whole-shard re-solving is exact whenever the
+        shard is closed under link sharing — i.e. not tainted by a
+        coupling flow touching its fabrics.  Exact, but only *cheaper*
+        when the dirty component covers most of the shard: a shard full
+        of small disjoint components (the disjoint-pair churn bench) is
+        better served by the PR 4 walk.  The ``_shard_comp`` estimate —
+        size of the last component the walk solved inside the shard,
+        decayed as members leave — decides: whole-shard solving engages
+        once a probed component spans at least half the shard, and the
+        decay forces a re-probe every ~half-shard's worth of departures
+        so the estimate tracks fragmentation.  Seeds whose shard is too
+        small, tainted, or fragmented fall back to one combined
+        component walk, the always-correct PR 4 path.
+        """
+        groups: dict[str | None, list[Flow]] = {}
+        for f in dirty:
+            groups.setdefault(f.shard, []).append(f)
+        residual: list[Flow] = []
+        threshold = self.shard_threshold
+        comp_est = self._shard_comp
+        # every gate-passing shard lands in one combined subset solved
+        # by a single fill: shards are link-disjoint by construction, so
+        # a union fill performs exactly the per-shard fills' arithmetic
+        # (each link only ever meets subtractions from its own shard's
+        # rounds, in the same relative order) while paying the vec
+        # setup once per *event* instead of once per shard; the block
+        # sizes ride along so the fill's round loop can work per shard
+        # over array views instead of the whole concatenated link range,
+        # and the shard-cache blobs ride along so the fill starts from
+        # ready-made link buffers instead of per-flow listcomps
+        combined: list[Flow] = []
+        combined_sizes: list[int] = []
+        bufs: list[_ShardBuf] = []
+        for key, seeds in groups.items():
+            if key is not None:
+                members = self._shard_flows.get(key)
+                if members is not None and len(members) >= threshold \
+                        and not self._site_taint.get(key) \
+                        and 2 * comp_est.get(key, 0) >= len(members):
+                    combined.extend(members)
+                    combined_sizes.append(len(members))
+                    bufs.append(self._shard_buf[key])
+                    continue
+            elif self._taint_total == 0 \
+                    and len(self._coupling_flows) >= threshold \
+                    and 2 * comp_est.get(None, 0) \
+                    >= len(self._coupling_flows):
+                combined.extend(self._coupling_flows)
+                combined_sizes.append(len(self._coupling_flows))
+                bufs.append(self._shard_buf[None])
+                continue
+            residual.extend(seeds)
+        if combined:
+            self._solve(combined, vec_ok=True, groups=combined_sizes,
+                        bufs=bufs)
+        if residual:
+            subset = [f for f in self._component(residual) if not f.done]
+            subset.sort(key=_flow_seq_key)
+            self._solve(subset, vec_ok=True)
+            keys = {f.shard for f in subset}
+            if len(keys) == 1:
+                # the walk just measured one shard's component structure:
+                # remember it so the next dirty event can skip the walk
+                comp_est[keys.pop()] = len(subset)
+        self._reschedule()
+
+    def _solve(self, subset: Sequence[Flow], vec_ok: bool,
+               groups: Sequence[int] | None = None,
+               bufs: Sequence[_ShardBuf] | None = None) -> None:
+        """One fill over ``subset``; applies rates and counts the work.
+
+        ``bufs`` (whole-shard solves only) supplies the shard caches
+        whose concatenated members *are* ``subset``: the fill then
+        starts from their ready-made byte buffers, and the new rates
+        are diffed against the caches' rate mirrors in numpy so only
+        the flows whose rate actually changed get attribute writes.
+        Skipping a write when old and new compare equal is exactly what
+        the scalar assignment loop's ``!=`` guard does (including the
+        ``-0.0 == 0.0`` case), so both paths leave identical state.
+        """
+        if vec_ok and len(subset) >= self.vec_threshold:
+            if bufs is not None:
+                buffers = (b"".join([b.lens for b in bufs]),
+                           b"".join([b.ids for b in bufs]),
+                           b"".join([b.bw for b in bufs]))
+                rate_arr, iterations = _progressive_fill_vec(
+                    subset, len(self._link_ids), groups, buffers,
+                    out_array=True)
+                if all(b.rates_valid for b in bufs):
+                    old = np.frombuffer(b"".join([b.rates for b in bufs]),
+                                        dtype=np.float64)
+                    for i in np.flatnonzero(rate_arr != old).tolist():
+                        subset[i].rate = float(rate_arr[i])
+                else:
+                    for f, new_rate in zip(subset, rate_arr.tolist()):
+                        if new_rate != f.rate:
+                            f.rate = new_rate
+                lo = 0
+                for buf, size in zip(bufs, groups):
+                    hi = lo + size
+                    buf.rates = bytearray(rate_arr[lo:hi].tobytes())
+                    buf.rates_valid = True
+                    lo = hi
+            else:
+                rate_list, iterations = _progressive_fill_vec(
+                    subset, len(self._link_ids), groups)
+                for f, new_rate in zip(subset, rate_list):
+                    if new_rate != f.rate:
+                        f.rate = new_rate
+                self._stale_rate_mirrors(subset)
+        else:
+            rates, iterations = _progressive_fill(subset)
+            for f in subset:
+                new_rate = rates[f]
+                if new_rate != f.rate:
+                    f.rate = new_rate
+            self._stale_rate_mirrors(subset)
         self.solver_solves += 1
         self.solver_iterations += iterations
         self.solver_flows_resolved += len(subset)
-        self._reschedule()
+
+    def _stale_rate_mirrors(self, subset: Sequence[Flow]) -> None:
+        """Mark shard rate mirrors stale after a non-whole-shard solve.
+
+        Component walks and full re-solves write ``Flow.rate`` without
+        going through the shard caches; the touched shards' mirrors no
+        longer reflect their members, so the next whole-shard solve
+        must fall back to the per-flow assignment loop once (and then
+        rebuilds the mirror from its own result).
+        """
+        if not self.sharded:
+            return
+        for key in dict.fromkeys(f.shard for f in subset):
+            buf = self._shard_buf.get(key)
+            if buf is not None:
+                buf.rates_valid = False
 
     def _reschedule(self) -> None:
         next_finish = None

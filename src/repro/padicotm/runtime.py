@@ -60,13 +60,21 @@ class PadicoRuntime:
     """
 
     def __init__(self, topology: Topology, kernel: SimKernel | None = None,
-                 incremental: bool = True):
+                 incremental: bool = True, sharded: bool = True,
+                 shard_threshold: int | None = None,
+                 vec_threshold: int | None = None):
         self.kernel = kernel or SimKernel()
         self.topology = topology
         #: ``incremental=False`` forces from-scratch max-min re-solves
-        #: (differential testing; results are bit-for-bit identical)
+        #: (differential testing; results are bit-for-bit identical);
+        #: ``sharded``/``shard_threshold``/``vec_threshold`` plumb the
+        #: hierarchical site-sharded solver tier straight through to
+        #: the flow network (see repro.net.flows)
         self.network = FlowNetwork(self.kernel, topology,
-                                   incremental=incremental)
+                                   incremental=incremental,
+                                   sharded=sharded,
+                                   shard_threshold=shard_threshold,
+                                   vec_threshold=vec_threshold)
         self.processes: dict[str, PadicoProcess] = {}
         #: socket listener registry: (process_name, port) -> SocketListener
         self.socket_listeners: dict[tuple[str, str], Any] = {}

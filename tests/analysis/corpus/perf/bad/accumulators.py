@@ -1,0 +1,21 @@
+"""Seeded mutants: the quadratic accumulation idioms the per-file
+perf rules exist for."""
+
+
+def drain(queue):
+    out = []
+    while queue:
+        out.append(queue.pop(0))  # expect: perf-list-pop0
+    return out
+
+
+def assemble(chunks):
+    buf = b""
+    for chunk in chunks:
+        buf += chunk  # expect: perf-bytes-concat
+    return buf
+
+
+def broadcast(out, links):
+    for link in links:
+        link.push(out.getvalue())  # expect: perf-getvalue-loop

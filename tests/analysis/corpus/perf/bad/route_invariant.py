@@ -1,0 +1,39 @@
+"""Seeded mutants: ``route()`` re-resolved inside loops whose receiver
+and endpoints never change between iterations."""
+
+
+def retransmit(topo, src, dst, payloads):
+    for payload in payloads:
+        path = topo.route(src, dst)  # expect: perf-route-in-loop
+        for link in path:
+            link.push(payload)
+
+
+def poll(fabric, a, b):
+    while pending():
+        fabric.route(a, b, "g0-san")  # expect: perf-route-in-loop
+
+
+class Mover:
+    def __init__(self, topo, fabric):
+        self.topo = topo
+        self.fabric = fabric
+
+    def drain(self, src, dst, chunks):
+        for chunk in chunks:
+            hops = self.topo.route(src, dst, self.fabric)  # expect: perf-route-in-loop
+            push(hops, chunk)
+
+
+def wire(topo, a, b, site, n):
+    # the f-string only mentions ``site``, which the loop never rebinds
+    for _ in range(n):
+        topo.route(a, b, f"{site}-san")  # expect: perf-route-in-loop
+
+
+def pending():
+    return False
+
+
+def push(hops, chunk):
+    pass

@@ -1,0 +1,36 @@
+"""Accumulation patterns the perf rules must NOT flag."""
+
+from collections import deque
+
+
+def drain(items):
+    queue = deque(items)
+    out = []
+    while queue:
+        out.append(queue.popleft())
+    return out
+
+
+def assemble(chunks):
+    buf = bytearray()
+    for chunk in chunks:
+        buf += chunk
+    return bytes(buf)
+
+
+def totals(sizes):
+    acc = 0
+    for n in sizes:
+        acc += n
+    return acc
+
+
+def broadcast(out, links):
+    data = out.getvalue()
+    for link in links:
+        link.push(data)
+
+
+def bounded(pair):
+    # a two-element list drained once: the O(n) shift is O(1) here
+    return pair.pop(0)  # repro-lint: disable=perf-list-pop0

@@ -1,0 +1,81 @@
+"""Patterns the route-in-loop rule must NOT flag: anything that varies
+per iteration, anything it cannot prove invariant, and the hoisted
+form itself."""
+
+
+def fan_out(topo, src, hosts):
+    # destination is the loop variable
+    for dst in hosts:
+        topo.route(src, dst)
+
+
+def probe(fabrics, a, b):
+    # receiver is the loop variable
+    for fab in fabrics:
+        fab.route(a, b)
+
+
+def wire_sites(topo, a, b, sites):
+    # fabric name varies with the loop variable (grid-generator idiom)
+    for s in sites:
+        topo.route(a, b, f"{s}-san")
+
+
+def walk(topo, src, dst):
+    # src is rebound inside the loop body
+    while src != dst:
+        hop = topo.route(src, dst)
+        src = hop[0].dst
+
+
+def sample(topo, dst, n):
+    # call arguments are never provably invariant
+    for _ in range(n):
+        topo.route(pick_src(), dst)
+
+
+def splat(topo, pair, kw, n):
+    # starred/double-starred arguments stay silent
+    for _ in range(n):
+        topo.route(*pair)
+        topo.route("a", "b", **kw)
+
+
+def keyword_variant(topo, a, b, fabrics):
+    for fab in fabrics:
+        topo.route(a, b, fabric=fab)
+
+
+def hoisted(topo, src, dst, payloads):
+    # the fix the rule asks for
+    path = topo.route(src, dst)
+    for payload in payloads:
+        push(path, payload)
+
+
+def single_arg(router, messages):
+    # not the Topology/Fabric route(src, dst, ...) signature
+    for msg in messages:
+        router.route(msg)
+
+
+def deferred(topo, src, dst, items):
+    # the closure runs elsewhere, not once per iteration
+    for item in items:
+        def resolve():
+            return topo.route(src, dst)
+        yield item, resolve
+
+
+def deliberate(topo, src, dst, n):
+    # measuring resolver latency itself: the repeat is the point
+    for _ in range(n):
+        topo.route(src, dst)  # repro-lint: disable=perf-route-in-loop
+
+
+def pick_src():
+    return "h0"
+
+
+def push(path, payload):
+    pass

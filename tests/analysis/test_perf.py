@@ -5,7 +5,7 @@ from __future__ import annotations
 from tests.analysis.conftest import lint_text
 
 PERF = {"perf-list-pop0", "perf-bytes-concat", "perf-getvalue-loop",
-        "perf-tobytes-hot"}
+        "perf-tobytes-hot", "perf-route-in-loop"}
 
 #: a module path inside the zero-copy wire directories
 HOT_PATH = "src/repro/corba/snippet.py"
@@ -256,6 +256,155 @@ def test_tobytes_hot_suppressible():
     assert hot_findings("""
         def marshal(arr):
             return arr.tobytes()  # repro-lint: disable=perf-tobytes-hot
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# perf-route-in-loop
+# ---------------------------------------------------------------------------
+
+def test_route_invariant_in_loop_flagged():
+    findings = perf_findings("""
+        def spam(topo, src, dst, n):
+            for _ in range(n):
+                path = topo.route(src, dst)
+                send(path)
+    """)
+    assert [f.rule for f in findings] == ["perf-route-in-loop"]
+    assert "hoist" in findings[0].message
+
+
+def test_route_invariant_in_while_flagged():
+    findings = perf_findings("""
+        def spam(fabric, a, b):
+            while pending():
+                fabric.route(a, b, "san")
+    """)
+    assert [f.rule for f in findings] == ["perf-route-in-loop"]
+
+
+def test_route_invariant_attr_receiver_flagged():
+    findings = perf_findings("""
+        def spam(self, src, dst, sizes):
+            for size in sizes:
+                self.topo.route(src, dst, self.fabric)
+    """)
+    assert [f.rule for f in findings] == ["perf-route-in-loop"]
+
+
+def test_route_loop_var_arg_silent():
+    assert perf_findings("""
+        def fan_out(topo, src, hosts):
+            for dst in hosts:
+                topo.route(src, dst)
+    """) == []
+
+
+def test_route_loop_var_receiver_silent():
+    assert perf_findings("""
+        def probe(fabrics, a, b):
+            for fab in fabrics:
+                fab.route(a, b)
+    """) == []
+
+
+def test_route_loop_var_fstring_arg_silent():
+    # f-string fabric names built from the loop variable vary per
+    # iteration — the grid generator's idiom
+    assert perf_findings("""
+        def wire(topo, a, b, sites):
+            for s in sites:
+                topo.route(a, b, f"{s}-san")
+    """) == []
+
+
+def test_route_invariant_fstring_arg_flagged():
+    findings = perf_findings("""
+        def wire(topo, a, b, site):
+            for _ in range(3):
+                topo.route(a, b, f"{site}-san")
+    """)
+    assert [f.rule for f in findings] == ["perf-route-in-loop"]
+
+
+def test_route_rebound_arg_silent():
+    # src is reassigned inside the loop body, even after the call —
+    # it varies between iterations
+    assert perf_findings("""
+        def walk(topo, src, dst):
+            while src != dst:
+                hop = topo.route(src, dst)
+                src = hop[0].dst
+    """) == []
+
+
+def test_route_call_arg_silent():
+    # calls are never provably invariant
+    assert perf_findings("""
+        def spam(topo, dst, n):
+            for _ in range(n):
+                topo.route(pick_src(), dst)
+    """) == []
+
+
+def test_route_starred_and_kwargs_silent():
+    assert perf_findings("""
+        def spam(topo, pair, kw, n):
+            for _ in range(n):
+                topo.route(*pair)
+                topo.route("a", "b", **kw)
+    """) == []
+
+
+def test_route_loop_var_keyword_silent():
+    assert perf_findings("""
+        def spam(topo, a, b, fabrics):
+            for fab in fabrics:
+                topo.route(a, b, fabric=fab)
+    """) == []
+
+
+def test_route_invariant_keyword_flagged():
+    findings = perf_findings("""
+        def spam(topo, a, b, fab, n):
+            for _ in range(n):
+                topo.route(a, b, fabric=fab)
+    """)
+    assert [f.rule for f in findings] == ["perf-route-in-loop"]
+
+
+def test_route_outside_loop_silent():
+    assert perf_findings("""
+        def once(topo, src, dst):
+            return topo.route(src, dst)
+    """) == []
+
+
+def test_route_single_arg_silent():
+    # not the Topology/Fabric route(src, dst, ...) signature
+    assert perf_findings("""
+        def dispatch(router, msg, n):
+            for _ in range(n):
+                router.route(msg)
+    """) == []
+
+
+def test_route_in_loop_local_function_silent():
+    # the inner function runs elsewhere, not per iteration
+    assert perf_findings("""
+        def outer(topo, src, dst, items):
+            for item in items:
+                def resolve():
+                    return topo.route(src, dst)
+                yield resolve
+    """) == []
+
+
+def test_route_in_loop_suppressible():
+    assert perf_findings("""
+        def spam(topo, src, dst, n):
+            for _ in range(n):
+                topo.route(src, dst)  # repro-lint: disable=perf-route-in-loop
     """) == []
 
 
