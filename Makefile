@@ -7,10 +7,11 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: check lint lint-full lint-mutants test copy-budget \
-	schedule-smoke bench-smoke bench-wallclock bench-topology sarif
+	schedule-smoke bench-smoke bench-wallclock bench-topology \
+	bench-collectives sarif
 
 check: lint lint-mutants test copy-budget schedule-smoke bench-smoke \
-	bench-wallclock bench-topology
+	bench-wallclock bench-topology bench-collectives
 
 # Incremental: per-file results and call-graph summaries are cached by
 # content hash in .repro-lint-cache.json; the interprocedural phase
@@ -75,6 +76,19 @@ bench-topology:
 		--topology-scaling --quick --out BENCH_topology_smoke.json
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.trace bench \
 		BENCH_topology_smoke.json
+
+# Hierarchical-collectives smoke: the 2-site slice of the
+# wallclock.collectives series (full 2/4/8-site sweep lives in the
+# committed BENCH_wallclock.json).  The run asserts the topology-aware
+# replay is bit-identical to the flat oracle and the gate pins the
+# MPICH-G2 invariant: aware bcast crosses the WAN exactly sites - 1
+# times per call.
+bench-collectives:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m benchmarks.run \
+		--collectives --quick --gate-wan-crossings \
+		--out BENCH_collectives_smoke.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.trace bench \
+		BENCH_collectives_smoke.json
 
 # SARIF findings for CI/PR annotation (exit status intentionally ignored:
 # the gating run is `lint`, this one only produces the report artifact)

@@ -22,6 +22,13 @@ on :func:`repro.net.build_grid` topologies up to 10k hosts / 100k
 flows) and writes it under the wall-clock schema — the CI smoke slice
 is ``make bench-topology``.
 
+``--collectives`` runs just the ``wallclock.collectives`` series (flat
+vs topology-aware MPI collectives on grids up to 8 sites, asserting the
+aware replay is bit-identical to the flat oracle) — the CI smoke slice
+is ``make bench-collectives``.  ``--gate-wan-crossings`` additionally
+fails the run unless the aware bcast crossed the WAN exactly sites − 1
+times per call at every measured grid size.
+
 ``--gate-backend-speedup N`` (wall-clock mode only) fails the run
 unless the fastest non-thread switch backend clears ``N``x the thread
 backend on the ``wallclock.kernel.switch`` series measured in the same
@@ -46,6 +53,7 @@ from benchmarks.harness import (
     proxy_vs_direct,
 )
 from benchmarks.wallclock import (
+    bench_collectives,
     bench_topology_scaling,
     collect_wallclock,
     document_meta,
@@ -96,6 +104,28 @@ def collect(quick: bool, log=lambda msg: None) -> list[BenchResult]:
     return results
 
 
+def _check_wan_crossings(results: list[BenchResult]) -> list[str]:
+    """MPICH-G2 invariant on the ``wallclock.collectives`` series: a
+    topology-aware bcast must cross the WAN exactly sites - 1 times per
+    call (one leader-to-leader edge per non-root site, nothing else).
+    Returns a list of violations (empty = gate green)."""
+    series = next((r for r in results
+                   if r.name == "wallclock.collectives"), None)
+    if series is None:
+        return ["no wallclock.collectives series in this run"]
+    bad = []
+    for key, value in series.meta.items():
+        if not key.startswith("wan_crossings_bcast_aware_S"):
+            continue
+        sites = int(key.rsplit("S", 1)[1])
+        if value != sites - 1:
+            bad.append(f"{key} = {value}, expected {sites - 1}")
+    if not any(k.startswith("wan_crossings_bcast_aware_S")
+               for k in series.meta):
+        bad.append("no aware-bcast crossing counts in the series meta")
+    return bad
+
+
 def _backend_speedup(results: list[BenchResult]) -> float | None:
     """Best non-thread rate over the thread rate on the
     ``wallclock.kernel.switch`` series; None if thread is the only
@@ -130,6 +160,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="with --wallclock: fail unless the fastest "
                              "non-thread switch backend reaches N x the "
                              "thread backend on wallclock.kernel.switch")
+    parser.add_argument("--collectives", action="store_true",
+                        help="run only the wallclock.collectives series "
+                             "(flat vs topology-aware MPI collectives on "
+                             "build_grid); implies the wall-clock schema")
+    parser.add_argument("--gate-wan-crossings", action="store_true",
+                        help="with --collectives or --wallclock: fail "
+                             "unless the topology-aware bcast crossed the "
+                             "WAN exactly sites - 1 times per call at "
+                             "every measured grid size")
     args = parser.parse_args(argv)
 
     if args.gate_backend_speedup is not None and not args.wallclock:
@@ -137,8 +176,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.topology_scaling and args.wallclock:
         parser.error("--topology-scaling already implies the wall-clock "
                      "schema; drop --wallclock")
+    if args.collectives and (args.wallclock or args.topology_scaling):
+        parser.error("--collectives already implies the wall-clock "
+                     "schema; drop the other mode flags")
+    if args.gate_wan_crossings and not (args.collectives or args.wallclock):
+        parser.error("--gate-wan-crossings requires --collectives or "
+                     "--wallclock")
 
-    if args.topology_scaling:
+    if args.collectives:
+        out = args.out or "BENCH_collectives.json"
+        results = [bench_collectives(args.quick)]
+        print(results[-1].render())
+        write_bench_json(out, results, meta=document_meta(args.quick),
+                         schema=WALLCLOCK_SCHEMA)
+    elif args.topology_scaling:
         out = args.out or "BENCH_topology.json"
         results = [bench_topology_scaling(args.quick)]
         print(results[-1].render())
@@ -170,6 +221,14 @@ def main(argv: list[str] | None = None) -> int:
             "mode": "quick" if args.quick else "full",
             "clock": "virtual",
         })
+    if args.gate_wan_crossings:
+        violations = _check_wan_crossings(results)
+        if violations:
+            for v in violations:
+                print(f"wan-crossings gate FAILED: {v}")
+            return 1
+        print("wan-crossings gate: aware bcast crossed the WAN exactly "
+              "sites - 1 times at every measured grid size")
     print(f"wrote {len(results)} series to {out}")
     return 0
 

@@ -21,8 +21,9 @@ class CartComm(Comm):
     """A communicator with an attached Cartesian topology."""
 
     def __init__(self, circuit, group, rank, context,
-                 dims: Sequence[int], periods: Sequence[bool]):
-        super().__init__(circuit, group, rank, context)
+                 dims: Sequence[int], periods: Sequence[bool],
+                 tuning=None):
+        super().__init__(circuit, group, rank, context, tuning=tuning)
         self.dims = list(dims)
         self.periods = list(periods)
 
@@ -94,6 +95,6 @@ def create_cart(comm: Comm, dims: Sequence[int],
     comm.allgather(0)  # synchronise the context generation
     ctx = f"{comm._context}/cart{comm._coll_seq}"
     cart = CartComm(comm._circuit, list(comm._group), comm.rank, ctx,
-                    dims, periods)
+                    dims, periods, tuning=comm._tuning)
     cart.bind(comm.proc)
     return cart

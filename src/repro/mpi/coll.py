@@ -1,0 +1,190 @@
+"""Topology-aware collective hierarchy (MPICH-G2 style, paper Fig. 8).
+
+MPICH-G2 (Karonis et al.) showed that multi-site MPI collectives must be
+*topology-depth aware*: a flat rank-order binomial tree crosses the WAN
+O(log N) times per broadcast, while a two-level tree — cluster-local
+binomial subtrees under a per-site *leader*, with only leaders talking
+over the WAN — crosses it exactly ``sites - 1`` times.  This module
+holds the site hierarchy the communicator routes through:
+
+- :class:`CollTuning` — the per-communicator knobs (``aware`` on/off,
+  alltoall aggregation threshold), resolvable from the
+  ``REPRO_MPI_COLL`` environment variable so any run can be replayed in
+  flat mode as the differential-testing oracle;
+- :class:`SiteMap` — each group rank resolved to its host's topology
+  ``site`` tag, with per-site member lists and the deterministic leader
+  rule (lowest rank per site, except the root's site where the root
+  itself leads, so data never takes an extra intra-site hop);
+- :class:`CollShared` — the state all ranks of one communicator share:
+  the site map, lazily-established per-site subcircuits (the PadicoTM
+  selector picks the site SAN for those, so intra-site tree edges ride
+  Myrinet instead of the WAN fabric's uplinks), and the plain-integer
+  WAN-crossing/byte counters behind ``Comm.coll_stats``.
+
+Rank-local ``Comm`` objects cannot share state directly, so
+:func:`shared_state` caches one :class:`CollShared` per communicator
+context on the (shared) Circuit object.  The counters are plain ints —
+they perturb nothing when no monitor is attached (the obs-guard
+contract); the ``mpi.wan_crossings`` / ``mpi.wan_bytes.<op>`` obs
+counters are emitted by the communicator only under ``mon is not None``
+guards.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.padicotm.abstraction.circuit import Circuit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.padicotm.runtime import PadicoProcess
+
+__all__ = ["CollTuning", "CollStats", "SiteMap", "CollShared",
+           "shared_state"]
+
+
+@dataclass(frozen=True)
+class CollTuning:
+    """Collective-path tuning, fixed at communicator construction.
+
+    ``aware``
+        route collectives through the site hierarchy (default).  Flat
+        mode — ``CollTuning(aware=False)`` or ``REPRO_MPI_COLL=flat`` —
+        keeps the original rank-order binomial trees and serves as the
+        differential-testing oracle.
+    ``alltoall_threshold``
+        per-destination-site aggregate size (bytes) below which an
+        alltoall sender bypasses the leader relay and sends its
+        payloads directly (0 = always aggregate through leaders).
+    """
+
+    aware: bool = True
+    alltoall_threshold: int = 0
+
+    @classmethod
+    def resolve(cls, explicit: "CollTuning | None" = None) -> "CollTuning":
+        """Pick the tuning: an explicit value wins, else the
+        ``REPRO_MPI_COLL`` environment variable, else aware."""
+        if explicit is not None:
+            return explicit
+        mode = os.environ.get("REPRO_MPI_COLL", "aware").strip().lower()
+        if mode == "flat":
+            return cls(aware=False)
+        if mode in ("", "aware"):
+            return cls()
+        raise ValueError(
+            f"REPRO_MPI_COLL must be 'aware' or 'flat', got {mode!r}")
+
+
+class CollStats:
+    """Per-communicator WAN traffic counters (plain ints/floats —
+    maintained whether or not a monitor is attached)."""
+
+    __slots__ = ("wan_crossings", "wan_bytes")
+
+    def __init__(self) -> None:
+        self.wan_crossings = 0
+        self.wan_bytes: dict[str, float] = {}
+
+    def count(self, op: str, nbytes: float) -> None:
+        self.wan_crossings += 1
+        self.wan_bytes[op] = self.wan_bytes.get(op, 0.0) + float(nbytes)
+
+
+class SiteMap:
+    """Group ranks resolved to topology sites.
+
+    Sites are indexed in order of first appearance in rank order, so
+    every rank derives the identical map without communicating."""
+
+    def __init__(self, tags: list[str]):
+        self.tags = tags
+        self.sites: list[str] = []
+        self.site_of: list[int] = []
+        index: dict[str, int] = {}
+        for tag in tags:
+            si = index.get(tag)
+            if si is None:
+                si = index[tag] = len(self.sites)
+                self.sites.append(tag)
+            self.site_of.append(si)
+        self.members: list[list[int]] = [[] for _ in self.sites]
+        for rank, si in enumerate(self.site_of):
+            self.members[si].append(rank)
+        # contiguous == every site's ranks form one unbroken block, which
+        # is what lets hierarchical reduce preserve flat operand order
+        self.contiguous = all(
+            m[-1] - m[0] + 1 == len(m) for m in self.members)
+
+    @property
+    def nsites(self) -> int:
+        return len(self.sites)
+
+    @property
+    def multi_site(self) -> bool:
+        return len(self.sites) > 1
+
+    def leader(self, si: int, root: int) -> int:
+        """Deterministic per-site leader for a collective rooted at
+        ``root``: the root itself on its own site (no extra hop for the
+        root's data), the lowest member rank elsewhere."""
+        if si == self.site_of[root]:
+            return root
+        return self.members[si][0]
+
+    def leaders(self, root: int) -> list[int]:
+        return [self.leader(si, root) for si in range(self.nsites)]
+
+
+class CollShared:
+    """State shared by all ranks of one communicator (cached on the
+    Circuit, see :func:`shared_state`)."""
+
+    def __init__(self, circuit: Circuit, group: list[int], context: str,
+                 tuning: CollTuning):
+        self.tuning = tuning
+        self.stats = CollStats()
+        self.sitemap = SiteMap(
+            [circuit.members[g].host.site for g in group])
+        #: hierarchy engaged: aware tuning on a genuinely multi-site
+        #: group.  Single-site groups keep the flat path bit-for-bit.
+        self.active = tuning.aware and self.sitemap.multi_site
+        self._circuit = circuit
+        self._group = list(group)
+        self._context = context
+        self._site_circuits: dict[int, tuple[Circuit, dict[int, int]]] = {}
+
+    def site_channel(self, si: int) -> tuple[Circuit, dict[int, int]]:
+        """The per-site subcircuit and its group-rank -> local-rank map.
+
+        Established lazily (first collective that routes an intra-site
+        edge); the PadicoTM selector picks the best fabric connecting
+        just the site's hosts — the site SAN on a grid topology."""
+        got = self._site_circuits.get(si)
+        if got is None:
+            ranks = self.sitemap.members[si]
+            procs: list["PadicoProcess"] = [
+                self._circuit.members[self._group[r]] for r in ranks]
+            sub = Circuit.establish(
+                self._circuit.runtime,
+                f"{self._context}|site:{self.sitemap.sites[si]}", procs)
+            got = (sub, {r: i for i, r in enumerate(ranks)})
+            self._site_circuits[si] = got
+        return got
+
+
+def shared_state(circuit: Circuit, group: list[int], context: str,
+                 tuning: CollTuning) -> CollShared:
+    """One :class:`CollShared` per communicator, shared across its
+    rank-local ``Comm`` objects via a cache on the Circuit.
+
+    The first rank to ask builds it; the tuning of later askers is
+    ignored (SPMD discipline means they carry the same one anyway)."""
+    cache = circuit.__dict__.setdefault("_coll_shared", {})
+    key = (context, tuple(group))
+    shared = cache.get(key)
+    if shared is None:
+        shared = cache[key] = CollShared(circuit, group, context, tuning)
+    return shared

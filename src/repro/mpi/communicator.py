@@ -14,6 +14,18 @@ Cost model (charged to the virtual clock):
   path, which is what lets MPI saturate Myrinet in Figure 7;
 - wire time and per-message overheads are charged by the Circuit layer.
 
+Collectives are *topology aware* by default (MPICH-G2 style, see
+:mod:`repro.mpi.coll`): on a multi-site group each collective routes
+through cluster-local binomial subtrees under per-site leaders, with
+only leaders crossing the WAN — intra-site edges ride a per-site
+subcircuit whose fabric the PadicoTM selector picks (the site SAN on a
+grid).  ``CollTuning(aware=False)`` or ``REPRO_MPI_COLL=flat`` selects
+the original flat rank-order binomial trees, the differential-testing
+oracle; single-site groups always take the flat path unchanged.  Both
+modes maintain per-communicator WAN-crossing/byte counters
+(:attr:`Comm.coll_stats`) and, when a monitor is attached, the
+``mpi.wan_crossings`` / ``mpi.wan_bytes.<op>`` obs counters.
+
 Wall-clock protocol selection (Madeleine-style, virtual clock
 unaffected): outgoing buffers below :data:`RENDEZVOUS_THRESHOLD` are
 staged through an eager copy, so the caller may reuse its buffer the
@@ -33,6 +45,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
+from repro.mpi.coll import CollShared, CollStats, CollTuning, shared_state
 from repro.mpi.ops import ReduceOp
 from repro.mpi.request import Request
 from repro.padicotm.abstraction.circuit import ANY_SOURCE as _CIRCUIT_ANY
@@ -110,13 +123,15 @@ class Comm:
     """
 
     def __init__(self, circuit: Circuit, group: list[int], rank: int,
-                 context: str):
+                 context: str, tuning: CollTuning | None = None):
         self._circuit = circuit
         self._group = group           # group index -> circuit rank
         self._rank = rank             # my index within the group
         self._context = context
         self._coll_seq = 0
         self._proc: SimProcess | None = None
+        self._tuning = CollTuning.resolve(tuning)
+        self._shared_memo: CollShared | None = None
 
     # ------------------------------------------------------------------
     # binding & identity
@@ -228,6 +243,73 @@ class Comm:
         ctx = f"{self._context}|coll{self._coll_seq}|{opname}"
         self._coll_seq += 1
         return ctx
+
+    # ------------------------------------------------------------------
+    # topology-aware routing (see repro.mpi.coll)
+    # ------------------------------------------------------------------
+    def _shared(self) -> CollShared:
+        if self._shared_memo is None:
+            self._shared_memo = shared_state(
+                self._circuit, self._group, self._context, self._tuning)
+        return self._shared_memo
+
+    @property
+    def coll_stats(self) -> CollStats:
+        """Per-communicator WAN crossing/byte counters (shared across
+        all ranks of this communicator; maintained in both modes)."""
+        return self._shared().stats
+
+    @property
+    def coll_aware(self) -> bool:
+        """True when collectives route through the site hierarchy."""
+        return self._shared().active
+
+    def _xsend(self, proc: SimProcess, dest: int, tag: int, body: Any,
+               nbytes: float, ctx: str, op: str,
+               local: bool = False) -> None:
+        """One collective tree edge.
+
+        Cross-site edges are counted against the communicator's WAN
+        stats (both modes — the flat-vs-aware comparison needs the flat
+        numbers too).  With ``local=True`` (hierarchy code only, where
+        the matching receive agrees) an intra-site edge is routed over
+        the per-site subcircuit instead of the group circuit."""
+        shared = self._shared()
+        sm = shared.sitemap
+        if sm.multi_site:
+            if sm.site_of[self._rank] != sm.site_of[dest]:
+                shared.stats.count(op, nbytes)
+                mon = self._monitor()
+                if mon is not None:
+                    mon.on_counter("mpi.wan_crossings", 1.0)
+                    mon.on_counter(f"mpi.wan_bytes.{op}", float(nbytes))
+            elif local and shared.active:
+                sub, index = shared.site_channel(sm.site_of[self._rank])
+                sub.send(proc, index[self._rank], index[dest],
+                         (ctx, tag, body), nbytes)
+                return
+        self._send_body(proc, dest, tag, body, nbytes, ctx)
+
+    def _xrecv(self, proc: SimProcess, source: int, tag: int, ctx: str,
+               local: bool = False) -> tuple[int, int, Any, float]:
+        """Receive one collective tree edge; routing mirrors
+        :meth:`_xsend` (``local=True`` with ``ANY_SOURCE`` matches any
+        same-site sender on the subcircuit)."""
+        shared = self._shared()
+        if local and shared.active:
+            si = shared.sitemap.site_of[self._rank]
+            sub, index = shared.site_channel(si)
+            csrc = _CIRCUIT_ANY if source == ANY_SOURCE else index[source]
+
+            def where(payload) -> bool:
+                mctx, mtag, _body = payload
+                return mctx == ctx and (tag == ANY_TAG or mtag == tag)
+
+            src, payload, n = sub.recv(proc, index[self._rank],
+                                       source=csrc, where=where)
+            _ctx, mtag, body = payload
+            return shared.sitemap.members[si][src], mtag, body, n
+        return self._recv_body(proc, source, tag, ctx)
 
     # ------------------------------------------------------------------
     # point-to-point: pickle path (lowercase)
@@ -405,9 +487,9 @@ class Comm:
                 if dst == root:
                     my_part = part.copy()
                 else:
-                    self._send_body(self.proc, dst, 9,
-                                    ("b", self._stage(part)),
-                                    part.nbytes, ctx)
+                    self._xsend(self.proc, dst, 9,
+                                ("b", self._stage(part)),
+                                part.nbytes, ctx, "Scatterv")
             np.copyto(out, my_part.reshape(out.shape))
         else:
             _s, _t, body, _n = self._recv_body(self.proc, root, 9, ctx)
@@ -438,8 +520,8 @@ class Comm:
                 flat[offsets[src]:offsets[src + 1]] = body[1]
                 self._count_delivery(int(body[1].nbytes))
         else:
-            self._send_body(self.proc, root, 10, ("b", self._stage(part)),
-                            part.nbytes, ctx)
+            self._xsend(self.proc, root, 10, ("b", self._stage(part)),
+                        part.nbytes, ctx, "Gatherv")
 
     # ------------------------------------------------------------------
     # probing
@@ -468,6 +550,96 @@ class Comm:
             where=lambda p: p[0] == ctx and (tag == ANY_TAG or p[1] == tag))
 
     # ------------------------------------------------------------------
+    # collective tree primitives
+    #
+    # The _seq_* helpers run a binomial schedule over an explicit
+    # participant list (global ranks) rooted at ``parts[rootpos]`` —
+    # the hierarchy uses them twice per collective: once over a site's
+    # members (``local=True``, subcircuit routing) and once over the
+    # per-site leaders (WAN edges, counted).  The classic whole-group
+    # _tree_* helpers below remain the flat path.
+    # ------------------------------------------------------------------
+    def _seq_bcast(self, parts: list[int], rootpos: int, body: Any,
+                   nbytes: float, tag: int, ctx: str, op: str,
+                   local: bool) -> tuple[Any, float]:
+        k = len(parts)
+        v = (parts.index(self._rank) - rootpos) % k
+        mask = 1
+        while mask < k:
+            if v < mask:
+                if v + mask < k:
+                    dst = parts[(v + mask + rootpos) % k]
+                    self._xsend(self.proc, dst, tag, body, nbytes, ctx,
+                                op, local=local)
+            elif v < mask << 1:
+                src = parts[(v - mask + rootpos) % k]
+                _s, _t, body, nbytes = self._xrecv(self.proc, src, tag,
+                                                   ctx, local=local)
+            mask <<= 1
+        return body, nbytes
+
+    def _seq_gather_signal(self, parts: list[int], rootpos: int, tag: int,
+                           ctx: str, op: str, local: bool) -> None:
+        k = len(parts)
+        v = (parts.index(self._rank) - rootpos) % k
+        mask = 1
+        while mask < k:
+            if v & mask:
+                dst = parts[(v - mask + rootpos) % k]
+                self._xsend(self.proc, dst, tag, ("p", b""), 0, ctx, op,
+                            local=local)
+                break
+            if v + mask < k:
+                src = parts[(v + mask + rootpos) % k]
+                self._xrecv(self.proc, src, tag, ctx, local=local)
+            mask <<= 1
+
+    def _seq_reduce(self, parts: list[int], rootpos: int, value: Any,
+                    redop: ReduceOp, tag: int, ctx: str, op: str,
+                    local: bool, buffered: bool) -> Any:
+        """Binomial reduction over ``parts``; combines child-first so
+        operands associate in participant order (result meaningful only
+        at ``parts[rootpos]``)."""
+        k = len(parts)
+        v = (parts.index(self._rank) - rootpos) % k
+        acc = value
+        mask = 1
+        while mask < k:
+            if v & mask:
+                dst = parts[(v - mask + rootpos) % k]
+                if buffered:
+                    self._xsend(self.proc, dst, tag, ("b", acc),
+                                acc.nbytes, ctx, op, local=local)
+                else:
+                    data = pickle.dumps(acc,
+                                        protocol=pickle.HIGHEST_PROTOCOL)
+                    self.proc.sleep(len(data) * PICKLE_BYTE_COST)
+                    self._xsend(self.proc, dst, tag, ("p", data),
+                                len(data), ctx, op, local=local)
+                break
+            if v + mask < k:
+                src = parts[(v + mask + rootpos) % k]
+                _s, _t, body, n = self._xrecv(self.proc, src, tag, ctx,
+                                              local=local)
+                contrib = body[1] if buffered \
+                    else self._decode(self.proc, body, n)
+                acc = redop(acc, contrib)
+            mask <<= 1
+        return acc
+
+    def _hier(self, root: int) -> tuple[Any, int, int, bool] | None:
+        """Hierarchy context for a collective rooted at ``root``, or
+        None when the flat path applies: ``(sitemap, my site, my
+        leader, am-I-leader)``."""
+        shared = self._shared()
+        if not shared.active:
+            return None
+        sm = shared.sitemap
+        si = sm.site_of[self._rank]
+        leader = sm.leader(si, root)
+        return sm, si, leader, self._rank == leader
+
+    # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
     @_collective("barrier")
@@ -476,19 +648,38 @@ class Comm:
 
         2·ceil(log2(size)) message hops on the critical path — the term
         the paper's Figure-8 latency column grows by with node count.
+        On a multi-site group the aware path fences each site under its
+        leader first, then runs both phases leader-only over the WAN:
+        2·(sites−1) crossings instead of O(size·log size).
         """
         ctx = self._coll_context("barrier")
-        self._tree_gather_signal(ctx)
-        self._tree_bcast(("p", b""), 0.0, 0, ctx)
+        hier = self._hier(0)
+        if hier is None:
+            self._tree_gather_signal(ctx, "barrier")
+            self._tree_bcast(("p", b""), 0.0, 0, ctx, "barrier")
+            return
+        sm, si, leader, is_leader = hier
+        members = sm.members[si]
+        lpos = members.index(leader)
+        self._seq_gather_signal(members, lpos, 22, ctx, "barrier",
+                                local=True)
+        if is_leader:
+            self._seq_gather_signal(sm.leaders(0), sm.site_of[0], 23,
+                                    ctx, "barrier", local=False)
+            self._seq_bcast(sm.leaders(0), sm.site_of[0], ("p", b""),
+                            0.0, 24, ctx, "barrier", local=False)
+        self._seq_bcast(members, lpos, ("p", b""), 0.0, 25, ctx,
+                        "barrier", local=True)
 
     Barrier = barrier
 
-    def _tree_gather_signal(self, ctx: str) -> None:
+    def _tree_gather_signal(self, ctx: str, op: str) -> None:
         size, rank = self.size, self._rank
         mask = 1
         while mask < size:
             if rank & mask:
-                self._send_body(self.proc, rank - mask, 0, ("p", b""), 0, ctx)
+                self._xsend(self.proc, rank - mask, 0, ("p", b""), 0,
+                            ctx, op)
                 break
             if rank + mask < size:
                 self._recv_body(self.proc, rank + mask, 0, ctx)
@@ -496,7 +687,8 @@ class Comm:
 
     @_collective("bcast")
     def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Binomial-tree broadcast of a pickled object."""
+        """Binomial-tree broadcast of a pickled object (leader-relayed
+        on a multi-site group: exactly sites−1 WAN crossings)."""
         ctx = self._coll_context("bcast")
         if self._rank == root:
             data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
@@ -505,7 +697,7 @@ class Comm:
             n = float(len(data))
         else:
             body, n = None, 0.0  # type: ignore[assignment]
-        body, n = self._tree_bcast(body, n, root, ctx)
+        body, n = self._any_bcast(body, n, root, ctx, "bcast")
         _kind, data = body
         self.proc.sleep(n * PICKLE_BYTE_COST)
         return pickle.loads(data)
@@ -518,19 +710,37 @@ class Comm:
         if self._rank == root:
             # rendezvous contract for large broadcasts: the root buffer
             # must stay unmutated until every rank's delivery copy —
-            # tree forwarding passes the same reference down unchanged
+            # tree forwarding (leaders included) passes the same
+            # reference down unchanged, so the hierarchy stays
+            # reference-only end-to-end
             body: tuple[str, Any] = \
                 ("b", self._stage(np.ascontiguousarray(out)))
             n = float(out.nbytes)
         else:
             body, n = None, 0.0  # type: ignore[assignment]
-        body, _n = self._tree_bcast(body, n, root, ctx)
+        body, _n = self._any_bcast(body, n, root, ctx, "Bcast")
         if self._rank != root:
             np.copyto(out, body[1].reshape(out.shape))
             self._count_delivery(out.nbytes)
 
+    def _any_bcast(self, body: Any, nbytes: float, root: int, ctx: str,
+                   op: str) -> tuple[Any, float]:
+        """Route a broadcast body: flat whole-group tree, or WAN tree
+        over leaders followed by intra-site trees."""
+        hier = self._hier(root)
+        if hier is None:
+            return self._tree_bcast(body, nbytes, root, ctx, op)
+        sm, si, leader, is_leader = hier
+        if is_leader:
+            body, nbytes = self._seq_bcast(
+                sm.leaders(root), sm.site_of[root], body, nbytes, 20,
+                ctx, op, local=False)
+        members = sm.members[si]
+        return self._seq_bcast(members, members.index(leader), body,
+                               nbytes, 21, ctx, op, local=True)
+
     def _tree_bcast(self, body: Any, nbytes: float, root: int,
-                    ctx: str) -> tuple[Any, float]:
+                    ctx: str, op: str) -> tuple[Any, float]:
         """Binomial-tree broadcast: each node receives once (from its
         parent in the virtual-rank tree) then forwards down."""
         size = self.size
@@ -540,7 +750,7 @@ class Comm:
             if vrank < mask:
                 if vrank + mask < size:
                     dst = (vrank + mask + root) % size
-                    self._send_body(self.proc, dst, 2, body, nbytes, ctx)
+                    self._xsend(self.proc, dst, 2, body, nbytes, ctx, op)
             elif vrank < mask << 1:
                 src = (vrank - mask + root) % size
                 _s, _t, body, nbytes = self._recv_body(self.proc, src, 2, ctx)
@@ -549,95 +759,370 @@ class Comm:
 
     @_collective("gather")
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        """Gather pickled objects to ``root`` (rank order preserved)."""
+        """Gather pickled objects to ``root`` (rank order preserved).
+
+        Aware path: raw pickled bodies are collected under each site
+        leader first, then forwarded to the root as one bundle per
+        remote site (sites−1 WAN crossings, each carrying only that
+        site's bytes); the root alone pays the unpickle cost, once per
+        contribution — exactly the flat path's accounting."""
         ctx = self._coll_context("gather")
+        hier = self._hier(root)
         if self._rank == root:
             out: list[Any] = [None] * self.size
             out[root] = obj
-            for _ in range(self.size - 1):
-                src, _t, body, n = self._recv_body(self.proc, ANY_SOURCE,
-                                                   3, ctx)
+            if hier is None:
+                for _ in range(self.size - 1):
+                    src, _t, body, n = self._recv_body(
+                        self.proc, ANY_SOURCE, 3, ctx)
+                    out[src] = self._decode(self.proc, body, n)
+                return out
+            sm, si, _leader, _is_leader = hier
+            for _ in range(len(sm.members[si]) - 1):
+                src, _t, body, n = self._xrecv(self.proc, ANY_SOURCE, 26,
+                                               ctx, local=True)
                 out[src] = self._decode(self.proc, body, n)
+            for _ in range(sm.nsites - 1):
+                _s, _t, body, _n = self._recv_body(self.proc, ANY_SOURCE,
+                                                   27, ctx)
+                for src, data in body[1]:
+                    self.proc.sleep(len(data) * PICKLE_BYTE_COST)
+                    out[src] = pickle.loads(data)
             return out
         data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         self.proc.sleep(len(data) * PICKLE_BYTE_COST)
-        self._send_body(self.proc, root, 3, ("p", data), len(data), ctx)
+        if hier is None:
+            self._xsend(self.proc, root, 3, ("p", data), len(data), ctx,
+                        "gather")
+            return None
+        sm, si, leader, is_leader = hier
+        if not is_leader:
+            self._xsend(self.proc, leader, 26, ("p", data), len(data),
+                        ctx, "gather", local=True)
+            return None
+        entries = [(self._rank, data)]
+        for _ in range(len(sm.members[si]) - 1):
+            src, _t, body, _n = self._xrecv(self.proc, ANY_SOURCE, 26,
+                                            ctx, local=True)
+            entries.append((src, body[1]))
+        entries.sort()
+        total = sum(len(d) for _r, d in entries)
+        self._xsend(self.proc, root, 27, ("rl", entries), total, ctx,
+                    "gather")
         return None
 
     @_collective("scatter")
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
-        """Scatter one object per rank from ``root``."""
+        """Scatter one object per rank from ``root``.
+
+        The root pickles every part up front and charges the
+        serialisation cost once (the per-iteration sleep used to
+        stretch the send loop); the aware path then ships one bundle
+        per remote site to its leader, which fans out locally."""
         if self._rank == root and (objs is None or len(objs) != self.size):
             # reject before allocating the collective context so a failed
             # call leaves the context sequence aligned across ranks
             raise MpiError(f"scatter needs exactly {self.size} items "
                            f"at the root")
         ctx = self._coll_context("scatter")
+        hier = self._hier(root)
         if self._rank == root:
-            for dst, item in enumerate(objs):
-                if dst == root:
+            parts = {dst: pickle.dumps(item,
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+                     for dst, item in enumerate(objs) if dst != root}
+            self.proc.sleep(
+                sum(len(d) for d in parts.values()) * PICKLE_BYTE_COST)
+            if hier is None:
+                for dst in sorted(parts):
+                    data = parts[dst]
+                    self._xsend(self.proc, dst, 4, ("p", data),
+                                len(data), ctx, "scatter")
+                return objs[root]
+            sm, si, _leader, _is_leader = hier
+            for s in range(sm.nsites):
+                if s == si:
+                    for dst in sm.members[s]:
+                        if dst != root:
+                            self._xsend(self.proc, dst, 29,
+                                        ("p", parts[dst]),
+                                        len(parts[dst]), ctx, "scatter",
+                                        local=True)
                     continue
-                data = pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
-                self.proc.sleep(len(data) * PICKLE_BYTE_COST)
-                self._send_body(self.proc, dst, 4, ("p", data),
-                                len(data), ctx)
+                bundle = [(dst, parts[dst]) for dst in sm.members[s]]
+                total = sum(len(d) for _r, d in bundle)
+                self._xsend(self.proc, sm.leader(s, root), 28,
+                            ("rl", bundle), total, ctx, "scatter")
             return objs[root]
-        _s, _t, body, n = self._recv_body(self.proc, root, 4, ctx)
+        if hier is None:
+            _s, _t, body, n = self._recv_body(self.proc, root, 4, ctx)
+            return self._decode(self.proc, body, n)
+        sm, si, leader, is_leader = hier
+        if is_leader:
+            _s, _t, body, _n = self._recv_body(self.proc, root, 28, ctx)
+            mine = None
+            for dst, data in body[1]:
+                if dst == self._rank:
+                    mine = data
+                else:
+                    self._xsend(self.proc, dst, 29, ("p", data),
+                                len(data), ctx, "scatter", local=True)
+            self.proc.sleep(len(mine) * PICKLE_BYTE_COST)
+            return pickle.loads(mine)
+        src = root if si == sm.site_of[root] else leader
+        _s, _t, body, n = self._xrecv(self.proc, src, 29, ctx, local=True)
         return self._decode(self.proc, body, n)
 
     @_collective("allgather")
     def allgather(self, obj: Any) -> list[Any]:
-        """Gather to rank 0, then broadcast the assembled list."""
-        gathered = self.gather(obj, root=0)
-        return self.bcast(gathered, root=0)
+        """Gather raw pickled bodies to rank 0, broadcast the bundle,
+        decode once per entry on every rank.
+
+        This fixes the historical double charge: the old gather→bcast
+        composition unpickled everything at rank 0 and re-pickled the
+        assembled list, paying ``PICKLE_BYTE_COST`` twice for every
+        byte.  Bytes are now serialised once at their source and
+        deserialised once per consumer, in both modes."""
+        ctx = self._coll_context("allgather")
+        hier = self._hier(0)
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self.proc.sleep(len(data) * PICKLE_BYTE_COST)
+        entries: list[tuple[int, bytes]] | None = None
+        if self._rank == 0:
+            entries = [(0, data)]
+            if hier is None:
+                for _ in range(self.size - 1):
+                    src, _t, body, _n = self._recv_body(
+                        self.proc, ANY_SOURCE, 3, ctx)
+                    entries.append((src, body[1]))
+            else:
+                sm, si, _leader, _is_leader = hier
+                for _ in range(len(sm.members[si]) - 1):
+                    src, _t, body, _n = self._xrecv(self.proc, ANY_SOURCE,
+                                                    26, ctx, local=True)
+                    entries.append((src, body[1]))
+                for _ in range(sm.nsites - 1):
+                    _s, _t, body, _n = self._recv_body(
+                        self.proc, ANY_SOURCE, 27, ctx)
+                    entries.extend(body[1])
+            entries.sort()
+        elif hier is None:
+            self._xsend(self.proc, 0, 3, ("p", data), len(data), ctx,
+                        "allgather")
+        else:
+            sm, si, leader, is_leader = hier
+            if not is_leader:
+                self._xsend(self.proc, leader, 26, ("p", data),
+                            len(data), ctx, "allgather", local=True)
+            else:
+                site_entries = [(self._rank, data)]
+                for _ in range(len(sm.members[si]) - 1):
+                    src, _t, body, _n = self._xrecv(self.proc, ANY_SOURCE,
+                                                    26, ctx, local=True)
+                    site_entries.append((src, body[1]))
+                site_entries.sort()
+                total = sum(len(d) for _r, d in site_entries)
+                self._xsend(self.proc, 0, 27, ("rl", site_entries),
+                            total, ctx, "allgather")
+        nbytes = float(sum(len(d) for _r, d in entries)) \
+            if entries is not None else 0.0
+        body = ("rl", entries) if entries is not None else None
+        body, _n = self._any_bcast(body, nbytes, 0, ctx, "allgather")
+        out: list[Any] = [None] * self.size
+        for src, raw in body[1]:
+            self.proc.sleep(len(raw) * PICKLE_BYTE_COST)
+            out[src] = pickle.loads(raw)
+        return out
 
     @_collective("alltoall")
     def alltoall(self, objs: Sequence[Any]) -> list[Any]:
-        """Personalised all-to-all exchange."""
+        """Personalised all-to-all exchange.
+
+        Every payload is pickled up front and the serialisation cost
+        charged once (hoisted out of the send loop).  The aware path
+        aggregates per-destination-site payloads through the two
+        leaders (source leader merges its site's traffic, destination
+        leader fans out), collapsing the flat path's
+        size·(size − site size) WAN crossings to sites·(sites − 1);
+        per-site aggregates below ``CollTuning.alltoall_threshold``
+        skip the relay and travel directly, announced through the
+        leader so receive counts stay deterministic."""
         if len(objs) != self.size:
             raise MpiError(f"alltoall needs exactly {self.size} items")
         ctx = self._coll_context("alltoall")
         out: list[Any] = [None] * self.size
         out[self._rank] = objs[self._rank]
-        for shift in range(1, self.size):
-            dst = (self._rank + shift) % self.size
-            data = pickle.dumps(objs[dst], protocol=pickle.HIGHEST_PROTOCOL)
+        shifts = [(self._rank + s) % self.size
+                  for s in range(1, self.size)]
+        parts = {dst: pickle.dumps(objs[dst],
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+                 for dst in shifts}
+        self.proc.sleep(
+            sum(len(d) for d in parts.values()) * PICKLE_BYTE_COST)
+        hier = self._hier(0)
+        if hier is None:
+            for dst in shifts:
+                self._xsend(self.proc, dst, 5, ("p", parts[dst]),
+                            len(parts[dst]), ctx, "alltoall")
+            for _ in range(self.size - 1):
+                src, _t, body, n = self._recv_body(self.proc, ANY_SOURCE,
+                                                   5, ctx)
+                out[src] = self._decode(self.proc, body, n)
+            return out
+        sm, si, leader, is_leader = hier
+        members = sm.members[si]
+        threshold = self._tuning.alltoall_threshold
+        for dst in members:
+            if dst != self._rank:
+                self._xsend(self.proc, dst, 5, ("p", parts[dst]),
+                            len(parts[dst]), ctx, "alltoall", local=True)
+        bundles: list[tuple[int, list[tuple[int, bytes]]]] = []
+        directs: list[tuple[int, list[int]]] = []
+        for s in range(sm.nsites):
+            if s == si:
+                continue
+            sub = [(dst, parts[dst]) for dst in sm.members[s]]
+            if sum(len(d) for _r, d in sub) >= threshold:
+                bundles.append((s, sub))
+            else:
+                directs.append((s, [dst for dst, _d in sub]))
+                for dst, data in sub:
+                    self._xsend(self.proc, dst, 5, ("p", data),
+                                len(data), ctx, "alltoall")
+        up = (self._rank, bundles, directs)
+        if not is_leader:
+            upn = sum(len(d) for _s, sub in bundles for _r, d in sub)
+            self._xsend(self.proc, leader, 60, ("a2a", up), upn, ctx,
+                        "alltoall", local=True)
+            _s, _t, body, _n = self._xrecv(self.proc, leader, 62, ctx,
+                                           local=True)
+            my_entries, my_ndirect = body[1]
+        else:
+            ups = [up]
+            for _ in range(len(members) - 1):
+                _s, _t, body, _n = self._xrecv(self.proc, ANY_SOURCE, 60,
+                                               ctx, local=True)
+                ups.append(body[1])
+            ups.sort(key=lambda u: u[0])
+            for s in range(sm.nsites):
+                if s == si:
+                    continue
+                entries = sorted(
+                    (src, dst, data)
+                    for src, ubundles, _ud in ups
+                    for bs, sub in ubundles if bs == s
+                    for dst, data in sub)
+                dcounts: dict[int, int] = {}
+                for _src, _ub, udirects in ups:
+                    for ds, dlist in udirects:
+                        if ds == s:
+                            for dst in dlist:
+                                dcounts[dst] = dcounts.get(dst, 0) + 1
+                total = sum(len(d) for _s2, _d2, d in entries)
+                self._xsend(self.proc, sm.leader(s, 0), 61,
+                            ("a2a", (entries, sorted(dcounts.items()))),
+                            total, ctx, "alltoall")
+            deliveries: dict[int, tuple[list, int]] = \
+                {m: ([], 0) for m in members}
+            for _ in range(sm.nsites - 1):
+                _s, _t, body, _n = self._recv_body(self.proc, ANY_SOURCE,
+                                                   61, ctx)
+                entries, dcount_items = body[1]
+                for src, dst, data in entries:
+                    deliveries[dst][0].append((src, data))
+                for dst, c in dcount_items:
+                    ent, n0 = deliveries[dst]
+                    deliveries[dst] = (ent, n0 + c)
+            my_entries, my_ndirect = deliveries[self._rank]
+            my_entries.sort()
+            for m in members:
+                if m == self._rank:
+                    continue
+                ent, ndir = deliveries[m]
+                ent.sort()
+                total = sum(len(d) for _r, d in ent)
+                self._xsend(self.proc, m, 62, ("a2a", (ent, ndir)),
+                            total, ctx, "alltoall", local=True)
+        for _ in range(len(members) - 1):
+            src, _t, body, n = self._xrecv(self.proc, ANY_SOURCE, 5, ctx,
+                                           local=True)
+            out[src] = self._decode(self.proc, body, n)
+        for src, data in my_entries:
             self.proc.sleep(len(data) * PICKLE_BYTE_COST)
-            self._send_body(self.proc, dst, 5, ("p", data), len(data), ctx)
-        for _ in range(self.size - 1):
-            src, _t, body, n = self._recv_body(self.proc, ANY_SOURCE, 5, ctx)
+            out[src] = pickle.loads(data)
+        for _ in range(my_ndirect):
+            src, _t, body, n = self._recv_body(self.proc, ANY_SOURCE, 5,
+                                               ctx)
             out[src] = self._decode(self.proc, body, n)
         return out
 
+    def _hier_reduce(self, root: int) -> tuple[Any, int, int, bool] | None:
+        """Hierarchy context for a reduction, or None for the flat
+        path.
+
+        Beyond :meth:`_hier`, a reduction engages the hierarchy only
+        when sites partition the ranks into contiguous blocks and the
+        root leads its block: the flat tree combines operands
+        child-first in (root-rotated) rank order, and only then does
+        site-local pre-reduction preserve that operand order for
+        non-commutative ops (associativity is still assumed, as in any
+        tree reduction)."""
+        hier = self._hier(root)
+        if hier is None:
+            return None
+        sm = hier[0]
+        if not sm.contiguous or sm.members[sm.site_of[root]][0] != root:
+            return None
+        return hier
+
     @_collective("reduce")
     def reduce(self, obj: Any, op: ReduceOp, root: int = 0) -> Any:
-        """Binomial-tree reduction of pickled objects towards ``root``."""
+        """Binomial-tree reduction of pickled objects towards ``root``.
+
+        Aware path (contiguous site blocks, block-leading root): each
+        site pre-reduces under its leader, then the site partials
+        combine over a leaders-only WAN tree — sites−1 crossings, each
+        carrying one partial."""
         ctx = self._coll_context("reduce")
-        size = self.size
-        vrank = (self._rank - root) % size
-        acc = obj
-        mask = 1
-        while mask < size:
-            if vrank & mask:
-                dst = (vrank - mask + root) % size
-                data = pickle.dumps(acc, protocol=pickle.HIGHEST_PROTOCOL)
-                self.proc.sleep(len(data) * PICKLE_BYTE_COST)
-                self._send_body(self.proc, dst, 6, ("p", data),
-                                len(data), ctx)
-                break
-            if vrank + mask < size:
-                src = (vrank + mask + root) % size
-                _s, _t, body, n = self._recv_body(self.proc, src, 6, ctx)
-                contrib = self._decode(self.proc, body, n)
-                # combine in child-first order so non-commutative ops
-                # see operands in rank order
-                acc = op(acc, contrib)
-            mask <<= 1
+        hier = self._hier_reduce(root)
+        if hier is None:
+            size = self.size
+            vrank = (self._rank - root) % size
+            acc = obj
+            mask = 1
+            while mask < size:
+                if vrank & mask:
+                    dst = (vrank - mask + root) % size
+                    data = pickle.dumps(acc,
+                                        protocol=pickle.HIGHEST_PROTOCOL)
+                    self.proc.sleep(len(data) * PICKLE_BYTE_COST)
+                    self._xsend(self.proc, dst, 6, ("p", data),
+                                len(data), ctx, "reduce")
+                    break
+                if vrank + mask < size:
+                    src = (vrank + mask + root) % size
+                    _s, _t, body, n = self._recv_body(self.proc, src, 6,
+                                                      ctx)
+                    contrib = self._decode(self.proc, body, n)
+                    # combine in child-first order so non-commutative
+                    # ops see operands in rank order
+                    acc = op(acc, contrib)
+                mask <<= 1
+            return acc if self._rank == root else None
+        sm, si, leader, is_leader = hier
+        members = sm.members[si]
+        acc = self._seq_reduce(members, members.index(leader), obj, op,
+                               30, ctx, "reduce", local=True,
+                               buffered=False)
+        if is_leader:
+            acc = self._seq_reduce(sm.leaders(root), sm.site_of[root],
+                                   acc, op, 31, ctx, "reduce",
+                                   local=False, buffered=False)
         return acc if self._rank == root else None
 
     @_collective("allreduce")
     def allreduce(self, obj: Any, op: ReduceOp) -> Any:
-        """Reduce to rank 0, then broadcast the result."""
+        """Reduce to rank 0, then broadcast the result (each leg
+        hierarchical on a multi-site group)."""
         reduced = self.reduce(obj, op, root=0)
         return self.bcast(reduced, root=0)
 
@@ -654,32 +1139,50 @@ class Comm:
         if self._rank + 1 < self.size:
             data = pickle.dumps(acc, protocol=pickle.HIGHEST_PROTOCOL)
             self.proc.sleep(len(data) * PICKLE_BYTE_COST)
-            self._send_body(self.proc, self._rank + 1, 7, ("p", data),
-                            len(data), ctx)
+            self._xsend(self.proc, self._rank + 1, 7, ("p", data),
+                        len(data), ctx, "scan")
         return acc
 
     @_collective("Reduce")
     def Reduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray | None,
                op: ReduceOp, root: int = 0) -> None:
-        """Buffer-path binomial reduction (no pickle cost)."""
+        """Buffer-path binomial reduction (no pickle cost).
+
+        The aware path mirrors :meth:`reduce`; partials stay on the
+        zero-copy path throughout (the initial accumulator is staged
+        once, op results are fresh arrays forwarded by reference)."""
         ctx = self._coll_context("Reduce")
-        size = self.size
-        vrank = (self._rank - root) % size
+        hier = self._hier_reduce(root)
         # ops are functional (no in-place accumulation), so the initial
         # accumulator can reference sendbuf on the rendezvous path
         acc = self._stage(np.ascontiguousarray(sendbuf))
-        mask = 1
-        while mask < size:
-            if vrank & mask:
-                dst = (vrank - mask + root) % size
-                self._send_body(self.proc, dst, 8, ("b", acc),
-                                acc.nbytes, ctx)
-                break
-            if vrank + mask < size:
-                src = (vrank + mask + root) % size
-                _s, _t, body, _n = self._recv_body(self.proc, src, 8, ctx)
-                acc = op(acc, body[1])
-            mask <<= 1
+        if hier is None:
+            size = self.size
+            vrank = (self._rank - root) % size
+            mask = 1
+            while mask < size:
+                if vrank & mask:
+                    dst = (vrank - mask + root) % size
+                    self._xsend(self.proc, dst, 8, ("b", acc),
+                                acc.nbytes, ctx, "Reduce")
+                    break
+                if vrank + mask < size:
+                    src = (vrank + mask + root) % size
+                    _s, _t, body, _n = self._recv_body(self.proc, src, 8,
+                                                       ctx)
+                    acc = op(acc, body[1])
+                mask <<= 1
+        else:
+            sm, si, leader, is_leader = hier
+            members = sm.members[si]
+            acc = self._seq_reduce(members, members.index(leader), acc,
+                                   op, 32, ctx, "Reduce", local=True,
+                                   buffered=True)
+            if is_leader:
+                acc = self._seq_reduce(sm.leaders(root),
+                                       sm.site_of[root], acc, op, 33,
+                                       ctx, "Reduce", local=False,
+                                       buffered=True)
         if self._rank == root:
             if recvbuf is None:
                 raise MpiError("root must supply recvbuf")
@@ -714,7 +1217,8 @@ class Comm:
         group = [self._group[r] for _k, r in members]
         my_index = [r for _k, r in members].index(self._rank)
         ctx = f"{self._context}/split{seq}:{color}"
-        sub = Comm(self._circuit, group, my_index, ctx)
+        sub = Comm(self._circuit, group, my_index, ctx,
+                   tuning=self._tuning)
         sub.bind(self.proc)
         return sub
 
@@ -729,6 +1233,7 @@ class Comm:
         triples = self.allgather(0)  # synchronise context generation
         del triples
         ctx = f"{self._context}/dup{self._coll_seq}"
-        dup = Comm(self._circuit, list(self._group), self._rank, ctx)
+        dup = Comm(self._circuit, list(self._group), self._rank, ctx,
+                   tuning=self._tuning)
         dup.bind(self.proc)
         return dup

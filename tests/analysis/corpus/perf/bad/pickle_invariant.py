@@ -1,0 +1,33 @@
+"""Seeded mutants: ``pickle.dumps()`` re-serialising the same
+loop-invariant object every iteration — the double-charge idiom the MPI
+collectives' send loops used to have."""
+
+import pickle
+
+
+def broadcast_naive(comm, obj, peers):
+    for dst in peers:
+        data = pickle.dumps(obj)  # expect: perf-pickle-in-loop
+        comm.push(dst, data)
+
+
+def retry_send(sock, request, n):
+    while n > 0:
+        sock.send(pickle.dumps(request, protocol=2))  # expect: perf-pickle-in-loop
+        n -= 1
+
+
+class Publisher:
+    def __init__(self, state):
+        self.state = state
+
+    def publish(self, subscribers):
+        for sub in subscribers:
+            sub.deliver(pickle.dumps(self.state))  # expect: perf-pickle-in-loop
+
+
+def fanout_header(queue, kind, items):
+    # the f-string only mentions ``kind``, which the loop never rebinds
+    for item in items:
+        queue.meta(pickle.dumps(f"hdr:{kind}"))  # expect: perf-pickle-in-loop
+        queue.put(item)

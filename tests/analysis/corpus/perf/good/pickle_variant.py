@@ -1,0 +1,75 @@
+"""Patterns the pickle-in-loop rule must NOT flag: per-iteration
+payloads, unprovable invariance, other serialisers, and the hoisted
+form itself."""
+
+import json
+import pickle
+
+
+def scatter(comm, items, peers):
+    # the serialised object is the loop variable
+    for dst, item in zip(peers, items):
+        comm.push(dst, pickle.dumps(item))
+
+
+def indexed(comm, objs, peers):
+    # subscript varies with the loop variable
+    for dst in peers:
+        comm.push(dst, pickle.dumps(objs[dst]))
+
+
+def accumulate(comm, obj, op, peers):
+    # acc is rebound inside the loop (reduction idiom)
+    acc = obj
+    for src in peers:
+        acc = op(acc, comm.pull(src))
+        comm.push(src, pickle.dumps(acc))
+
+
+def fresh_each_time(comm, peers):
+    # call arguments are never provably invariant
+    for dst in peers:
+        comm.push(dst, pickle.dumps(sample()))
+
+
+def splat(comm, args, kw, peers):
+    # starred/double-starred arguments stay silent
+    for dst in peers:
+        comm.push(dst, pickle.dumps(*args))
+        comm.push(dst, pickle.dumps("x", **kw))
+
+
+def not_the_module(codec, obj, peers):
+    # receiver is not the pickle module
+    for dst in peers:
+        send(dst, codec.dumps(obj))
+        send(dst, json.dumps(obj))
+
+
+def hoisted(comm, obj, peers):
+    # the fix the rule asks for
+    data = pickle.dumps(obj)
+    for dst in peers:
+        comm.push(dst, data)
+
+
+def deferred(comm, obj, peers):
+    # the closure runs elsewhere, not once per iteration
+    for dst in peers:
+        def encode():
+            return pickle.dumps(obj)
+        yield dst, encode
+
+
+def deliberate(obj, n):
+    # benchmarking the serialiser itself: the repeat is the point
+    for _ in range(n):
+        pickle.dumps(obj)  # repro-lint: disable=perf-pickle-in-loop
+
+
+def sample():
+    return {"t": 0}
+
+
+def send(dst, data):
+    pass

@@ -24,8 +24,8 @@ from repro.core import (
     ParallelismDescriptor,
 )
 from repro.corba import OMNIORB4, Orb, compile_idl
-from repro.mpi import create_world, spmd
-from repro.net import MYRINET_2000, Topology, build_cluster
+from repro.mpi import CollTuning, create_world, spmd
+from repro.net import MYRINET_2000, Topology, build_cluster, build_grid
 from repro.obs import TraceRecorder
 from repro.padicotm import PadicoRuntime
 
@@ -205,3 +205,45 @@ def test_gridccm_16mib_scatter_copy_budget():
     copied = (delta["wire.copied_bytes.gridccm"]
               + delta.get("wire.copied_bytes.mpi", 0.0))
     assert copied <= _PRE_PR_SCATTER_COPIED / 3
+
+
+# ---------------------------------------------------------------------------
+# hierarchical Bcast on a 2-site grid: leaders forward by reference
+# ---------------------------------------------------------------------------
+
+_BCAST_SIZE = 4 * 1024 * 1024
+
+
+def _grid_bcast_counters() -> dict[str, float]:
+    topo, site_hosts = build_grid(sites=2, hosts_per_site=2,
+                                  san=MYRINET_2000)
+    rt = PadicoRuntime(topo)
+    recorder = rt.observe(TraceRecorder())
+    procs = [rt.create_process(h, f"p-{h.name}")
+             for hs in site_hosts.values() for h in hs]
+    world = create_world(rt, "grid", procs, coll=CollTuning(aware=True))
+
+    def main(proc, comm):
+        buf = (np.ones(_BCAST_SIZE, dtype="u1") if comm.rank == 0
+               else np.empty(_BCAST_SIZE, dtype="u1"))
+        comm.Bcast(buf, root=0)
+        assert buf[0] == 1 and buf[-1] == 1
+
+    spmd(world, main)
+    rt.run()
+    rt.shutdown()
+    return recorder.counters
+
+
+def test_hierarchical_bcast_copy_budget():
+    """The topology-aware Bcast must not re-stage at the site leaders:
+    the root stages one rendezvous reference and every edge of the
+    two-level tree (root->remote leader over the WAN, both intra-site
+    hops) forwards that same reference.  The only copies are each
+    receiver's placement into its posted buffer."""
+    counters = _grid_bcast_counters()
+    receivers = 3
+    # staged exactly once, at the root — leaders never re-stage even
+    # though the payload crosses three wires (WAN + both site SANs)
+    assert counters["wire.referenced_bytes.mpi"] == _BCAST_SIZE
+    assert counters["wire.copied_bytes.mpi"] == receivers * _BCAST_SIZE
